@@ -1,0 +1,357 @@
+// Package batchdb is an in-memory database engine for hybrid OLTP +
+// OLAP workloads, reproducing the design of "BatchDB: Efficient
+// Isolated Execution of Hybrid OLTP+OLAP Workloads for Interactive
+// Applications" (Makreshanski, Giceva, Barthels, Alonso — SIGMOD 2017).
+//
+// BatchDB keeps two workload-specialized replicas of the data: a
+// primary MVCC row store executing stored-procedure transactions, and a
+// secondary single-snapshot replica executing analytical queries one
+// batch at a time. Transactions export a physical update log that is
+// applied at the secondary replica between query batches, so analytical
+// scans never synchronize with transaction processing — the source of
+// the paper's performance-isolation results.
+//
+// The DB value is the paper's "single system interface": callers submit
+// transactions with Exec and analytical queries with Query without
+// addressing replicas explicitly.
+//
+//	db, _ := batchdb.Open(batchdb.Config{})
+//	tbl, _ := db.CreateTable(schema, keyFn, batchdb.TableOptions{Replicate: true})
+//	db.Register("transfer", transferProc)
+//	db.Start()
+//	res := db.Exec("transfer", args)        // OLTP path
+//	out, _ := db.Query(analyticalQuery)     // OLAP path (batched)
+package batchdb
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"batchdb/internal/mvcc"
+	"batchdb/internal/network"
+	"batchdb/internal/olap"
+	"batchdb/internal/olap/exec"
+	"batchdb/internal/oltp"
+	"batchdb/internal/replica"
+	"batchdb/internal/storage"
+)
+
+// Re-exported building blocks, so the public API is self-contained.
+type (
+	// Column defines one attribute of a relation.
+	Column = storage.Column
+	// Schema is a relation's physical layout.
+	Schema = storage.Schema
+	// TableID identifies a relation.
+	TableID = storage.TableID
+	// KeyFunc packs a tuple's primary key into uint64.
+	KeyFunc = storage.KeyFunc
+	// Txn is the handle stored procedures use to read and write.
+	Txn = mvcc.Txn
+	// Procedure is a stored procedure: deterministic given (args,
+	// snapshot); all randomness belongs in args.
+	Procedure = oltp.Procedure
+	// Response is a transaction's outcome.
+	Response = oltp.Response
+	// Query is an analytical query (scan + joins + aggregates).
+	Query = exec.Query
+	// Probe is one hash-join step of a Query.
+	Probe = exec.Probe
+	// AggSpec is one aggregate output of a Query.
+	AggSpec = exec.AggSpec
+	// Result is a Query's outcome.
+	Result = exec.Result
+)
+
+// Column type constants.
+const (
+	Int64   = storage.Int64
+	Int32   = storage.Int32
+	Float64 = storage.Float64
+	String  = storage.String
+	Time    = storage.Time
+)
+
+// Aggregate kinds.
+const (
+	Sum   = exec.Sum
+	Count = exec.Count
+)
+
+// NewSchema builds a relation schema; see storage.NewSchema.
+func NewSchema(id TableID, name string, cols []Column, key []int) *Schema {
+	return storage.NewSchema(id, name, cols, key)
+}
+
+// Errors re-exported for callers.
+var (
+	// ErrConflict is a retryable first-writer-wins abort.
+	ErrConflict = mvcc.ErrConflict
+	// ErrDuplicateKey reports an insert of an existing primary key.
+	ErrDuplicateKey = mvcc.ErrDuplicateKey
+	// ErrNotFound reports an update/delete of a missing row.
+	ErrNotFound = mvcc.ErrNotFound
+)
+
+// Config parameterizes a BatchDB instance.
+type Config struct {
+	// OLTPWorkers is the transactional worker count (default 4).
+	OLTPWorkers int
+	// OLAPWorkers bounds analytical scan/build parallelism (default 4).
+	OLAPWorkers int
+	// Partitions is the OLAP replica's partition count per table
+	// (default OLAPWorkers).
+	Partitions int
+	// PushPeriod bounds update-propagation staleness (default 200 ms,
+	// the paper's setting).
+	PushPeriod time.Duration
+	// FieldSpecificUpdates propagates sub-tuple patches instead of
+	// whole-tuple images (default true; paper Fig. 6 favours it).
+	FieldSpecificUpdates *bool
+	// WALPath enables durable command logging when non-empty.
+	WALPath string
+	// WALSync forces fsync per group commit.
+	WALSync bool
+	// DisableReplication runs the primary alone (the paper's NoRep
+	// configuration); Query returns an error.
+	DisableReplication bool
+}
+
+// TableOptions controls a table's replication behaviour.
+type TableOptions struct {
+	// Replicate propagates the table's updates to the OLAP replica and
+	// makes it queryable.
+	Replicate bool
+	// Analytical makes the table queryable without update propagation
+	// (static dimension tables). Implied by Replicate.
+	Analytical bool
+	// CapacityHint sizes indexes and partitions.
+	CapacityHint int
+}
+
+// Table is a handle to one relation.
+type Table struct {
+	// OLTP is the primary-replica table, usable inside procedures.
+	OLTP *mvcc.Table
+	id   TableID
+	opts TableOptions
+}
+
+// ID returns the table's identifier.
+func (t *Table) ID() TableID { return t.id }
+
+// AddSecondary registers an ordered secondary index on the primary
+// replica. Must precede data loading.
+func (t *Table) AddSecondary(name string, fn mvcc.SecondaryKeyFunc) *mvcc.Secondary {
+	return t.OLTP.AddSecondary(name, fn)
+}
+
+// Load installs a tuple as initial data (VID 0). Must precede Start.
+func (t *Table) Load(tup []byte) (uint64, error) { return t.OLTP.LoadRow(tup) }
+
+// DB is a BatchDB instance: the paper's single system interface over
+// the two replicas.
+type DB struct {
+	cfg    Config
+	store  *mvcc.Store
+	engine *oltp.Engine
+	rep    *olap.Replica
+	execE  *exec.Engine
+	sched  *olap.Scheduler[*Query, Result]
+
+	tables  map[TableID]*Table
+	order   []*Table
+	started bool
+
+	repLn *network.Listener
+}
+
+// Open creates an empty instance. Define tables, register procedures
+// and load initial data, then call Start.
+func Open(cfg Config) (*DB, error) {
+	if cfg.OLTPWorkers <= 0 {
+		cfg.OLTPWorkers = 4
+	}
+	if cfg.OLAPWorkers <= 0 {
+		cfg.OLAPWorkers = 4
+	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = cfg.OLAPWorkers
+	}
+	if cfg.PushPeriod <= 0 {
+		cfg.PushPeriod = 200 * time.Millisecond
+	}
+	db := &DB{cfg: cfg, store: mvcc.NewStore(), tables: make(map[TableID]*Table)}
+	return db, nil
+}
+
+// Store exposes the primary replica's storage engine (for integration
+// with external tooling; normal use goes through Exec/Query).
+func (db *DB) Store() *mvcc.Store { return db.store }
+
+// CreateTable defines a relation. All DDL must precede Start.
+func (db *DB) CreateTable(schema *Schema, keyFn KeyFunc, opts TableOptions) (*Table, error) {
+	if db.started {
+		return nil, errors.New("batchdb: CreateTable after Start")
+	}
+	if _, dup := db.tables[schema.ID]; dup {
+		return nil, fmt.Errorf("batchdb: duplicate table id %d", schema.ID)
+	}
+	if opts.CapacityHint <= 0 {
+		opts.CapacityHint = 1024
+	}
+	if opts.Replicate {
+		opts.Analytical = true
+	}
+	t := &Table{
+		OLTP: db.store.CreateTable(schema, keyFn, opts.CapacityHint),
+		id:   schema.ID,
+		opts: opts,
+	}
+	db.tables[schema.ID] = t
+	db.order = append(db.order, t)
+	return t, nil
+}
+
+// Register installs a stored procedure. Must precede Start.
+func (db *DB) Register(name string, p Procedure) error {
+	if db.started {
+		return errors.New("batchdb: Register after Start")
+	}
+	if db.engine == nil {
+		if err := db.buildEngine(); err != nil {
+			return err
+		}
+	}
+	db.engine.Register(name, p)
+	return nil
+}
+
+func (db *DB) buildEngine() error {
+	replicated := make(map[TableID]bool)
+	for id, t := range db.tables {
+		if t.opts.Replicate {
+			replicated[id] = true
+		}
+	}
+	fieldSpecific := true
+	if db.cfg.FieldSpecificUpdates != nil {
+		fieldSpecific = *db.cfg.FieldSpecificUpdates
+	}
+	e, err := oltp.New(db.store, oltp.Config{
+		Workers:       db.cfg.OLTPWorkers,
+		PushPeriod:    db.cfg.PushPeriod,
+		Replicated:    replicated,
+		FieldSpecific: fieldSpecific,
+		WALPath:       db.cfg.WALPath,
+		WALSync:       db.cfg.WALSync,
+	})
+	if err != nil {
+		return err
+	}
+	db.engine = e
+	return nil
+}
+
+// Recover replays a command log written by a previous instance. Call
+// after loading the identical initial data, before Start.
+func (db *DB) Recover(walPath string) (int, error) {
+	if db.started {
+		return 0, errors.New("batchdb: Recover after Start")
+	}
+	if db.engine == nil {
+		if err := db.buildEngine(); err != nil {
+			return 0, err
+		}
+	}
+	return oltp.RecoverEngine(db.engine, walPath)
+}
+
+// Start bootstraps the OLAP replica from the loaded data and launches
+// both dispatchers.
+func (db *DB) Start() error {
+	if db.started {
+		return errors.New("batchdb: already started")
+	}
+	if db.engine == nil {
+		if err := db.buildEngine(); err != nil {
+			return err
+		}
+	}
+	if !db.cfg.DisableReplication {
+		db.rep = olap.NewReplica(db.cfg.Partitions)
+		var analytical []TableID
+		for _, t := range db.order {
+			if t.opts.Analytical {
+				db.rep.CreateTable(t.OLTP.Schema, t.opts.CapacityHint)
+				analytical = append(analytical, t.id)
+			}
+		}
+		if _, err := replica.LoadLocal(db.rep, db.store, analytical); err != nil {
+			return err
+		}
+		db.engine.SetSink(db.rep)
+		db.execE = exec.NewEngine(db.rep, db.cfg.OLAPWorkers)
+		db.sched = olap.NewScheduler[*Query, Result](db.rep, db.engine, db.execE.RunBatch)
+		db.sched.Start()
+	}
+	db.engine.Start()
+	db.started = true
+	return nil
+}
+
+// Exec submits one stored-procedure call (the OLTP path) and waits for
+// its outcome. A Response with ErrConflict should be retried by the
+// caller.
+func (db *DB) Exec(proc string, args []byte) Response {
+	if !db.started {
+		return Response{Err: errors.New("batchdb: not started")}
+	}
+	return db.engine.Exec(proc, args)
+}
+
+// Query submits one analytical query (the OLAP path). The query joins
+// the next batch; its result reflects the latest committed snapshot at
+// batch start (paper §5).
+func (db *DB) Query(q *Query) (Result, error) {
+	if db.sched == nil {
+		return Result{}, errors.New("batchdb: replication disabled or not started")
+	}
+	return db.sched.Query(q)
+}
+
+// LatestVID returns the primary's committed snapshot watermark.
+func (db *DB) LatestVID() uint64 { return db.engine.LatestVID() }
+
+// OLTPStats returns the transactional component's counters.
+func (db *DB) OLTPStats() *oltp.Stats { return db.engine.Stats() }
+
+// OLAPStats returns the analytical dispatcher's counters (nil when
+// replication is disabled).
+func (db *DB) OLAPStats() *olap.SchedulerStats {
+	if db.sched == nil {
+		return nil
+	}
+	return db.sched.Stats()
+}
+
+// Replica exposes the local OLAP replica (nil when disabled).
+func (db *DB) Replica() *olap.Replica { return db.rep }
+
+// Engine exposes the OLTP engine for benchmark harnesses.
+func (db *DB) Engine() *oltp.Engine { return db.engine }
+
+// Close stops dispatchers and closes the log.
+func (db *DB) Close() error {
+	if db.repLn != nil {
+		db.repLn.Close()
+	}
+	if db.sched != nil {
+		db.sched.Close()
+	}
+	if db.engine != nil {
+		return db.engine.Close()
+	}
+	return nil
+}

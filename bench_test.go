@@ -1,0 +1,250 @@
+package batchdb
+
+// One testing.B benchmark per table and figure of the paper's
+// evaluation (§8). These run short, fixed-duration harness cells and
+// report the figures' metrics via b.ReportMetric; the cmd/batchdb-bench
+// CLI runs the same harnesses over the full parameter grids and prints
+// the paper-shaped tables.
+
+import (
+	"testing"
+	"time"
+
+	"batchdb/internal/baseline"
+	"batchdb/internal/benchkit"
+	"batchdb/internal/tpcc"
+)
+
+const (
+	benchDur  = time.Second
+	benchWarm = 250 * time.Millisecond
+)
+
+func benchScale() tpcc.Scale { return tpcc.BenchScale(2) }
+
+// BenchmarkFig5aTPCCThroughput: standalone TPC-C throughput at
+// saturation (paper Fig. 5a's peak).
+func BenchmarkFig5aTPCCThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := benchkit.RunOLTP(benchkit.OLTPOpts{
+			Scale: benchScale(), Workers: 4, Clients: 16,
+			Duration: benchDur, Warmup: benchWarm, Seed: 42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Throughput, "txn/s")
+		b.ReportMetric(float64(res.P99)/1e6, "p99-ms")
+	}
+}
+
+// BenchmarkFig5bTPCCLatency: latency percentiles at saturation (paper
+// Fig. 5b).
+func BenchmarkFig5bTPCCLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := benchkit.RunOLTP(benchkit.OLTPOpts{
+			Scale: benchScale(), Workers: 4, Clients: 32,
+			Duration: benchDur, Warmup: benchWarm, Seed: 43,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.P50)/1e6, "p50-ms")
+		b.ReportMetric(float64(res.P90)/1e6, "p90-ms")
+		b.ReportMetric(float64(res.P99)/1e6, "p99-ms")
+	}
+}
+
+// BenchmarkFig6UpdatePropagation: update propagation power per variant
+// (paper Fig. 6); reports the measured single-host Ptup and the 10-core
+// projection for the row/field-specific variant, plus the column-store
+// whole-vs-field ratio.
+func BenchmarkFig6UpdatePropagation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := benchkit.RunPropagation(benchkit.PropagationOpts{
+			Scale: benchScale(), Workers: 4, Clients: 16,
+			Duration: benchDur, Seed: 44, Partitions: 8,
+			Cores: []int{1, 10, 30},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		byVariant := map[string]benchkit.PropagationResult{}
+		for _, r := range results {
+			byVariant[r.Variant.String()] = r
+		}
+		rf := byVariant["row/field-specific"]
+		b.ReportMetric(rf.MeasuredPtup, "row-field-Ptup/s")
+		b.ReportMetric(rf.RateAtCores[10][0], "row-field-Ptup@10cores/s")
+		b.ReportMetric(rf.MeasuredPtxn, "row-field-Ptxn/s")
+		cf, cw := byVariant["column/field-specific"], byVariant["column/whole-tuple"]
+		if cw.MeasuredPtup > 0 {
+			b.ReportMetric(cf.MeasuredPtup/cw.MeasuredPtup, "col-field/whole-ratio")
+		}
+	}
+}
+
+// BenchmarkTable1ApplySteps: the share of apply CPU time spent in step 3
+// (paper Table 1: step 3 dominates).
+func BenchmarkTable1ApplySteps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := benchkit.RunPropagation(benchkit.PropagationOpts{
+			Scale: benchScale(), Workers: 4, Clients: 16,
+			Duration: benchDur, Seed: 45, Partitions: 8, Cores: []int{1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Variant.ColumnStore || !r.Variant.FieldSpecific {
+				continue
+			}
+			total := (r.Step1 + r.Step2 + r.Step3).Seconds()
+			if total > 0 {
+				b.ReportMetric(100*r.Step1.Seconds()/total, "step1-%")
+				b.ReportMetric(100*r.Step2.Seconds()/total, "step2-%")
+				b.ReportMetric(100*r.Step3.Seconds()/total, "step3-%")
+			}
+		}
+	}
+}
+
+// BenchmarkFig7HybridLocal: the hybrid cell TC=8/AC=4 on co-located
+// replicas with a constant-size database (paper Fig. 7 center).
+func BenchmarkFig7HybridLocal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := benchkit.RunHybrid(benchkit.HybridOpts{
+			Scale: benchScale(), OLTPWorkers: 4, OLAPWorkers: 4, Partitions: 8,
+			TxnClients: 8, AnalyticalClients: 4,
+			Duration: benchDur, Warmup: benchWarm, Seed: 46, ConstantSize: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.TxnPerSec, "txn/s-wall")
+		b.ReportMetric(r.TxnPerBusySec, "txn/s-projected")
+		b.ReportMetric(r.QueriesPerMin, "q/min-wall")
+		b.ReportMetric(r.QueriesPerBusyMin, "q/min-projected")
+	}
+}
+
+// BenchmarkFig7HybridDistributed: the same cell with the OLAP replica
+// behind the TCP (RDMA-model) transport (paper Fig. 7 "Distributed").
+func BenchmarkFig7HybridDistributed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := benchkit.RunHybrid(benchkit.HybridOpts{
+			Scale: benchScale(), OLTPWorkers: 4, OLAPWorkers: 4, Partitions: 8,
+			TxnClients: 8, AnalyticalClients: 4,
+			Duration: benchDur, Warmup: benchWarm, Seed: 47,
+			ConstantSize: true, Distributed: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.TxnPerBusySec, "txn/s-projected")
+		b.ReportMetric(r.QueriesPerBusyMin, "q/min-projected")
+		if r.Transport != nil {
+			b.ReportMetric(float64(r.Transport.BytesSent.Load())/benchDur.Seconds(), "wire-B/s")
+		}
+	}
+}
+
+// BenchmarkFig7NoRep: the reference line of Fig. 7d (no replication).
+func BenchmarkFig7NoRep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := benchkit.RunHybrid(benchkit.HybridOpts{
+			Scale: benchScale(), OLTPWorkers: 4,
+			TxnClients: 8, Duration: benchDur, Warmup: benchWarm, Seed: 48,
+			NoRep: true, ConstantSize: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.TxnPerBusySec, "txn/s-projected")
+	}
+}
+
+// BenchmarkFig8FairShared / OLTPPriority / BatchDB: the three engines of
+// paper Fig. 8 at a contended cell (TC=4, AC=4).
+func BenchmarkFig8FairShared(b *testing.B) { benchFig8(b, baseline.FairShared) }
+
+// BenchmarkFig8OLTPPriority is the MemSQL-like policy cell.
+func BenchmarkFig8OLTPPriority(b *testing.B) { benchFig8(b, baseline.OLTPPriority) }
+
+func benchFig8(b *testing.B, policy baseline.Policy) {
+	for i := 0; i < b.N; i++ {
+		r, err := benchkit.RunBaseline(benchkit.BaselineOpts{
+			Scale: benchScale(), Policy: policy, Workers: 4,
+			TxnClients: 4, AnalyticalClients: 4,
+			Duration: benchDur, Warmup: benchWarm, Seed: 49,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.TxnPerSec, "txn/s")
+		b.ReportMetric(r.QueriesPerMin, "q/min")
+	}
+}
+
+// BenchmarkFig8BatchDB is BatchDB at the same contended cell.
+func BenchmarkFig8BatchDB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := benchkit.RunHybrid(benchkit.HybridOpts{
+			Scale: benchScale(), OLTPWorkers: 4, OLAPWorkers: 4, Partitions: 8,
+			TxnClients: 4, AnalyticalClients: 4,
+			Duration: benchDur, Warmup: benchWarm, Seed: 49, ConstantSize: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.TxnPerSec, "txn/s")
+		b.ReportMetric(r.QueriesPerMin, "q/min")
+	}
+}
+
+// BenchmarkAblationSharedExec ablates design decision 1/5 of DESIGN.md:
+// the same analytical load executed with shared scans versus
+// query-at-a-time. Shared execution's advantage grows with batch size
+// (paper Fig. 7c's "throughput keeps rising past CPU saturation").
+func BenchmarkAblationSharedExec(b *testing.B) {
+	for _, shared := range []bool{true, false} {
+		name := "query-at-a-time"
+		if shared {
+			name = "shared"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := benchkit.RunHybrid(benchkit.HybridOpts{
+					Scale: benchScale(), OLTPWorkers: 2, OLAPWorkers: 4, Partitions: 8,
+					AnalyticalClients: 8,
+					Duration:          benchDur, Warmup: benchWarm, Seed: 51,
+					ConstantSize: true, QueryAtATime: !shared,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.QueriesPerMin, "q/min")
+				b.ReportMetric(float64(r.QueryP99)/1e6, "p99-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkFig9Interference: OLTP next to a bandwidth-intensive scan
+// (paper Fig. 9).
+func BenchmarkFig9Interference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := benchkit.RunInterference(benchkit.InterferenceOpts{
+			Scale: benchScale(), Workers: 4, Clients: 8,
+			Duration: benchDur, Warmup: benchWarm, Seed: 50,
+			ScanThreads: 2, ScanBytes: 64 << 20,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.BaselineTPS, "alone-txn/s")
+		b.ReportMetric(r.MeasuredColocated, "colocated-txn/s")
+		b.ReportMetric(r.ProjectedColocated, "colocated-projected-txn/s")
+		b.ReportMetric(r.ProjectedRemote, "remote-projected-txn/s")
+	}
+}

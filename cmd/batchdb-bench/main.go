@@ -1,0 +1,550 @@
+// Command batchdb-bench regenerates every table and figure of the
+// BatchDB paper's evaluation (§8) at laptop scale and prints the same
+// rows/series the paper reports.
+//
+//	batchdb-bench -exp fig5a      # TPC-C throughput vs clients/warehouses
+//	batchdb-bench -exp fig5b      # TPC-C latency percentiles
+//	batchdb-bench -exp fig6       # update propagation power vs OLAP cores
+//	batchdb-bench -exp table1     # CPU time per apply step and relation
+//	batchdb-bench -exp fig7       # hybrid workload isolation (7a-7e)
+//	batchdb-bench -exp fig8       # comparison vs shared-engine baselines
+//	batchdb-bench -exp fig9       # implicit resource sharing
+//	batchdb-bench -exp all
+//
+// Numbers marked "projected" combine host measurements with the
+// documented hardware model (internal/resmodel); everything else is
+// measured on this machine. Shapes and ratios — not absolute values —
+// are the reproduction target (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"batchdb/internal/baseline"
+	"batchdb/internal/benchkit"
+	"batchdb/internal/olap"
+	"batchdb/internal/storage"
+	"batchdb/internal/tpcc"
+)
+
+var (
+	expFlag   = flag.String("exp", "all", "experiment: fig5a|fig5b|fig6|table1|fig7|fig8|fig9|all")
+	durFlag   = flag.Duration("duration", 2*time.Second, "measurement window per cell")
+	warmFlag  = flag.Duration("warmup", 500*time.Millisecond, "warmup per cell")
+	quickFlag = flag.Bool("quick", false, "tiny cells for smoke runs")
+	wFlag     = flag.Int("warehouses", 4, "warehouse count at bench scale (1 bench WH ~ 1/10 spec WH)")
+	seedFlag  = flag.Int64("seed", 42, "workload seed")
+)
+
+func main() {
+	flag.Parse()
+	if *quickFlag {
+		*durFlag = 300 * time.Millisecond
+		*warmFlag = 100 * time.Millisecond
+	}
+	exps := map[string]func(){
+		"fig5a":  fig5a,
+		"fig5b":  fig5b,
+		"fig6":   fig6,
+		"table1": table1,
+		"fig7":   fig7,
+		"fig8":   fig8,
+		"fig9":   fig9,
+	}
+	if *expFlag == "all" {
+		for _, name := range []string{"fig5a", "fig5b", "fig6", "table1", "fig7", "fig8", "fig9"} {
+			exps[name]()
+		}
+		return
+	}
+	fn, ok := exps[*expFlag]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expFlag)
+		os.Exit(2)
+	}
+	fn()
+}
+
+func scale(w int) tpcc.Scale { return tpcc.BenchScale(w) }
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+// fig5a: TPC-C throughput vs #clients for several warehouse counts
+// (paper Fig. 5a; paper range 5-200 warehouses / up to 2000 clients,
+// here 1-8 bench warehouses / up to 32 clients).
+func fig5a() {
+	header("Figure 5a: TPC-C throughput vs clients (standalone OLTP, no replication)")
+	warehouses := []int{1, 2, 4}
+	clients := []int{1, 2, 4, 8, 16, 32}
+	fmt.Printf("%-12s", "clients:")
+	for _, c := range clients {
+		fmt.Printf("%10d", c)
+	}
+	fmt.Println()
+	for _, w := range warehouses {
+		fmt.Printf("W=%-10d", w)
+		for _, c := range clients {
+			res, err := benchkit.RunOLTP(benchkit.OLTPOpts{
+				Scale: scale(w), Workers: 4, Clients: c,
+				Duration: *durFlag, Warmup: *warmFlag, Seed: *seedFlag,
+			})
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("%10.0f", res.Throughput)
+		}
+		fmt.Println()
+	}
+	fmt.Println("rows: txn/s; paper shape: saturates with clients; more warehouses -> higher peak (less contention)")
+}
+
+// fig5b: transaction latency percentiles vs clients at the largest
+// warehouse count (paper Fig. 5b).
+func fig5b() {
+	header("Figure 5b: TPC-C transaction latency percentiles")
+	w := *wFlag
+	fmt.Printf("%-10s %12s %12s %12s\n", "clients", "p50(ms)", "p90(ms)", "p99(ms)")
+	for _, c := range []int{2, 8, 32} {
+		res, err := benchkit.RunOLTP(benchkit.OLTPOpts{
+			Scale: scale(w), Workers: 4, Clients: c,
+			Duration: *durFlag, Warmup: *warmFlag, Seed: *seedFlag,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-10d %12.2f %12.2f %12.2f\n", c,
+			ms(res.P50), ms(res.P90), ms(res.P99))
+	}
+	fmt.Println("paper shape: p99 stays tens of ms at saturation (well under TPC-C's 5s bound)")
+}
+
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }
+
+// fig6: update propagation power vs OLAP cores for row/column store and
+// field-specific/whole-tuple updates (paper Fig. 6).
+func fig6() {
+	header("Figure 6: update propagation power at the OLAP replica")
+	results, err := benchkit.RunPropagation(benchkit.PropagationOpts{
+		Scale: scale(*wFlag), Workers: 4, Clients: 16,
+		Duration: *durFlag, Seed: *seedFlag, Partitions: 8,
+	})
+	if err != nil {
+		fail(err)
+	}
+	cores := []int{1, 2, 5, 10, 20, 30, 40}
+	fmt.Println("Ptup (tuples/s, projected to k OLAP cores via Amdahl model; step1 serial, steps2-3 parallel):")
+	fmt.Printf("%-24s", "variant \\ cores")
+	for _, k := range cores {
+		fmt.Printf("%12d", k)
+	}
+	fmt.Println()
+	for _, r := range results {
+		fmt.Printf("%-24s", r.Variant)
+		for _, k := range cores {
+			fmt.Printf("%12.0f", r.RateAtCores[k][0])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nPtxn (txns/s, projected):")
+	fmt.Printf("%-24s", "variant \\ cores")
+	for _, k := range cores {
+		fmt.Printf("%12d", k)
+	}
+	fmt.Println()
+	for _, r := range results {
+		fmt.Printf("%-24s", r.Variant)
+		for _, k := range cores {
+			fmt.Printf("%12.0f", r.RateAtCores[k][1])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nmeasured on this host (no projection):")
+	for _, r := range results {
+		fmt.Printf("  %-24s Ptup=%10.0f/s  Ptxn=%10.0f/s  (entries=%d txns=%d  s1=%v s2=%v s3=%v)\n",
+			r.Variant, r.MeasuredPtup, r.MeasuredPtxn, r.Entries, r.Txns, r.Step1, r.Step2, r.Step3)
+	}
+	fmt.Println("paper shape: scales with cores; column/whole-tuple is >2x slower than column/field-specific")
+}
+
+// table1: CPU time per apply step and relation (paper Table 1).
+func table1() {
+	header("Table 1: CPU time per step and relation for update propagation (row store)")
+	results, err := benchkit.RunPropagation(benchkit.PropagationOpts{
+		Scale: scale(*wFlag), Workers: 4, Clients: 16,
+		Duration: *durFlag, Seed: *seedFlag, Partitions: 8,
+	})
+	if err != nil {
+		fail(err)
+	}
+	names := map[storage.TableID]string{
+		tpcc.TStock: "S", tpcc.TCustomer: "C", tpcc.TOrder: "O", tpcc.TOrderLine: "OL",
+	}
+	order := []storage.TableID{tpcc.TStock, tpcc.TCustomer, tpcc.TOrder, tpcc.TOrderLine}
+	for _, r := range results {
+		if r.Variant.ColumnStore || r.PerTable == nil {
+			continue
+		}
+		mode := "field-specific"
+		if !r.Variant.FieldSpecific {
+			mode = "whole-record"
+		}
+		fmt.Printf("\n-- %s updates --\n", mode)
+		// Tuple distribution.
+		totUpd, totIns := 0, 0
+		for _, id := range order {
+			if ts := r.PerTable[id]; ts != nil {
+				totUpd += ts.Updated
+				totIns += ts.Inserted + ts.Deleted
+			}
+		}
+		fmt.Printf("%-28s", "% of updated tuples")
+		for _, id := range order {
+			ts := r.PerTable[id]
+			fmt.Printf("%8s=%3.0f", names[id], pct(tsUpdated(ts), totUpd+totIns))
+		}
+		fmt.Println()
+		fmt.Printf("%-28s", "% of inserted tuples")
+		for _, id := range order {
+			ts := r.PerTable[id]
+			fmt.Printf("%8s=%3.0f", names[id], pct(tsInserted(ts), totUpd+totIns))
+		}
+		fmt.Println()
+		// CPU per step per relation.
+		var total time.Duration
+		for _, id := range order {
+			if ts := r.PerTable[id]; ts != nil {
+				total += ts.Step1 + ts.Step2 + ts.Step3
+			}
+		}
+		for step := 1; step <= 3; step++ {
+			fmt.Printf("%% CPU step S%-22d", step)
+			for _, id := range order {
+				ts := r.PerTable[id]
+				var d time.Duration
+				if ts != nil {
+					switch step {
+					case 1:
+						d = ts.Step1
+					case 2:
+						d = ts.Step2
+					default:
+						d = ts.Step3
+					}
+				}
+				fmt.Printf("%8s=%3.0f", names[id], 100*d.Seconds()/total.Seconds())
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println("\npaper shape: step 3 dominates; whole-record spends most CPU on the wide Stock relation,")
+	fmt.Println("field-specific shifts the cost to OrderLine (narrow patches on wide tuples become cheap)")
+}
+
+func tsUpdated(ts *tpccStats) int {
+	if ts == nil {
+		return 0
+	}
+	return ts.Updated
+}
+
+func tsInserted(ts *tpccStats) int {
+	if ts == nil {
+		return 0
+	}
+	return ts.Inserted + ts.Deleted
+}
+
+func pct(part, whole int) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// fig7: the hybrid CH-benCHmark experiment (paper Fig. 7a-7e).
+func fig7() {
+	header("Figure 7: hybrid CH-benCHmark (OLTP + OLAP) performance isolation")
+	acs := []int{1, 4, 16}
+	tcs := []int{0, 4, 16}
+	type cfg struct {
+		name         string
+		distributed  bool
+		constantSize bool
+	}
+	cfgs := []cfg{
+		{"local (growing DB)", false, false},
+		{"local (constant-size DB)", false, true},
+		{"distributed (constant-size DB)", true, true},
+	}
+
+	// 7a + 7b: OLAP throughput and latency under OLTP load. Two series
+	// per configuration: wall-clock on this host (OLTP and OLAP
+	// time-share the CPU here) and the dedicated-resources projection
+	// (queries per minute of CPU the OLAP component received — what the
+	// paper's per-socket placement measures directly).
+	for _, c := range cfgs {
+		fmt.Printf("\n[7a/%s] OLAP throughput vs analytical clients\n", c.name)
+		fmt.Printf("%-26s", "TC\\AC")
+		for _, ac := range acs {
+			fmt.Printf("%10d", ac)
+		}
+		fmt.Println()
+		for _, tc := range tcs {
+			wall := make([]float64, len(acs))
+			proj := make([]float64, len(acs))
+			for i, ac := range acs {
+				r := runHybridCell(tc, ac, c.distributed, c.constantSize)
+				wall[i], proj[i] = r.QueriesPerMin, r.QueriesPerBusyMin
+			}
+			fmt.Printf("TC=%-4d q/min (wall)     ", tc)
+			for _, v := range wall {
+				fmt.Printf("%10.0f", v)
+			}
+			fmt.Println()
+			fmt.Printf("TC=%-4d q/min (projected)", tc)
+			for _, v := range proj {
+				fmt.Printf("%10.0f", v)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println("paper shape (projected series): constant-size rows nearly flat across TC (<=10-20% drop);")
+	fmt.Println("growing DB halves throughput; wall series shows host CPU time-sharing on top")
+
+	// 7b: latency percentiles at a busy AC point.
+	fmt.Println("\n[7b] OLAP response-time percentiles (AC=8)")
+	fmt.Printf("%-28s %10s %10s %10s\n", "config", "p50(ms)", "p90(ms)", "p99(ms)")
+	for _, c := range cfgs[1:] {
+		for _, tc := range []int{0, 16} {
+			r := runHybridCell(tc, 8, c.distributed, c.constantSize)
+			fmt.Printf("%-22s TC=%-3d %10.1f %10.1f %10.1f\n", c.name, tc,
+				ms(r.QueryP50), ms(r.QueryP90), ms(r.QueryP99))
+		}
+	}
+	fmt.Println("paper shape: batch scheduling smooths latencies (p50~p90~p99); OLTP load adds <=50% on p99")
+
+	// 7c: CPU utilization split (measured busy fractions + modeled
+	// socket assignment).
+	fmt.Println("\n[7c] CPU busy fractions (host-measured; paper maps OLTP->1 socket, OLAP->3 sockets)")
+	for _, tc := range tcs {
+		r := runHybridCell(tc, 8, false, true)
+		fmt.Printf("TC=%-4d AC=8: oltp busy=%.2f olap busy=%.2f\n", tc, r.OLTPBusyFrac, r.OLAPBusyFrac)
+	}
+	fmt.Println("paper shape: OLAP saturated already at 1 client, yet throughput grows with clients (shared scans)")
+
+	// 7d + 7e: OLTP side under OLAP load, including NoRep.
+	tcsSweep := []int{1, 4, 16}
+	fmt.Println("\n[7d] OLTP throughput vs transactional clients (txn per second of OLTP CPU — dedicated-resources projection)")
+	fmt.Printf("%-22s", "config\\TC")
+	for _, tc := range tcsSweep {
+		fmt.Printf("%10d", tc)
+	}
+	fmt.Println()
+	fmt.Printf("%-22s", "NoRep")
+	for _, tc := range tcsSweep {
+		r, err := benchkit.RunHybrid(benchkit.HybridOpts{
+			Scale: scale(*wFlag), OLTPWorkers: 4, TxnClients: tc,
+			Duration: *durFlag, Warmup: *warmFlag, Seed: *seedFlag,
+			NoRep: true, ConstantSize: true,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%10.0f", r.TxnPerBusySec)
+	}
+	fmt.Println()
+	for _, ac := range []int{0, 1, 8} {
+		fmt.Printf("local AC=%-13d", ac)
+		for _, tc := range tcsSweep {
+			r := runHybridCell(tc, ac, false, true)
+			fmt.Printf("%10.0f", r.TxnPerBusySec)
+		}
+		fmt.Println()
+	}
+	for _, ac := range []int{0, 8} {
+		fmt.Printf("distributed AC=%-7d", ac)
+		for _, tc := range tcsSweep {
+			r := runHybridCell(tc, ac, true, true)
+			fmt.Printf("%10.0f", r.TxnPerBusySec)
+		}
+		fmt.Println()
+	}
+	fmt.Println("paper shape: <=10% drop from propagation (NoRep vs AC=0); analytics adds <=7% more")
+
+	fmt.Println("\n[7e] OLTP response-time percentiles (TC=8)")
+	fmt.Printf("%-22s %10s %10s %10s\n", "config", "p50(ms)", "p90(ms)", "p99(ms)")
+	for _, ac := range []int{0, 8} {
+		r := runHybridCell(8, ac, false, true)
+		fmt.Printf("local AC=%-12d %10.2f %10.2f %10.2f\n", ac, ms(r.TxnP50), ms(r.TxnP90), ms(r.TxnP99))
+	}
+	fmt.Println("paper shape: p99 bump from periodic update pushes, still tens of ms")
+}
+
+func runHybridCell(tc, ac int, distributed, constantSize bool) benchkit.HybridResult {
+	r, err := benchkit.RunHybrid(benchkit.HybridOpts{
+		Scale: scale(*wFlag), OLTPWorkers: 4, OLAPWorkers: 4, Partitions: 8,
+		TxnClients: tc, AnalyticalClients: ac,
+		Duration: *durFlag, Warmup: *warmFlag, Seed: *seedFlag,
+		Distributed: distributed, ConstantSize: constantSize,
+	})
+	if err != nil {
+		fail(err)
+	}
+	return r
+}
+
+// fig8: hybrid workload interaction for the shared-engine baselines and
+// BatchDB, in relative units (paper Fig. 8).
+func fig8() {
+	header("Figure 8: hybrid interaction — HANA-like, MemSQL-like, BatchDB (relative units)")
+	tcs := []int{0, 1, 4, 8}
+	acs := []int{0, 1, 4, 8}
+
+	type cell struct{ t, q, tp, qp float64 } // wall txn/s, wall q/min, projected
+	type engine struct {
+		name string
+		run  func(tc, ac int) cell
+	}
+	baselineRun := func(policy baseline.Policy) func(tc, ac int) cell {
+		return func(tc, ac int) cell {
+			r, err := benchkit.RunBaseline(benchkit.BaselineOpts{
+				Scale: scale(*wFlag), Policy: policy, Workers: 4,
+				TxnClients: tc, AnalyticalClients: ac,
+				Duration: *durFlag, Warmup: *warmFlag, Seed: *seedFlag,
+			})
+			if err != nil {
+				fail(err)
+			}
+			return cell{t: r.TxnPerSec, q: r.QueriesPerMin}
+		}
+	}
+	engines := []engine{
+		{"fair-shared (HANA-like)", baselineRun(baseline.FairShared)},
+		{"oltp-priority (MemSQL-like)", baselineRun(baseline.OLTPPriority)},
+		{"BatchDB", func(tc, ac int) cell {
+			r := runHybridCell(tc, ac, false, true)
+			return cell{t: r.TxnPerSec, q: r.QueriesPerMin, tp: r.TxnPerBusySec, qp: r.QueriesPerBusyMin}
+		}},
+	}
+
+	for _, e := range engines {
+		// tau/alpha: max observed throughputs for normalization.
+		var tau, alpha, tauP, alphaP float64
+		grid := make(map[[2]int]cell)
+		for _, tc := range tcs {
+			for _, ac := range acs {
+				if tc == 0 && ac == 0 {
+					continue
+				}
+				c := e.run(tc, ac)
+				grid[[2]int{tc, ac}] = c
+				if c.t > tau {
+					tau = c.t
+				}
+				if c.q > alpha {
+					alpha = c.q
+				}
+				if c.tp > tauP {
+					tauP = c.tp
+				}
+				if c.qp > alphaP {
+					alphaP = c.qp
+				}
+			}
+		}
+		fmt.Printf("\n[%s] OLTP throughput (fraction of tau=%.0f txn/s) vs TC for varying AC\n", e.name, tau)
+		fmt.Printf("%-8s", "AC\\TC")
+		for _, tc := range tcs[1:] {
+			fmt.Printf("%8d", tc)
+		}
+		fmt.Println()
+		for _, ac := range acs {
+			fmt.Printf("AC=%-5d", ac)
+			for _, tc := range tcs[1:] {
+				fmt.Printf("%8.2f", frac(grid[[2]int{tc, ac}].t, tau))
+			}
+			fmt.Println()
+		}
+		if tauP > 0 {
+			fmt.Printf("[%s] same, dedicated-resources projection (fraction of tau=%.0f txn per OLTP-CPU-second)\n", e.name, tauP)
+			for _, ac := range acs {
+				fmt.Printf("AC=%-5d", ac)
+				for _, tc := range tcs[1:] {
+					fmt.Printf("%8.2f", frac(grid[[2]int{tc, ac}].tp, tauP))
+				}
+				fmt.Println()
+			}
+		}
+		fmt.Printf("[%s] OLAP throughput (fraction of alpha=%.0f q/min) vs AC for varying TC\n", e.name, alpha)
+		fmt.Printf("%-8s", "TC\\AC")
+		for _, ac := range acs[1:] {
+			fmt.Printf("%8d", ac)
+		}
+		fmt.Println()
+		for _, tc := range tcs {
+			fmt.Printf("TC=%-5d", tc)
+			for _, ac := range acs[1:] {
+				fmt.Printf("%8.2f", frac(grid[[2]int{tc, ac}].q, alpha))
+			}
+			fmt.Println()
+		}
+		if alphaP > 0 {
+			fmt.Printf("[%s] same, dedicated-resources projection (fraction of alpha=%.0f q per OLAP-CPU-minute)\n", e.name, alphaP)
+			for _, tc := range tcs {
+				fmt.Printf("TC=%-5d", tc)
+				for _, ac := range acs[1:] {
+					fmt.Printf("%8.2f", frac(grid[[2]int{tc, ac}].qp, alphaP))
+				}
+				fmt.Println()
+			}
+		}
+	}
+	fmt.Println("\npaper shape: fair-shared collapses OLTP >5x under OLAP load; oltp-priority collapses OLAP")
+	fmt.Println("under OLTP load; BatchDB keeps both near their maxima")
+}
+
+func frac(v, max float64) float64 {
+	if max == 0 {
+		return 0
+	}
+	return v / max
+}
+
+// fig9: implicit resource sharing (paper Fig. 9).
+func fig9() {
+	header("Figure 9: OLTP throughput when co-located with a bandwidth-intensive scan")
+	res, err := benchkit.RunInterference(benchkit.InterferenceOpts{
+		Scale: scale(*wFlag), Workers: 4, Clients: 8,
+		Duration: *durFlag, Warmup: *warmFlag, Seed: *seedFlag,
+		ScanThreads: 2, ScanBytes: 64 << 20,
+	})
+	if err != nil {
+		fail(err)
+	}
+	rows := []struct {
+		name string
+		tps  float64
+	}{
+		{"No interference (measured)", res.BaselineTPS},
+		{"Local-NUMA scan (measured, host time-sharing + cache pollution)", res.MeasuredColocated},
+		{"Local-NUMA scan (projected: shared memory controller, model)", res.ProjectedColocated},
+		{"Remote-NUMA scan (projected: isolated controller, model)", res.ProjectedRemote},
+	}
+	for _, r := range rows {
+		fmt.Printf("%-66s %10.0f txn/s\n", r.name, r.tps)
+	}
+	fmt.Println("paper shape: co-located scan halves OLTP throughput; remote-NUMA scan has no effect")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}
+
+// tpccStats aliases the per-relation apply statistics type.
+type tpccStats = olap.TableApplyStats

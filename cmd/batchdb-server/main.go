@@ -1,0 +1,167 @@
+// Command batchdb-server hosts a BatchDB instance loaded with the
+// CH-benCHmark schema and exposes the single system interface over a
+// line-oriented TCP protocol — one connection can submit both
+// transactions and analytical queries without addressing replicas.
+//
+//	batchdb-server -listen 127.0.0.1:7070 -warehouses 2
+//
+// Protocol (one request per line, tab-separated response):
+//
+//	NEWORDER <w> <d> <c>          run a New-Order with random lines
+//	PAYMENT <w> <d> <amount>      run a Payment by customer id
+//	DELIVERY <w>                  run a Delivery
+//	QUERY <Q2|Q3|...|Q20>         run one CH analytical query
+//	STATS                         engine counters
+//	QUIT
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"batchdb/internal/chbench"
+	"batchdb/internal/mvcc"
+	"batchdb/internal/olap"
+	"batchdb/internal/olap/exec"
+	"batchdb/internal/oltp"
+	"batchdb/internal/tpcc"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:7070", "address to serve")
+		warehouses = flag.Int("warehouses", 2, "warehouse count (bench scale)")
+		walPath    = flag.String("wal", "", "command-log path (empty = no durability)")
+	)
+	flag.Parse()
+
+	log.Printf("loading TPC-C (%d warehouses)...", *warehouses)
+	db := tpcc.NewDB(tpcc.BenchScale(*warehouses))
+	if err := tpcc.Generate(db, 1); err != nil {
+		log.Fatal(err)
+	}
+	engine, err := oltp.New(db.Store, oltp.Config{
+		Workers:       4,
+		Replicated:    tpcc.ReplicatedTables(),
+		FieldSpecific: true,
+		WALPath:       *walPath,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tpcc.RegisterProcs(engine, db, false)
+	rep, err := chbench.NewReplica(db, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine.SetSink(rep)
+	ex := exec.NewEngine(rep, 4)
+	sched := olap.NewScheduler(rep, engine, ex.RunBatch)
+	sched.Start()
+	engine.Start()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving on %s", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		go serve(conn, db, engine, sched)
+	}
+}
+
+func serve(conn net.Conn, db *tpcc.DB, engine *oltp.Engine,
+	sched *olap.Scheduler[*exec.Query, exec.Result]) {
+	defer conn.Close()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	gen := chbench.NewGen(db.Schemas, rng.Int63())
+	drv := tpcc.NewDriver(db.Scale, rng.Int63())
+	_ = drv
+	sc := bufio.NewScanner(conn)
+	out := bufio.NewWriter(conn)
+	defer out.Flush()
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch strings.ToUpper(fields[0]) {
+		case "QUIT":
+			fmt.Fprintln(out, "BYE")
+			out.Flush()
+			return
+		case "STATS":
+			st := engine.Stats()
+			fmt.Fprintf(out, "OK\tcommitted=%d aborted=%d conflicts=%d vid=%d\n",
+				st.Committed.Load(), st.Aborted.Load(), st.Conflicts.Load(), engine.LatestVID())
+		case "NEWORDER":
+			w, d, c := argN(fields, 1, 1), argN(fields, 2, 1), argN(fields, 3, 1)
+			a := &tpcc.NewOrderArgs{WID: w, DID: d, CID: c, EntryD: time.Now().UnixNano()}
+			for i := 0; i < 5; i++ {
+				a.Lines = append(a.Lines, tpcc.OrderLineReq{
+					ItemID: 1 + rng.Int63n(int64(db.Scale.Items)), SupplyWID: w, Quantity: 1 + rng.Int63n(10),
+				})
+			}
+			reply(out, engine.Exec(tpcc.ProcNewOrder, a.Encode()))
+		case "PAYMENT":
+			w, d := argN(fields, 1, 1), argN(fields, 2, 1)
+			amt := float64(argN(fields, 3, 100))
+			a := &tpcc.PaymentArgs{WID: w, DID: d, CWID: w, CDID: d,
+				CID: 1 + rng.Int63n(int64(db.Scale.CustomersPerDistrict)), Amount: amt, Date: time.Now().UnixNano()}
+			reply(out, engine.Exec(tpcc.ProcPayment, a.Encode()))
+		case "DELIVERY":
+			a := &tpcc.DeliveryArgs{WID: argN(fields, 1, 1), CarrierID: 1 + rng.Int63n(10), Date: time.Now().UnixNano()}
+			reply(out, engine.Exec(tpcc.ProcDelivery, a.Encode()))
+		case "QUERY":
+			name := "Q10"
+			if len(fields) > 1 {
+				name = strings.ToUpper(fields[1])
+			}
+			res, err := sched.Query(gen.ByName(name))
+			if err != nil || res.Err != nil {
+				fmt.Fprintf(out, "ERR\t%v%v\n", err, res.Err)
+				break
+			}
+			fmt.Fprintf(out, "OK\t%s rows=%d values=%v\n", name, res.Rows, res.Values)
+		default:
+			fmt.Fprintf(out, "ERR\tunknown command %q\n", fields[0])
+		}
+		out.Flush()
+	}
+}
+
+func argN(fields []string, i int, def int64) int64 {
+	if i >= len(fields) {
+		return def
+	}
+	v, err := strconv.ParseInt(fields[i], 10, 64)
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+func reply(out *bufio.Writer, r oltp.Response) {
+	switch {
+	case r.Err == nil:
+		fmt.Fprintf(out, "OK\tvid=%d\n", r.CommitVID)
+	case errors.Is(r.Err, tpcc.ErrRollback):
+		fmt.Fprintln(out, "OK\trollback (unused item)")
+	case errors.Is(r.Err, mvcc.ErrConflict):
+		fmt.Fprintln(out, "RETRY\twrite-write conflict")
+	default:
+		fmt.Fprintf(out, "ERR\t%v\n", r.Err)
+	}
+}

@@ -1,0 +1,85 @@
+// Command chbench runs the CH-benCHmark hybrid workload (TPC-C + the
+// paper's modified TPC-H-style queries) against an embedded BatchDB and
+// prints a run summary — a one-cell version of the Fig. 7 experiment.
+//
+//	chbench -tc 8 -ac 4 -duration 10s -warehouses 4
+//	chbench -tc 8 -ac 4 -distributed        # OLAP replica behind TCP
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"batchdb/internal/benchkit"
+	"batchdb/internal/tpcc"
+)
+
+func main() {
+	var (
+		tc          = flag.Int("tc", 8, "transactional clients")
+		ac          = flag.Int("ac", 4, "analytical clients")
+		dur         = flag.Duration("duration", 10*time.Second, "measurement window")
+		warm        = flag.Duration("warmup", time.Second, "warmup")
+		warehouses  = flag.Int("warehouses", 4, "warehouses (bench scale: ~1/10 spec warehouse each)")
+		oltpWorkers = flag.Int("oltp-workers", 4, "OLTP worker threads")
+		olapWorkers = flag.Int("olap-workers", 4, "OLAP scan workers")
+		distributed = flag.Bool("distributed", false, "place the OLAP replica behind the TCP transport")
+		constant    = flag.Bool("constant-size", true, "keep database size constant (paper Fig. 7 right)")
+		norep       = flag.Bool("norep", false, "disable replication (OLTP only)")
+		seed        = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	r, err := benchkit.RunHybrid(benchkit.HybridOpts{
+		Scale:             tpcc.BenchScale(*warehouses),
+		OLTPWorkers:       *oltpWorkers,
+		OLAPWorkers:       *olapWorkers,
+		Partitions:        *olapWorkers * 2,
+		TxnClients:        *tc,
+		AnalyticalClients: *ac,
+		Duration:          *dur,
+		Warmup:            *warm,
+		Seed:              *seed,
+		ConstantSize:      *constant,
+		Distributed:       *distributed,
+		NoRep:             *norep,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("CH-benCHmark  TC=%d AC=%d  warehouses=%d  %s\n",
+		*tc, *ac, *warehouses, mode(*distributed, *norep))
+	fmt.Println("-- OLTP (TPC-C) --")
+	fmt.Printf("  throughput:            %10.0f txn/s (wall)   %10.0f txn/s (per OLTP-CPU-second, dedicated-resources projection)\n",
+		r.TxnPerSec, r.TxnPerBusySec)
+	fmt.Printf("  latency p50/p90/p99:   %v / %v / %v\n", r.TxnP50, r.TxnP90, r.TxnP99)
+	fmt.Printf("  conflicts (retried):   %d\n", r.Conflicts)
+	if !*norep {
+		fmt.Println("-- OLAP (CH analytical queries) --")
+		fmt.Printf("  throughput:            %10.0f q/min (wall)   %10.0f q/min (per OLAP-CPU-minute, projection)\n",
+			r.QueriesPerMin, r.QueriesPerBusyMin)
+		fmt.Printf("  latency p50/p90/p99:   %v / %v / %v\n", r.QueryP50, r.QueryP90, r.QueryP99)
+		fmt.Printf("  batches / applied upd: %d / %d\n", r.Batches, r.AppliedEntries)
+	}
+	fmt.Printf("-- busy fractions: oltp %.2f, olap %.2f of one host core --\n",
+		r.OLTPBusyFrac, r.OLAPBusyFrac)
+	if r.Transport != nil {
+		fmt.Printf("-- transport: %d eager, %d rendezvous msgs, %d B sent --\n",
+			r.Transport.EagerMsgs.Load(), r.Transport.RendezvousMsgs.Load(), r.Transport.BytesSent.Load())
+	}
+}
+
+func mode(distributed, norep bool) string {
+	switch {
+	case norep:
+		return "(NoRep)"
+	case distributed:
+		return "(distributed replicas over TCP)"
+	default:
+		return "(co-located replicas)"
+	}
+}

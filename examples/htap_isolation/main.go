@@ -1,0 +1,59 @@
+// htap_isolation demonstrates the paper's headline property: running a
+// heavy analytical workload next to TPC-C barely moves transactional
+// throughput, because the two workloads execute on separate replicas
+// and the OLAP replica applies updates only between query batches.
+//
+// The demo measures TPC-C throughput three ways: with no replication,
+// with replication but idle analytics, and with replication plus
+// saturating analytical clients — then prints the degradation.
+//
+//	go run ./examples/htap_isolation
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"batchdb/internal/benchkit"
+	"batchdb/internal/tpcc"
+)
+
+func main() {
+	scale := tpcc.BenchScale(2)
+	const dur = 2 * time.Second
+	const warm = 500 * time.Millisecond
+
+	run := func(name string, opts benchkit.HybridOpts) benchkit.HybridResult {
+		opts.Scale = scale
+		opts.OLTPWorkers = 4
+		opts.OLAPWorkers = 4
+		opts.Partitions = 8
+		opts.Duration = dur
+		opts.Warmup = warm
+		opts.Seed = 7
+		opts.ConstantSize = true
+		r, err := benchkit.RunHybrid(opts)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		return r
+	}
+
+	fmt.Println("TPC-C throughput under increasing analytical pressure (constant-size DB):")
+	noRep := run("norep", benchkit.HybridOpts{TxnClients: 8, NoRep: true})
+	fmt.Printf("  %-34s %8.0f txn/s\n", "no replication (NoRep):", noRep.TxnPerSec)
+
+	repIdle := run("idle", benchkit.HybridOpts{TxnClients: 8})
+	fmt.Printf("  %-34s %8.0f txn/s  (%.0f%% of NoRep)\n",
+		"replication on, analytics idle:", repIdle.TxnPerSec, 100*repIdle.TxnPerSec/noRep.TxnPerSec)
+
+	hybrid := run("hybrid", benchkit.HybridOpts{TxnClients: 8, AnalyticalClients: 8})
+	fmt.Printf("  %-34s %8.0f txn/s  (%.0f%% of NoRep)\n",
+		"replication + 8 analytical clients:", hybrid.TxnPerSec, 100*hybrid.TxnPerSec/noRep.TxnPerSec)
+	fmt.Printf("\nanalytical side during the hybrid run: %.0f queries/min "+
+		"(p99 %.0f ms), %d update entries applied between batches\n",
+		hybrid.QueriesPerMin, float64(hybrid.QueryP99)/1e6, hybrid.AppliedEntries)
+	fmt.Println("\nThe paper's claim (Fig. 7d): propagation costs <=10% and concurrent")
+	fmt.Println("analytics adds almost nothing, because queries never touch the primary.")
+}

@@ -1,0 +1,3 @@
+module batchdb
+
+go 1.22

@@ -1,0 +1,159 @@
+package benchkit
+
+import (
+	"testing"
+	"time"
+
+	"batchdb/internal/baseline"
+	"batchdb/internal/tpcc"
+)
+
+// Short smoke runs: the harness functions must produce sane,
+// self-consistent measurements at tiny scales.
+
+func smallOpts() OLTPOpts {
+	return OLTPOpts{
+		Scale: tpcc.SmallScale(1), Workers: 2, Clients: 4,
+		Duration: 150 * time.Millisecond, Warmup: 50 * time.Millisecond, Seed: 1,
+	}
+}
+
+func TestRunOLTPSmoke(t *testing.T) {
+	res, err := RunOLTP(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 || res.Committed == 0 {
+		t.Fatalf("no progress: %+v", res)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 {
+		t.Fatalf("implausible latencies: %+v", res)
+	}
+}
+
+func TestRunPropagationSmoke(t *testing.T) {
+	results, err := RunPropagation(PropagationOpts{
+		Scale: tpcc.SmallScale(1), Workers: 2, Clients: 4,
+		Duration: 150 * time.Millisecond, Seed: 2, Partitions: 4,
+		Cores: []int{1, 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("variants = %d, want 4 (row/col x field/whole)", len(results))
+	}
+	for _, r := range results {
+		if r.Entries == 0 || r.Txns == 0 {
+			t.Fatalf("%s: empty stream", r.Variant)
+		}
+		if r.MeasuredPtup <= 0 {
+			t.Fatalf("%s: no rate", r.Variant)
+		}
+		r1 := r.RateAtCores[1][0]
+		r10 := r.RateAtCores[10][0]
+		if r10 < r1 {
+			t.Fatalf("%s: projection not monotone (%f -> %f)", r.Variant, r1, r10)
+		}
+		if !r.Variant.ColumnStore && r.PerTable == nil {
+			t.Fatalf("%s: missing per-table stats", r.Variant)
+		}
+	}
+	// The paper's Fig. 6 headline: update propagation power exceeds the
+	// OLTP generation rate by a wide margin; at tiny scale we at least
+	// require field-specific row apply to beat 1 txn per CPU-second by
+	// a lot.
+	for _, r := range results {
+		if r.Variant.FieldSpecific && !r.Variant.ColumnStore && r.MeasuredPtxn < 100 {
+			t.Fatalf("row/field apply rate implausibly low: %f txn/s", r.MeasuredPtxn)
+		}
+	}
+}
+
+func TestRunHybridSmoke(t *testing.T) {
+	res, err := RunHybrid(HybridOpts{
+		Scale: tpcc.SmallScale(1), OLTPWorkers: 2, OLAPWorkers: 2, Partitions: 2,
+		TxnClients: 2, AnalyticalClients: 2,
+		Duration: 200 * time.Millisecond, Warmup: 50 * time.Millisecond, Seed: 3,
+		ConstantSize: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TxnPerSec <= 0 {
+		t.Fatalf("no OLTP progress: %+v", res)
+	}
+	if res.QueriesPerMin <= 0 {
+		t.Fatalf("no OLAP progress: %+v", res)
+	}
+}
+
+func TestRunHybridDistributedSmoke(t *testing.T) {
+	res, err := RunHybrid(HybridOpts{
+		Scale: tpcc.SmallScale(1), OLTPWorkers: 2, OLAPWorkers: 2, Partitions: 2,
+		TxnClients: 2, AnalyticalClients: 1,
+		Duration: 200 * time.Millisecond, Warmup: 50 * time.Millisecond, Seed: 4,
+		Distributed: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TxnPerSec <= 0 || res.QueriesPerMin <= 0 {
+		t.Fatalf("no progress: %+v", res)
+	}
+	if res.Transport == nil || res.Transport.BytesSent.Load() == 0 {
+		t.Fatal("distributed run moved no bytes over the transport")
+	}
+}
+
+func TestRunHybridNoRep(t *testing.T) {
+	res, err := RunHybrid(HybridOpts{
+		Scale: tpcc.SmallScale(1), OLTPWorkers: 2,
+		TxnClients: 2, Duration: 150 * time.Millisecond, Seed: 5, NoRep: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TxnPerSec <= 0 {
+		t.Fatal("NoRep run made no progress")
+	}
+	if _, err := RunHybrid(HybridOpts{NoRep: true, AnalyticalClients: 1}); err == nil {
+		t.Fatal("NoRep with analytical clients accepted")
+	}
+}
+
+func TestRunBaselineSmoke(t *testing.T) {
+	for _, p := range []baseline.Policy{baseline.FairShared, baseline.OLTPPriority} {
+		res, err := RunBaseline(BaselineOpts{
+			Scale: tpcc.SmallScale(1), Policy: p, Workers: 2,
+			TxnClients: 2, AnalyticalClients: 1,
+			Duration: 150 * time.Millisecond, Warmup: 30 * time.Millisecond, Seed: 6,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if res.TxnPerSec <= 0 {
+			t.Fatalf("%v: no txn progress", p)
+		}
+	}
+}
+
+func TestRunInterferenceSmoke(t *testing.T) {
+	res, err := RunInterference(InterferenceOpts{
+		Scale: tpcc.SmallScale(1), Workers: 2, Clients: 2,
+		Duration: 150 * time.Millisecond, Warmup: 30 * time.Millisecond, Seed: 7,
+		ScanThreads: 1, ScanBytes: 8 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaselineTPS <= 0 {
+		t.Fatal("no baseline throughput")
+	}
+	if res.ProjectedColocated >= res.BaselineTPS {
+		t.Fatalf("projected co-located must degrade: %+v", res)
+	}
+	if res.ProjectedRemote != res.BaselineTPS {
+		t.Fatalf("projected remote must not degrade: %+v", res)
+	}
+}

@@ -1,0 +1,213 @@
+package benchkit
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"batchdb/internal/baseline"
+	"batchdb/internal/chbench"
+	"batchdb/internal/metrics"
+	"batchdb/internal/mvcc"
+	"batchdb/internal/resmodel"
+	"batchdb/internal/tpcc"
+)
+
+// BaselineOpts parameterizes a hybrid run against one of the shared
+// single-replica baseline engines (paper §8.5, Fig. 8).
+type BaselineOpts struct {
+	Scale             tpcc.Scale
+	Policy            baseline.Policy
+	Workers           int
+	TxnClients        int
+	AnalyticalClients int
+	Duration          time.Duration
+	Warmup            time.Duration
+	Seed              int64
+}
+
+// BaselineResult reports one (TC, AC) cell for a baseline engine.
+type BaselineResult struct {
+	TxnPerSec     float64
+	QueriesPerMin float64
+}
+
+// RunBaseline executes one hybrid cell on a shared-engine baseline.
+func RunBaseline(o BaselineOpts) (BaselineResult, error) {
+	db := tpcc.NewDB(o.Scale)
+	if err := tpcc.Generate(db, o.Seed); err != nil {
+		return BaselineResult{}, err
+	}
+	e := baseline.New(db, o.Workers, o.Policy)
+	defer e.Close()
+
+	var txnCount, qryCount metrics.Counter
+	var failure error
+	var failOnce sync.Once
+	stop := make(chan struct{})
+	measuring := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for c := 0; c < o.TxnClients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			drv := tpcc.NewDriver(db.Scale, seed)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				proc, args := drv.Next()
+				r := e.ExecTxn(proc, args)
+				switch {
+				case r.Err == nil, errors.Is(r.Err, tpcc.ErrRollback):
+					select {
+					case <-measuring:
+						txnCount.Inc()
+					default:
+					}
+				case errors.Is(r.Err, mvcc.ErrConflict):
+				default:
+					failOnce.Do(func() { failure = r.Err })
+					return
+				}
+			}
+		}(o.Seed + int64(c) + 1)
+	}
+	for c := 0; c < o.AnalyticalClients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			gen := chbench.NewGen(db.Schemas, seed)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res := e.Query(gen.Next())
+				if res.Err != nil {
+					return // engine closed
+				}
+				select {
+				case <-measuring:
+					qryCount.Inc()
+				default:
+				}
+			}
+		}(o.Seed + 10000 + int64(c))
+	}
+	time.Sleep(o.Warmup)
+	close(measuring)
+	t0 := time.Now()
+	time.Sleep(o.Duration)
+	elapsed := time.Since(t0)
+	close(stop)
+	wg.Wait()
+	if failure != nil {
+		return BaselineResult{}, failure
+	}
+	return BaselineResult{
+		TxnPerSec:     float64(txnCount.Load()) / elapsed.Seconds(),
+		QueriesPerMin: float64(qryCount.Load()) / elapsed.Minutes(),
+	}, nil
+}
+
+// InterferenceOpts parameterizes the implicit-resource-sharing
+// experiment (paper §8.6, Fig. 9): OLTP co-located with an independent
+// bandwidth-intensive scan.
+type InterferenceOpts struct {
+	Scale    tpcc.Scale
+	Workers  int
+	Clients  int
+	Duration time.Duration
+	Warmup   time.Duration
+	Seed     int64
+	// ScanThreads is the number of scan goroutines (paper: 5 cores).
+	ScanThreads int
+	// ScanBytes sizes the scanned array (paper: larger than LLC).
+	ScanBytes int
+}
+
+// InterferenceResult reports Fig. 9's three bars. MeasuredColocated
+// comes from actually running scan goroutines next to the engine on
+// this host (on a single-core host this mixes CPU time-sharing with
+// cache pollution); the Projected values apply the proportional
+// memory-bandwidth model of internal/resmodel to the paper's testbed
+// (co-located: OLTP and scan saturate one socket's controller -> 0.5;
+// remote NUMA node: no shared controller -> 1.0).
+type InterferenceResult struct {
+	BaselineTPS        float64
+	MeasuredColocated  float64
+	ProjectedColocated float64
+	ProjectedRemote    float64
+}
+
+// RunInterference measures the three scenarios of Fig. 9.
+func RunInterference(o InterferenceOpts) (InterferenceResult, error) {
+	if o.ScanBytes <= 0 {
+		o.ScanBytes = 64 << 20
+	}
+	if o.ScanThreads <= 0 {
+		o.ScanThreads = 2
+	}
+	base, err := RunOLTP(OLTPOpts{
+		Scale: o.Scale, Workers: o.Workers, Clients: o.Clients,
+		Duration: o.Duration, Warmup: o.Warmup, Seed: o.Seed,
+	})
+	if err != nil {
+		return InterferenceResult{}, err
+	}
+
+	// Co-located: independent bandwidth-intensive scans over a separate
+	// dataset in the same process (paper: separate process, same NUMA
+	// node — the shared resource is the memory subsystem either way).
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	data := make([]int64, o.ScanBytes/8)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	var blackhole int64
+	for s := 0; s < o.ScanThreads; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sum int64
+			for {
+				select {
+				case <-stop:
+					blackhole += sum
+					return
+				default:
+				}
+				for i := 0; i < len(data); i += 8 {
+					sum += data[i]
+				}
+			}
+		}()
+	}
+	col, err := RunOLTP(OLTPOpts{
+		Scale: o.Scale, Workers: o.Workers, Clients: o.Clients,
+		Duration: o.Duration, Warmup: o.Warmup, Seed: o.Seed,
+	})
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		return InterferenceResult{}, err
+	}
+
+	// Model projection for the paper's testbed: a bandwidth-saturating
+	// scan sharing the OLTP socket's memory controller halves OLTP
+	// throughput; on a remote socket it contributes no demand.
+	colFactor := resmodel.ThroughputFactor(1.0, 1.0, 1.0)
+	remFactor := resmodel.ThroughputFactor(1.0, 1.0)
+	return InterferenceResult{
+		BaselineTPS:        base.Throughput,
+		MeasuredColocated:  col.Throughput,
+		ProjectedColocated: base.Throughput * colFactor,
+		ProjectedRemote:    base.Throughput * remFactor,
+	}, nil
+}

@@ -1,0 +1,159 @@
+// Package benchkit contains the measurement harnesses that regenerate
+// every table and figure of the paper's evaluation (§8). The same
+// functions back the cmd/batchdb-bench CLI and the root testing.B
+// benchmarks; durations and scales shrink for unit-test use.
+//
+// Scale note: the paper's testbed is a 40-core 4-socket machine with
+// 100-200 warehouses and up to 2000 clients. This reproduction runs at
+// laptop scale (configurable warehouses, tens of clients); shapes,
+// ratios and crossovers are the reproduction target, not absolute
+// numbers. Where a figure depends on hardware this machine lacks
+// (core counts, NUMA), measured values are combined with the documented
+// model in internal/resmodel and clearly labelled "projected".
+package benchkit
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"batchdb/internal/metrics"
+	"batchdb/internal/mvcc"
+	"batchdb/internal/oltp"
+	"batchdb/internal/tpcc"
+)
+
+// OLTPOpts parameterizes a standalone TPC-C run (paper Fig. 5).
+type OLTPOpts struct {
+	Scale    tpcc.Scale
+	Workers  int
+	Clients  int
+	Duration time.Duration
+	Warmup   time.Duration
+	Seed     int64
+	// ConstantSize makes New-Order trim old orders (Fig. 7 right).
+	ConstantSize bool
+	// Sink, when non-nil, receives propagated updates (replication on).
+	Sink oltp.UpdateSink
+	// FieldSpecific selects sub-tuple update extraction.
+	FieldSpecific bool
+	// Mix restricts the workload to New-Order only when set.
+	NewOrderOnly bool
+}
+
+// OLTPResult reports a standalone TPC-C run.
+type OLTPResult struct {
+	Throughput         float64 // committed txns/second (incl. spec rollbacks)
+	Committed          uint64
+	Conflicts          uint64
+	P50, P90, P99, Max time.Duration
+	Elapsed            time.Duration
+	BusyFrac           float64 // worker busy time / elapsed (single host core)
+}
+
+// RunOLTP loads a fresh TPC-C database and drives it with closed-loop
+// clients for the configured duration.
+func RunOLTP(o OLTPOpts) (OLTPResult, error) {
+	db := tpcc.NewDB(o.Scale)
+	if err := tpcc.Generate(db, o.Seed); err != nil {
+		return OLTPResult{}, err
+	}
+	e, err := newEngineFor(db, o)
+	if err != nil {
+		return OLTPResult{}, err
+	}
+	e.Start()
+	defer e.Close()
+	return driveOLTP(e, db, o)
+}
+
+// newEngineFor builds an engine for a loaded database per the options.
+func newEngineFor(db *tpcc.DB, o OLTPOpts) (*oltp.Engine, error) {
+	e, err := oltp.New(db.Store, oltp.Config{
+		Workers:       o.Workers,
+		Replicated:    tpcc.ReplicatedTables(),
+		FieldSpecific: o.FieldSpecific,
+		PushPeriod:    200 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tpcc.RegisterProcs(e, db, o.ConstantSize)
+	if o.Sink != nil {
+		e.SetSink(o.Sink)
+	}
+	return e, nil
+}
+
+// driveOLTP runs the client loop against an already-started engine.
+func driveOLTP(e *oltp.Engine, db *tpcc.DB, o OLTPOpts) (OLTPResult, error) {
+	var hist metrics.Histogram
+	var committed, conflicts metrics.Counter
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var failure error
+	var failOnce sync.Once
+
+	measuring := make(chan struct{}) // closed when warmup ends
+	for c := 0; c < o.Clients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			drv := tpcc.NewDriver(db.Scale, seed)
+			drv.NewOrderOnly = o.NewOrderOnly
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				proc, args := drv.Next()
+				start := time.Now()
+				r := e.Exec(proc, args)
+				switch {
+				case r.Err == nil, errors.Is(r.Err, tpcc.ErrRollback):
+					select {
+					case <-measuring:
+						hist.RecordSince(start)
+						committed.Inc()
+					default:
+					}
+				case errors.Is(r.Err, mvcc.ErrConflict):
+					select {
+					case <-measuring:
+						conflicts.Inc()
+					default:
+					}
+				case errors.Is(r.Err, oltp.ErrClosed):
+					return
+				default:
+					failOnce.Do(func() { failure = r.Err })
+					return
+				}
+			}
+		}(o.Seed + int64(c) + 1)
+	}
+	time.Sleep(o.Warmup)
+	busy0 := e.Stats().Busy.Busy()
+	t0 := time.Now()
+	close(measuring)
+	time.Sleep(o.Duration)
+	elapsed := time.Since(t0)
+	close(stop)
+	wg.Wait()
+	if failure != nil {
+		return OLTPResult{}, failure
+	}
+	busy := e.Stats().Busy.Busy() - busy0
+	return OLTPResult{
+		Throughput: float64(committed.Load()) / elapsed.Seconds(),
+		Committed:  committed.Load(),
+		Conflicts:  conflicts.Load(),
+		P50:        time.Duration(hist.Percentile(50)),
+		P90:        time.Duration(hist.Percentile(90)),
+		P99:        time.Duration(hist.Percentile(99)),
+		Max:        time.Duration(hist.Max()),
+		Elapsed:    elapsed,
+		BusyFrac:   busy.Seconds() / elapsed.Seconds(),
+	}, nil
+}

@@ -1,0 +1,343 @@
+package benchkit
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"batchdb/internal/chbench"
+	"batchdb/internal/colstore"
+	"batchdb/internal/mvcc"
+	"batchdb/internal/olap"
+	"batchdb/internal/proplog"
+	"batchdb/internal/resmodel"
+	"batchdb/internal/storage"
+	"batchdb/internal/tpcc"
+)
+
+// PropagationOpts parameterizes the update-propagation microbenchmark
+// (paper §8.3, Fig. 6 and Table 1).
+type PropagationOpts struct {
+	Scale      tpcc.Scale
+	Workers    int
+	Clients    int
+	Duration   time.Duration
+	Seed       int64
+	Partitions int
+	// Cores lists the OLAP core counts to project rates for (Fig. 6's
+	// x-axis). Defaults to 1..40 in paper steps.
+	Cores []int
+}
+
+// PropagationVariant names one curve of Fig. 6.
+type PropagationVariant struct {
+	ColumnStore   bool
+	FieldSpecific bool
+}
+
+func (v PropagationVariant) String() string {
+	s := "row"
+	if v.ColumnStore {
+		s = "column"
+	}
+	if v.FieldSpecific {
+		return s + "/field-specific"
+	}
+	return s + "/whole-tuple"
+}
+
+// PropagationResult reports one variant's apply measurements.
+type PropagationResult struct {
+	Variant PropagationVariant
+	// Entries is the number of applied physical update-log entries
+	// (field patches count individually).
+	Entries int
+	// Tuples is the number of inserted/updated/deleted tuples — the
+	// paper's #Tup of eq. 1 (a multi-field update counts once).
+	Tuples int
+	// Txns is the number of committed update transactions (#Txn, eq. 2).
+	Txns uint64
+	// Step1/2/3 are CPU times (step 3 summed over partition workers).
+	Step1, Step2, Step3 time.Duration
+	// PerTable breaks the row-store apply down by relation (Table 1).
+	PerTable map[storage.TableID]*olap.TableApplyStats
+	// RateAtCores maps a projected OLAP core count to (Ptup, Ptxn):
+	// measured single-core work combined with the Amdahl model of
+	// internal/resmodel (step 1 serial, steps 2-3 parallel).
+	RateAtCores map[int][2]float64
+	// MeasuredPtup and MeasuredPtxn are the raw host measurements
+	// (no projection): entries / CPU-time and txns / CPU-time.
+	MeasuredPtup, MeasuredPtxn float64
+}
+
+// captureSink records pushed batches grouped by (worker, table).
+type captureSink struct {
+	mu      sync.Mutex
+	batches []proplog.Batch
+	upTo    uint64
+}
+
+func (c *captureSink) ApplyUpdates(batches []proplog.Batch, upTo uint64) {
+	c.mu.Lock()
+	// Copy the entry slices (entry Data aliases immutable MVCC record
+	// images, which the Go GC keeps alive for us).
+	for _, b := range batches {
+		nb := proplog.Batch{Worker: b.Worker}
+		for _, tb := range b.Tables {
+			ntb := proplog.TableBatch{Table: tb.Table}
+			ntb.Entries = append([]proplog.Entry(nil), tb.Entries...)
+			nb.Tables = append(nb.Tables, ntb)
+		}
+		c.batches = append(c.batches, nb)
+	}
+	if upTo > c.upTo {
+		c.upTo = upTo
+	}
+	c.mu.Unlock()
+}
+
+// RunPropagation generates a TPC-C update stream once per granularity
+// and measures applying it to a row-store replica and a column-store
+// replica.
+func RunPropagation(o PropagationOpts) ([]PropagationResult, error) {
+	if len(o.Cores) == 0 {
+		o.Cores = []int{1, 2, 5, 10, 20, 30, 40}
+	}
+	var out []PropagationResult
+	for _, field := range []bool{true, false} {
+		db := tpcc.NewDB(o.Scale)
+		if err := tpcc.Generate(db, o.Seed); err != nil {
+			return nil, err
+		}
+		// Bootstrap both replicas from the same initial state, plus
+		// scratch copies used for an unmeasured warmup apply (the first
+		// pass over a fresh replica pays page faults and allocator
+		// growth that would distort the variant comparison).
+		rowRep, err := chbench.NewReplica(db, o.Partitions)
+		if err != nil {
+			return nil, err
+		}
+		rowWarm, err := chbench.NewReplica(db, o.Partitions)
+		if err != nil {
+			return nil, err
+		}
+		colRep := newColReplica(db, o.Partitions)
+		colWarm := newColReplica(db, o.Partitions)
+
+		sink := &captureSink{}
+		res, err := func() (OLTPResult, error) {
+			return RunOLTPOn(db, OLTPOpts{
+				Scale: o.Scale, Workers: o.Workers, Clients: o.Clients,
+				Duration: o.Duration, Seed: o.Seed + 1000,
+				FieldSpecific: field, Sink: sink, NewOrderOnly: false,
+			})
+		}()
+		if err != nil {
+			return nil, err
+		}
+
+		entries := 0
+		for _, b := range sink.batches {
+			for _, tb := range b.Tables {
+				entries += len(tb.Entries)
+			}
+		}
+
+		// Warmup applies (unmeasured).
+		rowWarm.ApplyUpdates(sink.batches, sink.upTo)
+		if _, err := rowWarm.ApplyPending(sink.upTo); err != nil {
+			return nil, fmt.Errorf("row warmup apply (%v): %w", field, err)
+		}
+		if _, _, _, _, _, err := colWarm.apply(sink.batches); err != nil {
+			return nil, fmt.Errorf("column warmup apply (%v): %w", field, err)
+		}
+
+		// Row store: the replica's own 3-step apply, instrumented.
+		rowRep.ApplyUpdates(sink.batches, sink.upTo)
+		st, err := rowRep.ApplyPending(sink.upTo)
+		if err != nil {
+			return nil, fmt.Errorf("row apply (%v): %w", field, err)
+		}
+		rowTuples := 0
+		for _, ts := range st.PerTable {
+			rowTuples += ts.Inserted + ts.Updated + ts.Deleted
+		}
+		out = append(out, buildResult(PropagationVariant{ColumnStore: false, FieldSpecific: field},
+			st.Entries, rowTuples, res.Committed, st.Step1, st.Step2, st.Step3, st.PerTable, o.Cores))
+
+		// Column store: same algorithm against colstore partitions.
+		s1, s2, s3, n, colTuples, err := colRep.apply(sink.batches)
+		if err != nil {
+			return nil, fmt.Errorf("column apply (%v): %w", field, err)
+		}
+		out = append(out, buildResult(PropagationVariant{ColumnStore: true, FieldSpecific: field},
+			n, colTuples, res.Committed, s1, s2, s3, nil, o.Cores))
+	}
+	return out, nil
+}
+
+func buildResult(v PropagationVariant, entries, tuples int, txns uint64,
+	s1, s2, s3 time.Duration, perTable map[storage.TableID]*olap.TableApplyStats,
+	cores []int) PropagationResult {
+
+	r := PropagationResult{
+		Variant: v, Entries: entries, Tuples: tuples, Txns: txns,
+		Step1: s1, Step2: s2, Step3: s3,
+		PerTable:    perTable,
+		RateAtCores: make(map[int][2]float64),
+	}
+	total := (s1 + s2 + s3).Seconds()
+	if total > 0 {
+		r.MeasuredPtup = float64(tuples) / total
+		r.MeasuredPtxn = float64(txns) / total
+	}
+	for _, k := range cores {
+		ptup := resmodel.ProjectRate(s1, s2+s3, tuples, k)
+		ptxn := resmodel.ProjectRate(s1, s2+s3, int(txns), k)
+		r.RateAtCores[k] = [2]float64{ptup, ptxn}
+	}
+	return r
+}
+
+// RunOLTPOn drives an already-generated database (so the caller can
+// pre-bootstrap replicas from the same initial state).
+func RunOLTPOn(db *tpcc.DB, o OLTPOpts) (OLTPResult, error) {
+	e, err := newEngineFor(db, o)
+	if err != nil {
+		return OLTPResult{}, err
+	}
+	e.Start()
+	defer e.Close()
+	return driveOLTP(e, db, o)
+}
+
+// --- column-store replica ------------------------------------------------
+
+// colReplica mirrors the OLAP replica's partitioning over colstore
+// partitions for the §8.3 microbenchmark.
+type colReplica struct {
+	tables map[storage.TableID][]*colstore.Partition
+}
+
+func newColReplica(db *tpcc.DB, parts int) *colReplica {
+	c := &colReplica{tables: make(map[storage.TableID][]*colstore.Partition)}
+	ro := db.Store.BeginRO()
+	defer ro.Release()
+	for _, id := range chbench.Tables() {
+		tbl := db.TableByID(id)
+		ps := make([]*colstore.Partition, parts)
+		for i := range ps {
+			ps[i] = colstore.NewPartition(tbl.Schema, 1024)
+		}
+		c.tables[id] = ps
+		tbl.ScanChains(func(ch *mvcc.Chain) bool {
+			rec := ro.ReadChain(ch)
+			if rec == nil {
+				return true
+			}
+			p := ps[partitionOf(rec.RowID, len(ps))]
+			p.Insert(rec.RowID, rec.Data)
+			return true
+		})
+	}
+	return c
+}
+
+func partitionOf(rowID uint64, parts int) int {
+	return int((rowID * 0x9E3779B97F4A7C15) % uint64(parts))
+}
+
+// apply runs the 3-step algorithm over the column partitions and
+// returns per-step CPU times, the entry count, and the tuple count
+// (coalescing per-tuple patch runs, which is what Ptup measures).
+func (c *colReplica) apply(batches []proplog.Batch) (s1, s2, s3 time.Duration, n, tuples int, err error) {
+	// Group per (table, worker).
+	perTable := make(map[storage.TableID]map[int][]proplog.Entry)
+	for _, b := range batches {
+		for _, tb := range b.Tables {
+			m := perTable[tb.Table]
+			if m == nil {
+				m = make(map[int][]proplog.Entry)
+				perTable[tb.Table] = m
+			}
+			m[b.Worker] = append(m[b.Worker], tb.Entries...)
+		}
+	}
+	for id, byWorker := range perTable {
+		ps := c.tables[id]
+		if ps == nil {
+			return s1, s2, s3, n, tuples, fmt.Errorf("benchkit: column apply to unknown table %d", id)
+		}
+		streams := make([][]proplog.Entry, 0, len(byWorker))
+		for _, s := range byWorker {
+			streams = append(streams, s)
+		}
+		t0 := time.Now()
+		merged := olap.MergeWorkerStreams(streams)
+		s1 += time.Since(t0)
+		n += len(merged)
+
+		t0 = time.Now()
+		perPart := make([][]proplog.Entry, len(ps))
+		for _, e := range merged {
+			pi := partitionOf(e.RowID, len(ps))
+			perPart[pi] = append(perPart[pi], e)
+		}
+		s2 += time.Since(t0)
+
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for pi, entries := range perPart {
+			if len(entries) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(p *colstore.Partition, entries []proplog.Entry) {
+				defer wg.Done()
+				t := time.Now()
+				var aerr error
+				tuplesHere := 0
+				for i := 0; i < len(entries); i++ {
+					e := &entries[i]
+					switch e.Kind {
+					case proplog.Insert:
+						aerr = p.Insert(e.RowID, e.Data)
+						tuplesHere++
+					case proplog.Update:
+						slot, ok := p.Locate(e.RowID)
+						if !ok {
+							aerr = fmt.Errorf("benchkit: update of unknown RowID %d", e.RowID)
+							break
+						}
+						aerr = p.PatchSlot(slot, e.Offset, e.Data)
+						for aerr == nil && i+1 < len(entries) && entries[i+1].Kind == proplog.Update &&
+							entries[i+1].RowID == e.RowID && entries[i+1].VID == e.VID {
+							i++
+							aerr = p.PatchSlot(slot, entries[i].Offset, entries[i].Data)
+						}
+						tuplesHere++
+					case proplog.Delete:
+						aerr = p.Delete(e.RowID)
+						tuplesHere++
+					}
+					if aerr != nil {
+						break
+					}
+				}
+				d := time.Since(t)
+				mu.Lock()
+				s3 += d
+				tuples += tuplesHere
+				if aerr != nil && err == nil {
+					err = aerr
+				}
+				mu.Unlock()
+			}(ps[pi], entries)
+		}
+		wg.Wait()
+		if err != nil {
+			return s1, s2, s3, n, tuples, err
+		}
+	}
+	return s1, s2, s3, n, tuples, nil
+}

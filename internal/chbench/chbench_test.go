@@ -1,0 +1,233 @@
+package chbench
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"batchdb/internal/mvcc"
+	"batchdb/internal/olap"
+	"batchdb/internal/olap/exec"
+	"batchdb/internal/oltp"
+	"batchdb/internal/tpcc"
+)
+
+func fixture(t *testing.T) (*tpcc.DB, *olap.Replica, *exec.Engine) {
+	t.Helper()
+	db := tpcc.NewDB(tpcc.SmallScale(2))
+	if err := tpcc.Generate(db, 21); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewReplica(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, rep, exec.NewEngine(rep, 2)
+}
+
+func TestReplicaBootstrapCounts(t *testing.T) {
+	db, rep, _ := fixture(t)
+	sc := db.Scale
+	if got := rep.Table(tpcc.TStock).Live(); got != sc.Warehouses*sc.Items {
+		t.Errorf("stock rows = %d", got)
+	}
+	if got := rep.Table(tpcc.TOrder).Live(); got != sc.Warehouses*sc.DistrictsPerWarehouse*sc.InitialOrdersPerDistrict {
+		t.Errorf("order rows = %d", got)
+	}
+	if got := rep.Table(tpcc.TNation).Live(); got != tpcc.NumNations {
+		t.Errorf("nation rows = %d", got)
+	}
+}
+
+// Every query must execute without error and produce a finite result;
+// scan-heavy queries must see plausible row counts.
+func TestAllQueriesRun(t *testing.T) {
+	_, _, eng := fixture(t)
+	g := NewGen(tpcc.NewSchemas(), 3)
+	for _, name := range QueryNames {
+		q := g.ByName(name)
+		res := eng.RunBatch([]*exec.Query{q}, 0)
+		if res[0].Err != nil {
+			t.Errorf("%s: %v", name, res[0].Err)
+			continue
+		}
+		for i, v := range res[0].Values {
+			if v != v || v < 0 {
+				t.Errorf("%s agg %d = %f", name, i, v)
+			}
+		}
+	}
+}
+
+// Q10 (pure scan, date filter over everything) must equal a hand
+// computation over the replica.
+func TestQ10MatchesHandComputation(t *testing.T) {
+	db, rep, eng := fixture(t)
+	g := NewGen(db.Schemas, 5)
+	q := g.ByName("Q10")
+	res := eng.RunBatch([]*exec.Query{q}, 0)
+	if res[0].Err != nil {
+		t.Fatal(res[0].Err)
+	}
+	// Recompute with the same predicate.
+	var want float64
+	ols := db.Schemas.OrderLine
+	for _, p := range rep.Table(tpcc.TOrderLine).Partitions {
+		p.Scan(func(_ uint64, tup []byte) bool {
+			if q.DriverPred(tup) {
+				want += ols.GetFloat64(tup, tpcc.OLAmount)
+			}
+			return true
+		})
+	}
+	if d := res[0].Values[0] - want; d > 1e-3 || d < -1e-3 {
+		t.Fatalf("Q10 = %f, want %f", res[0].Values[0], want)
+	}
+	if res[0].Rows == 0 {
+		t.Fatal("Q10 matched no rows; date domain broken")
+	}
+}
+
+// Q3's nation filter must partition the total: summing over all nations
+// equals the unfiltered join total.
+func TestQ3PartitionsByNation(t *testing.T) {
+	db, rep, eng := fixture(t)
+	g := NewGen(db.Schemas, 5)
+	// Unfiltered total: order lines joined to orders and customer
+	// (every line has both).
+	total := 0.0
+	ols := db.Schemas.OrderLine
+	for _, p := range rep.Table(tpcc.TOrderLine).Partitions {
+		p.Scan(func(_ uint64, tup []byte) bool {
+			total += ols.GetFloat64(tup, tpcc.OLAmount)
+			return true
+		})
+	}
+	var sum float64
+	var queries []*exec.Query
+	for n := 0; n < tpcc.NumNations; n++ {
+		q := g.ByName("Q3")
+		// Rebind the nation predicate deterministically.
+		nName := nationName(n)
+		ns := db.Schemas.Nation
+		q.Probes[2].Pred = func(t []byte) bool { return ns.GetString(t, tpcc.NName) == nName }
+		queries = append(queries, q)
+	}
+	results := eng.RunBatch(queries, 0)
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		sum += r.Values[0]
+	}
+	if diff := sum - total; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("sum over nations %f != total %f", sum, total)
+	}
+}
+
+func nationName(n int) string {
+	g := tpcc.NewSchemas()
+	_ = g
+	if n < 10 {
+		return "NATION_0" + string(rune('0'+n))
+	}
+	return "NATION_" + string(rune('0'+n/10)) + string(rune('0'+n%10))
+}
+
+// End to end: hybrid pipeline — TPC-C updates flow to the replica and
+// change analytical results.
+func TestHybridFreshness(t *testing.T) {
+	db, rep, eng := fixture(t)
+	e, err := oltp.New(db.Store, oltp.Config{
+		Workers: 2, PushPeriod: time.Hour,
+		Replicated:    tpcc.ReplicatedTables(),
+		FieldSpecific: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpcc.RegisterProcs(e, db, false)
+	e.SetSink(rep)
+	e.Start()
+	defer e.Close()
+
+	g := NewGen(db.Schemas, 9)
+	q := g.ByName("Q10")
+	before := eng.RunBatch([]*exec.Query{q}, 0)[0]
+
+	// Push new orders through and deliver them so Q10's delivery-date
+	// filter sees them.
+	drv := tpcc.NewDriver(db.Scale, 17)
+	for i := 0; i < 50; i++ {
+		a := drv.NewOrder()
+		for {
+			r := e.Exec(tpcc.ProcNewOrder, a.Encode())
+			if r.Err == nil || errors.Is(r.Err, tpcc.ErrRollback) {
+				break
+			}
+			if !errors.Is(r.Err, mvcc.ErrConflict) {
+				t.Fatal(r.Err)
+			}
+		}
+	}
+	for w := int64(1); w <= int64(db.Scale.Warehouses); w++ {
+		for i := 0; i < 30; i++ {
+			d := &tpcc.DeliveryArgs{WID: w, CarrierID: 1, Date: time.Now().UnixNano()}
+			r := e.Exec(tpcc.ProcDelivery, d.Encode())
+			if r.Err != nil && !errors.Is(r.Err, mvcc.ErrConflict) {
+				t.Fatal(r.Err)
+			}
+		}
+	}
+	covered := e.SyncUpdates()
+	if _, err := rep.ApplyPending(covered); err != nil {
+		t.Fatal(err)
+	}
+	after := eng.RunBatch([]*exec.Query{q}, 0)[0]
+	if after.Values[0] <= before.Values[0] {
+		t.Fatalf("Q10 did not grow with fresh deliveries: %f -> %f", before.Values[0], after.Values[0])
+	}
+}
+
+// Full-stack scheduler test: analytical queries via the OLAP dispatcher
+// against a live OLTP feed.
+func TestSchedulerEndToEnd(t *testing.T) {
+	db, rep, eng := fixture(t)
+	e, err := oltp.New(db.Store, oltp.Config{
+		Workers: 2, PushPeriod: 50 * time.Millisecond,
+		Replicated: tpcc.ReplicatedTables(), FieldSpecific: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpcc.RegisterProcs(e, db, false)
+	e.SetSink(rep)
+	e.Start()
+	defer e.Close()
+
+	sched := olap.NewScheduler(rep, e, eng.RunBatch)
+	sched.Start()
+	defer sched.Close()
+
+	g := NewGen(db.Schemas, 33)
+	drv := tpcc.NewDriver(db.Scale, 44)
+	for i := 0; i < 100; i++ {
+		proc, args := drv.Next()
+		r := e.Exec(proc, args)
+		if r.Err != nil && !errors.Is(r.Err, tpcc.ErrRollback) && !errors.Is(r.Err, mvcc.ErrConflict) {
+			t.Fatal(r.Err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		res, err := sched.Query(g.Next())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err != nil {
+			t.Fatalf("%s: %v", res.Query.Name, res.Err)
+		}
+	}
+	if rep.AppliedVID() == 0 {
+		t.Fatal("scheduler never applied updates")
+	}
+}

@@ -1,0 +1,199 @@
+package colstore
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"batchdb/internal/storage"
+)
+
+func wideSchema() *storage.Schema {
+	return storage.NewSchema(1, "wide", []storage.Column{
+		{Name: "id", Type: storage.Int64},
+		{Name: "a", Type: storage.Int32},
+		{Name: "b", Type: storage.Float64},
+		{Name: "name", Type: storage.String, Size: 12},
+		{Name: "c", Type: storage.Int64},
+	}, []int{0})
+}
+
+func sampleTuple(s *storage.Schema, id int64) []byte {
+	tup := s.NewTuple()
+	s.PutInt64(tup, 0, id)
+	s.PutInt32(tup, 1, int32(id*2))
+	s.PutFloat64(tup, 2, float64(id)*1.5)
+	s.PutString(tup, 3, "row")
+	s.PutInt64(tup, 4, id*100)
+	return tup
+}
+
+func TestInsertGetRoundTrip(t *testing.T) {
+	s := wideSchema()
+	p := NewPartition(s, 8)
+	for i := int64(1); i <= 20; i++ {
+		if err := p.Insert(uint64(i), sampleTuple(s, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(1); i <= 20; i++ {
+		got, ok := p.Get(uint64(i))
+		if !ok {
+			t.Fatalf("row %d missing", i)
+		}
+		if !bytes.Equal(got, sampleTuple(s, i)) {
+			t.Fatalf("row %d reassembly mismatch", i)
+		}
+	}
+	if p.Live() != 20 {
+		t.Fatalf("Live = %d", p.Live())
+	}
+}
+
+func TestFieldUpdateSingleColumn(t *testing.T) {
+	s := wideSchema()
+	p := NewPartition(s, 8)
+	p.Insert(1, sampleTuple(s, 1))
+	// Patch column "b" only.
+	patch := make([]byte, 8)
+	want := sampleTuple(s, 1)
+	s.PutFloat64(want, 2, 99.5)
+	copy(patch, want[s.Offset(2):s.Offset(2)+8])
+	if err := p.UpdateField(1, uint32(s.Offset(2)), patch); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := p.Get(1)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("after single-column patch:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestWholeTupleUpdateScatters(t *testing.T) {
+	s := wideSchema()
+	p := NewPartition(s, 8)
+	p.Insert(1, sampleTuple(s, 1))
+	replacement := sampleTuple(s, 42)
+	s.PutInt64(replacement, 0, 1) // keep the key stable
+	if err := p.UpdateField(1, 0, replacement); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := p.Get(1)
+	if !bytes.Equal(got, replacement) {
+		t.Fatalf("whole-tuple update mismatch:\n got %v\nwant %v", got, replacement)
+	}
+}
+
+func TestCrossColumnPatch(t *testing.T) {
+	// A patch spanning the boundary between columns "a" and "b".
+	s := wideSchema()
+	p := NewPartition(s, 8)
+	orig := sampleTuple(s, 1)
+	p.Insert(1, orig)
+	want := append([]byte(nil), orig...)
+	start := s.Offset(1) + 2 // mid-column a
+	end := s.Offset(2) + 3   // into column b
+	for i := start; i < end; i++ {
+		want[i] = 0xAB
+	}
+	if err := p.UpdateField(1, uint32(start), want[start:end]); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := p.Get(1)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("cross-column patch mismatch:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestDeleteAndSlotReuse(t *testing.T) {
+	s := wideSchema()
+	p := NewPartition(s, 8)
+	p.Insert(1, sampleTuple(s, 1))
+	p.Insert(2, sampleTuple(s, 2))
+	if err := p.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if p.Live() != 1 {
+		t.Fatalf("Live = %d", p.Live())
+	}
+	p.Insert(3, sampleTuple(s, 3))
+	got, ok := p.Get(3)
+	if !ok || !bytes.Equal(got, sampleTuple(s, 3)) {
+		t.Fatal("slot reuse corrupted row 3")
+	}
+	if _, ok := p.Get(1); ok {
+		t.Fatal("deleted row still present")
+	}
+}
+
+func TestScanColumn(t *testing.T) {
+	s := wideSchema()
+	p := NewPartition(s, 8)
+	for i := int64(1); i <= 10; i++ {
+		p.Insert(uint64(i), sampleTuple(s, i))
+	}
+	p.Delete(5)
+	sum := int64(0)
+	p.ScanColumn(4, func(rowID uint64, field []byte) bool {
+		sum += s.GetInt64(append(make([]byte, s.Offset(4)), field...), 4)
+		return true
+	})
+	want := int64(0)
+	for i := int64(1); i <= 10; i++ {
+		if i != 5 {
+			want += i * 100
+		}
+	}
+	if sum != want {
+		t.Fatalf("column scan sum = %d, want %d", sum, want)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s := wideSchema()
+	p := NewPartition(s, 8)
+	p.Insert(1, sampleTuple(s, 1))
+	if err := p.Insert(1, sampleTuple(s, 1)); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := p.Delete(9); err == nil {
+		t.Fatal("unknown delete accepted")
+	}
+	if err := p.UpdateField(9, 0, []byte{1}); err == nil {
+		t.Fatal("unknown update accepted")
+	}
+	if err := p.UpdateField(1, uint32(s.TupleSize()), []byte{1}); err == nil {
+		t.Fatal("out-of-bounds update accepted")
+	}
+}
+
+// Property: colstore and a plain row image agree under random patches.
+func TestPatchEquivalenceProperty(t *testing.T) {
+	s := wideSchema()
+	f := func(patches []struct {
+		Off  uint16
+		Data []byte
+	}) bool {
+		p := NewPartition(s, 4)
+		ref := sampleTuple(s, 1)
+		p.Insert(1, append([]byte(nil), ref...))
+		for _, patch := range patches {
+			if len(patch.Data) == 0 {
+				continue
+			}
+			off := int(patch.Off) % s.TupleSize()
+			data := patch.Data
+			if off+len(data) > s.TupleSize() {
+				data = data[:s.TupleSize()-off]
+			}
+			copy(ref[off:], data)
+			if err := p.UpdateField(1, uint32(off), data); err != nil {
+				return false
+			}
+		}
+		got, ok := p.Get(1)
+		return ok && bytes.Equal(got, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

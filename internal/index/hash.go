@@ -1,0 +1,143 @@
+// Package index provides the two index structures used by BatchDB's OLTP
+// replica (paper §4, Fig. 2): a hash index for point lookups and an
+// ordered index for range scans.
+//
+// The paper uses a simplified lock-free Bw-Tree based on multi-word
+// compare-and-swap [32, 37]. Go's memory model and lack of pointer
+// tagging make that exact design impractical, so this package substitutes
+// structures with the same interface contract:
+//
+//   - Hash: a sharded hash map with per-shard reader/writer locks.
+//   - SkipList: an ordered map whose readers are lock-free (they follow
+//     atomic pointers and never block) while writers serialize on a
+//     single mutex. Writer serialization is harmless here because index
+//     mutation on the OLTP replica happens from a small set of worker
+//     threads executing short transactions, and — as in Hekaton — index
+//     entries are only physically removed by background garbage
+//     collection, never inline with transaction execution.
+//
+// Both structures map dense uint64 keys to values; callers compose
+// multi-column keys into uint64 (see internal/tpcc) or use uniquifier
+// bits for non-unique secondary keys.
+package index
+
+import "sync"
+
+const hashShards = 64 // power of two
+
+// Hash is a sharded concurrent hash map from uint64 keys to V.
+type Hash[V any] struct {
+	shards [hashShards]hashShard[V]
+}
+
+type hashShard[V any] struct {
+	mu sync.RWMutex
+	m  map[uint64]V
+}
+
+// NewHash returns an empty hash index sized for roughly n entries.
+func NewHash[V any](n int) *Hash[V] {
+	h := &Hash[V]{}
+	per := n / hashShards
+	if per < 8 {
+		per = 8
+	}
+	for i := range h.shards {
+		h.shards[i].m = make(map[uint64]V, per)
+	}
+	return h
+}
+
+func (h *Hash[V]) shard(key uint64) *hashShard[V] {
+	// Fibonacci hashing spreads dense keys across shards.
+	return &h.shards[(key*0x9E3779B97F4A7C15)>>(64-6)]
+}
+
+// Get returns the value for key.
+func (h *Hash[V]) Get(key uint64) (V, bool) {
+	s := h.shard(key)
+	s.mu.RLock()
+	v, ok := s.m[key]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// Put stores value under key, replacing any existing entry.
+func (h *Hash[V]) Put(key uint64, v V) {
+	s := h.shard(key)
+	s.mu.Lock()
+	s.m[key] = v
+	s.mu.Unlock()
+}
+
+// PutIfAbsent stores value under key only if no entry exists. It returns
+// the resident value and whether the put took effect.
+func (h *Hash[V]) PutIfAbsent(key uint64, v V) (V, bool) {
+	s := h.shard(key)
+	s.mu.Lock()
+	if old, ok := s.m[key]; ok {
+		s.mu.Unlock()
+		return old, false
+	}
+	s.m[key] = v
+	s.mu.Unlock()
+	return v, true
+}
+
+// CompareAndDelete removes key only if its value satisfies eq, reporting
+// whether an entry was removed. It lets callers retire an entry without
+// clobbering a replacement installed concurrently under the same key.
+func (h *Hash[V]) CompareAndDelete(key uint64, eq func(V) bool) bool {
+	s := h.shard(key)
+	s.mu.Lock()
+	v, ok := s.m[key]
+	if ok && eq(v) {
+		delete(s.m, key)
+		s.mu.Unlock()
+		return true
+	}
+	s.mu.Unlock()
+	return false
+}
+
+// Delete removes key. It reports whether an entry was removed.
+func (h *Hash[V]) Delete(key uint64) bool {
+	s := h.shard(key)
+	s.mu.Lock()
+	_, ok := s.m[key]
+	if ok {
+		delete(s.m, key)
+	}
+	s.mu.Unlock()
+	return ok
+}
+
+// Len returns the number of entries. It is linearizable only in
+// quiescent states.
+func (h *Hash[V]) Len() int {
+	n := 0
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Range calls fn for every entry until fn returns false. Entries
+// inserted or removed concurrently may or may not be observed; each
+// shard is visited under its read lock.
+func (h *Hash[V]) Range(fn func(key uint64, v V) bool) {
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.RLock()
+		for k, v := range s.m {
+			if !fn(k, v) {
+				s.mu.RUnlock()
+				return
+			}
+		}
+		s.mu.RUnlock()
+	}
+}

@@ -1,0 +1,182 @@
+package index
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+const maxLevel = 24
+
+// SkipList is an ordered concurrent map from uint64 keys to V.
+//
+// Readers (Get, Seek, iteration) are lock-free: they only follow atomic
+// next pointers, so they never block behind writers and always observe a
+// structurally consistent list. Writers (Put, Delete) serialize on an
+// internal mutex; see the package comment for why this is an acceptable
+// substitute for the paper's lock-free Bw-Tree.
+type SkipList[V any] struct {
+	head  *slNode[V]
+	level atomic.Int32
+
+	wmu sync.Mutex
+	rng *rand.Rand
+	len atomic.Int64
+}
+
+type slNode[V any] struct {
+	key uint64
+	// val is replaced atomically so lock-free readers never observe a
+	// torn value when Put overwrites an existing key.
+	val  atomic.Pointer[V]
+	next []atomic.Pointer[slNode[V]]
+}
+
+// NewSkipList returns an empty list. The seed only affects level
+// distribution; any value yields correct behaviour.
+func NewSkipList[V any](seed int64) *SkipList[V] {
+	s := &SkipList[V]{
+		head: &slNode[V]{next: make([]atomic.Pointer[slNode[V]], maxLevel)},
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+	s.level.Store(1)
+	return s
+}
+
+func (s *SkipList[V]) randomLevel() int {
+	lvl := 1
+	for lvl < maxLevel && s.rng.Int63()&3 == 0 { // p = 1/4
+		lvl++
+	}
+	return lvl
+}
+
+// findPreds fills preds with the rightmost node at each level whose key
+// is < key, and returns the node at level 0 following preds[0] (the
+// candidate match). Caller must hold wmu when using preds for mutation.
+func (s *SkipList[V]) findPreds(key uint64, preds *[maxLevel]*slNode[V]) *slNode[V] {
+	x := s.head
+	for i := int(s.level.Load()) - 1; i >= 0; i-- {
+		for {
+			nxt := x.next[i].Load()
+			if nxt == nil || nxt.key >= key {
+				break
+			}
+			x = nxt
+		}
+		preds[i] = x
+	}
+	return x.next[0].Load()
+}
+
+// Get returns the value stored under key.
+func (s *SkipList[V]) Get(key uint64) (V, bool) {
+	x := s.head
+	for i := int(s.level.Load()) - 1; i >= 0; i-- {
+		for {
+			nxt := x.next[i].Load()
+			if nxt == nil || nxt.key > key {
+				break
+			}
+			if nxt.key == key {
+				return *nxt.val.Load(), true
+			}
+			x = nxt
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces the value under key.
+func (s *SkipList[V]) Put(key uint64, v V) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	var preds [maxLevel]*slNode[V]
+	cand := s.findPreds(key, &preds)
+	if cand != nil && cand.key == key {
+		cand.val.Store(&v)
+		return
+	}
+	lvl := s.randomLevel()
+	cur := int(s.level.Load())
+	for i := cur; i < lvl; i++ {
+		preds[i] = s.head
+	}
+	if lvl > cur {
+		s.level.Store(int32(lvl))
+	}
+	n := &slNode[V]{key: key, next: make([]atomic.Pointer[slNode[V]], lvl)}
+	n.val.Store(&v)
+	// Set the new node's forward pointers before publishing it, bottom
+	// level last-to-first so lock-free readers never see a dangling hop.
+	for i := 0; i < lvl; i++ {
+		n.next[i].Store(preds[i].next[i].Load())
+	}
+	for i := 0; i < lvl; i++ {
+		preds[i].next[i].Store(n)
+	}
+	s.len.Add(1)
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *SkipList[V]) Delete(key uint64) bool {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	var preds [maxLevel]*slNode[V]
+	cand := s.findPreds(key, &preds)
+	if cand == nil || cand.key != key {
+		return false
+	}
+	for i := len(cand.next) - 1; i >= 0; i-- {
+		// preds[i] may not directly precede cand at level i if cand is
+		// shorter than the current list level; only unlink where linked.
+		if preds[i].next[i].Load() == cand {
+			preds[i].next[i].Store(cand.next[i].Load())
+		}
+	}
+	s.len.Add(-1)
+	return true
+}
+
+// Len returns the number of keys currently stored.
+func (s *SkipList[V]) Len() int { return int(s.len.Load()) }
+
+// Seek returns an iterator positioned at the smallest key >= key.
+func (s *SkipList[V]) Seek(key uint64) *Iterator[V] {
+	x := s.head
+	for i := int(s.level.Load()) - 1; i >= 0; i-- {
+		for {
+			nxt := x.next[i].Load()
+			if nxt == nil || nxt.key >= key {
+				break
+			}
+			x = nxt
+		}
+	}
+	return &Iterator[V]{cur: x.next[0].Load()}
+}
+
+// Min returns an iterator positioned at the smallest key.
+func (s *SkipList[V]) Min() *Iterator[V] {
+	return &Iterator[V]{cur: s.head.next[0].Load()}
+}
+
+// Iterator walks a SkipList in ascending key order. It is valid to use
+// concurrently with writers: it observes some consistent interleaving of
+// inserts and deletes that happen while it runs.
+type Iterator[V any] struct {
+	cur *slNode[V]
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *Iterator[V]) Valid() bool { return it.cur != nil }
+
+// Key returns the current key. Only call when Valid.
+func (it *Iterator[V]) Key() uint64 { return it.cur.key }
+
+// Value returns the current value. Only call when Valid.
+func (it *Iterator[V]) Value() V { return *it.cur.val.Load() }
+
+// Next advances to the next entry.
+func (it *Iterator[V]) Next() { it.cur = it.cur.next[0].Load() }

@@ -1,0 +1,210 @@
+// Package metrics provides the measurement primitives used by BatchDB's
+// evaluation harness: concurrent log-bucketed latency histograms (for
+// the 50th/90th/99th percentile plots of paper Figs. 5b, 7b, 7e),
+// throughput counters, and per-component busy-time accounting (the CPU
+// utilization plots of Figs. 7c and 8).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram records int64 samples (typically latencies in nanoseconds)
+// into logarithmically spaced buckets: 64 powers of two, each split into
+// 32 linear sub-buckets, giving a worst-case relative error of about 3%
+// — ample for percentile reporting. All methods are safe for concurrent
+// use.
+type Histogram struct {
+	buckets [64 * 32]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < 32 {
+		return int(v) // first power covers 0..31 exactly
+	}
+	// Major = position of the highest set bit; minor = next 5 bits.
+	major := 63 - leadingZeros(uint64(v))
+	minor := (v >> (uint(major) - 5)) & 31
+	return major*32 + int(minor)
+}
+
+func leadingZeros(v uint64) int {
+	n := 0
+	for i := 63; i >= 0; i-- {
+		if v&(1<<uint(i)) != 0 {
+			return n
+		}
+		n++
+	}
+	return 64
+}
+
+// bucketValue returns a representative value (upper edge) for bucket i.
+func bucketValue(i int) int64 {
+	major := i / 32
+	minor := i % 32
+	if major < 5 {
+		return int64(i%32) | int64(major)<<5 // exact low range
+	}
+	base := int64(1) << uint(major)
+	step := base / 32
+	return base + int64(minor+1)*step - 1
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v int64) {
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+}
+
+// RecordSince records the elapsed time since start in nanoseconds.
+func (h *Histogram) RecordSince(start time.Time) { h.Record(int64(time.Since(start))) }
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Mean returns the arithmetic mean of the samples, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(c)
+}
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Percentile returns the value at quantile p in [0,100]. The result is
+// the upper edge of the bucket containing the p-th sample.
+func (h *Histogram) Percentile(p float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return bucketValue(i)
+		}
+	}
+	return h.max.Load()
+}
+
+// Reset clears the histogram. Not linearizable with concurrent Records;
+// use between measurement phases.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
+// Merge adds other's samples into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i := range other.buckets {
+		if n := other.buckets[i].Load(); n > 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	for {
+		m, o := h.max.Load(), other.max.Load()
+		if o <= m || h.max.CompareAndSwap(m, o) {
+			break
+		}
+	}
+}
+
+// Summary formats count/mean/percentiles as milliseconds for reports.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%.2fms p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms",
+		h.Count(), h.Mean()/1e6,
+		float64(h.Percentile(50))/1e6, float64(h.Percentile(90))/1e6,
+		float64(h.Percentile(99))/1e6, float64(h.Max())/1e6)
+}
+
+// Counter is a concurrent event counter with windowed rate reporting.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.n.Load() }
+
+// RatePerSec computes the rate of events between two readings.
+func RatePerSec(before, after uint64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(after-before) / elapsed.Seconds()
+}
+
+// BusyTracker accounts wall-clock busy time for one component (e.g. the
+// OLTP worker pool). Workers wrap their work in Track; Utilization
+// reports busy time as a fraction of elapsed * cores — the quantity
+// plotted in the paper's CPU-utilization figures.
+type BusyTracker struct {
+	busy atomic.Int64 // nanoseconds
+}
+
+// Track records d of busy time.
+func (b *BusyTracker) Track(d time.Duration) { b.busy.Add(int64(d)) }
+
+// TrackSince records busy time since start and returns the duration.
+func (b *BusyTracker) TrackSince(start time.Time) time.Duration {
+	d := time.Since(start)
+	b.busy.Add(int64(d))
+	return d
+}
+
+// Busy returns the accumulated busy time.
+func (b *BusyTracker) Busy() time.Duration { return time.Duration(b.busy.Load()) }
+
+// Utilization returns busy/(elapsed*cores) clamped to [0,1].
+func (b *BusyTracker) Utilization(elapsed time.Duration, cores int) float64 {
+	if elapsed <= 0 || cores <= 0 {
+		return 0
+	}
+	u := float64(b.busy.Load()) / (float64(elapsed) * float64(cores))
+	if u > 1 {
+		u = 1
+	}
+	if u < 0 {
+		u = 0
+	}
+	return u
+}
+
+// Reset clears accumulated busy time.
+func (b *BusyTracker) Reset() { b.busy.Store(0) }

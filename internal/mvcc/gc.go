@@ -1,0 +1,131 @@
+package mvcc
+
+// GCStats summarizes one garbage-collection pass.
+type GCStats struct {
+	// Horizon is the snapshot below which versions were reclaimable.
+	Horizon uint64
+	// VersionsUnlinked counts records cut out of version chains.
+	VersionsUnlinked int
+	// ChainsRetired counts primary-index entries removed for rows whose
+	// deletion is no longer visible to any possible snapshot.
+	ChainsRetired int
+	// IndexEntriesRemoved counts secondary-index entries dropped because
+	// they pointed at retired chains or no longer match any version.
+	IndexEntriesRemoved int
+}
+
+// CollectGarbage unlinks versions that no active or future snapshot can
+// observe and retires fully dead rows from the indexes. It is safe to
+// run concurrently with transactions; it corresponds to the background
+// garbage collection the paper's OLTP workers amortize across batches
+// (§4 "Scheduling"). Memory itself is reclaimed by Go's GC once
+// unlinked.
+func (s *Store) CollectGarbage() GCStats {
+	horizon := s.MinActiveSnapshot()
+	st := GCStats{Horizon: horizon}
+	for _, t := range s.order {
+		s.collectTable(t, horizon, &st)
+	}
+	return st
+}
+
+func (s *Store) collectTable(t *Table, horizon uint64, st *GCStats) {
+	t.chains.forEach(func(c *Chain) bool {
+		// Pop aborted records stranded at the head.
+		for {
+			h := c.head.Load()
+			if h == nil || h == retiredRecord || h.vidFrom.Load() != abortedMarker {
+				break
+			}
+			if c.head.CompareAndSwap(h, h.older.Load()) {
+				st.VersionsUnlinked++
+			}
+		}
+		if !c.liveAtOrAfter(horizon) {
+			// The row is dead to every snapshot >= horizon. Poison the
+			// chain head so no writer can sneak an insert in, then drop
+			// the primary-index entry (only if it still maps to this
+			// chain — a re-insert may already have replaced it) and the
+			// scan-list slot. Readers that already hold the chain see no
+			// visible version, which remains correct.
+			h := c.head.Load()
+			if h == retiredRecord {
+				return true // already retired in an earlier pass
+			}
+			if !c.head.CompareAndSwap(h, retiredRecord) {
+				return true // a writer revived the row; skip this pass
+			}
+			if h != nil && c.liveWas(h, horizon) {
+				// Re-check against the poisoned head: the head we
+				// poisoned must itself be dead; otherwise restore.
+				c.head.CompareAndSwap(retiredRecord, h)
+				return true
+			}
+			t.pk.CompareAndDelete(c.Key, func(v *Chain) bool { return v == c })
+			t.chains.clear(c.slot)
+			st.ChainsRetired++
+			return true
+		}
+		// Truncate the chain after the decisive version at the horizon:
+		// the newest record with a committed VIDfrom <= horizon serves
+		// every snapshot >= horizon, so anything older is unreachable.
+		for r := c.head.Load(); r != nil; r = r.older.Load() {
+			from := r.vidFrom.Load()
+			if isMarker(from) || from > horizon {
+				// Also splice out aborted records mid-chain.
+				next := r.older.Load()
+				for next != nil && next.vidFrom.Load() == abortedMarker {
+					skip := next.older.Load()
+					if r.older.CompareAndSwap(next, skip) {
+						st.VersionsUnlinked++
+					}
+					next = r.older.Load()
+				}
+				continue
+			}
+			if r.older.Load() != nil {
+				r.older.Store(nil)
+				st.VersionsUnlinked++
+			}
+			break
+		}
+		return true
+	})
+	for _, sec := range t.sec {
+		s.collectSecondary(sec, horizon, st)
+	}
+}
+
+// collectSecondary removes index entries whose chain was retired or
+// whose indexed key no longer matches any retained version (stale
+// entries left by updates that changed indexed attributes).
+func (s *Store) collectSecondary(sec *Secondary, horizon uint64, st *GCStats) {
+	type dead struct{ key uint64 }
+	var toDelete []dead
+	for it := sec.sl.Min(); it.Valid(); it.Next() {
+		c := it.Value()
+		if !c.liveAtOrAfter(horizon) {
+			toDelete = append(toDelete, dead{it.Key()})
+			continue
+		}
+		// Keep the entry if any retained version still derives this key.
+		match := false
+		for r := c.head.Load(); r != nil; r = r.older.Load() {
+			if r.vidFrom.Load() == abortedMarker {
+				continue
+			}
+			if sec.KeyFn(r.Data) == it.Key() {
+				match = true
+				break
+			}
+		}
+		if !match {
+			toDelete = append(toDelete, dead{it.Key()})
+		}
+	}
+	for _, d := range toDelete {
+		if sec.sl.Delete(d.key) {
+			st.IndexEntriesRemoved++
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package mvcc
+
+import "sync/atomic"
+
+const chunkSize = 4096
+
+// chainList is a lock-free, append-only list of chains used for full
+// table scans (snapshot bootstrap and the shared-engine baselines). It
+// grows in fixed-size chunks so readers can iterate a stable prefix
+// while writers append.
+type chainList struct {
+	head   *listChunk
+	length atomic.Int64
+}
+
+type listChunk struct {
+	items [chunkSize]atomic.Pointer[Chain]
+	next  atomic.Pointer[listChunk]
+}
+
+func newChainList() *chainList {
+	return &chainList{head: &listChunk{}}
+}
+
+// append reserves a slot, publishes c into it, and records the slot in
+// c so GC can later clear it.
+func (l *chainList) append(c *Chain) {
+	idx := l.length.Add(1) - 1
+	c.slot = idx
+	chunk := l.head
+	for idx >= chunkSize {
+		next := chunk.next.Load()
+		if next == nil {
+			next = &listChunk{}
+			if !chunk.next.CompareAndSwap(nil, next) {
+				next = chunk.next.Load()
+			}
+		}
+		chunk = next
+		idx -= chunkSize
+	}
+	chunk.items[idx].Store(c)
+}
+
+// clear empties the slot at index idx (used when a chain is retired).
+func (l *chainList) clear(idx int64) {
+	chunk := l.head
+	for idx >= chunkSize {
+		chunk = chunk.next.Load()
+		if chunk == nil {
+			return
+		}
+		idx -= chunkSize
+	}
+	chunk.items[idx].Store(nil)
+}
+
+// forEach visits every chain published before the call, in insertion
+// order. Slots reserved by concurrent appenders that have not yet been
+// published are skipped.
+func (l *chainList) forEach(fn func(*Chain) bool) {
+	n := l.length.Load()
+	chunk := l.head
+	var base int64
+	for chunk != nil && base < n {
+		limit := n - base
+		if limit > chunkSize {
+			limit = chunkSize
+		}
+		for i := int64(0); i < limit; i++ {
+			c := chunk.items[i].Load()
+			if c == nil {
+				continue // reserved but not yet published
+			}
+			if !fn(c) {
+				return
+			}
+		}
+		base += chunkSize
+		chunk = chunk.next.Load()
+	}
+}
+
+func (l *chainList) len() int { return int(l.length.Load()) }

@@ -1,0 +1,127 @@
+package mvcc
+
+import (
+	"sync/atomic"
+
+	"batchdb/internal/index"
+	"batchdb/internal/storage"
+)
+
+// SecondaryKeyFunc derives a packed secondary-index key from a tuple.
+// Non-unique indexes must fold a uniquifier (e.g. low bits of the
+// primary key) into the returned value, since index keys are unique.
+type SecondaryKeyFunc func(tup []byte) uint64
+
+// Secondary is an ordered secondary index over a table. Entries point to
+// chains; because all versions of a row live in one chain, the index may
+// return rows whose indexed attributes changed — readers re-derive the
+// key from the version visible to them and skip mismatches.
+type Secondary struct {
+	Name  string
+	KeyFn SecondaryKeyFunc
+	sl    *index.SkipList[*Chain]
+}
+
+// Seek returns an ascending iterator over index entries with key >= key.
+func (s *Secondary) Seek(key uint64) *index.Iterator[*Chain] { return s.sl.Seek(key) }
+
+// Table is one relation in the OLTP replica: a primary hash index from
+// packed key to version chain, an append-only chain list for scans, and
+// optional secondary indexes (paper Fig. 2: hash- and tree-based
+// indexes over the same records).
+type Table struct {
+	Schema *storage.Schema
+	// KeyFn packs a tuple's primary key into uint64.
+	KeyFn storage.KeyFunc
+
+	pk     *index.Hash[*Chain]
+	chains *chainList
+	sec    []*Secondary
+
+	nextRowID atomic.Uint64
+}
+
+// NewTable creates an empty table. capacityHint sizes the primary index.
+func NewTable(schema *storage.Schema, keyFn storage.KeyFunc, capacityHint int) *Table {
+	return &Table{
+		Schema: schema,
+		KeyFn:  keyFn,
+		pk:     index.NewHash[*Chain](capacityHint),
+		chains: newChainList(),
+	}
+}
+
+// AddSecondary registers an ordered secondary index. Must be called
+// before any data is inserted.
+func (t *Table) AddSecondary(name string, fn SecondaryKeyFunc) *Secondary {
+	s := &Secondary{Name: name, KeyFn: fn, sl: index.NewSkipList[*Chain](int64(len(t.sec)) + 1)}
+	t.sec = append(t.sec, s)
+	return s
+}
+
+// Secondary returns the named secondary index, or nil.
+func (t *Table) Secondary(name string) *Secondary {
+	for _, s := range t.sec {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// getChain returns the version chain for key, or nil.
+func (t *Table) getChain(key uint64) *Chain {
+	c, _ := t.pk.Get(key)
+	return c
+}
+
+// getOrCreateChain returns the chain for key, creating and indexing an
+// empty one if absent. Multiple racing creators converge on one chain.
+func (t *Table) getOrCreateChain(key uint64) *Chain {
+	if c, ok := t.pk.Get(key); ok {
+		return c
+	}
+	c := &Chain{Key: key}
+	won, inserted := t.pk.PutIfAbsent(key, c)
+	if inserted {
+		t.chains.append(c)
+	}
+	return won
+}
+
+// indexInto adds the chain to every secondary index under keys derived
+// from tup.
+func (t *Table) indexInto(c *Chain, tup []byte) {
+	for _, s := range t.sec {
+		s.sl.Put(s.KeyFn(tup), c)
+	}
+}
+
+// AllocRowID returns a fresh RowID for a newly inserted logical row.
+func (t *Table) AllocRowID() uint64 { return t.nextRowID.Add(1) }
+
+// LoadRow installs a tuple at VID 0, the "initial load" state visible to
+// every snapshot. It bypasses transactional machinery and must only be
+// used to populate the database before the engine starts (it is what
+// recovery re-runs before replaying the command log). Returns the
+// assigned RowID.
+func (t *Table) LoadRow(tup []byte) (uint64, error) {
+	key := t.KeyFn(tup)
+	c := t.getOrCreateChain(key)
+	if c.Head() != nil {
+		return 0, ErrDuplicateKey
+	}
+	rec := newRecord(t.AllocRowID(), 0, tup, nil)
+	if !c.head.CompareAndSwap(nil, rec) {
+		return 0, ErrDuplicateKey
+	}
+	t.indexInto(c, tup)
+	return rec.RowID, nil
+}
+
+// ScanChains visits every chain in the table (all versions, all states);
+// callers apply snapshot visibility via Chain.VisibleAt.
+func (t *Table) ScanChains(fn func(*Chain) bool) { t.chains.forEach(fn) }
+
+// NumChains returns the number of chains ever created (live and dead).
+func (t *Table) NumChains() int { return t.chains.len() }

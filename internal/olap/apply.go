@@ -1,0 +1,271 @@
+package olap
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"batchdb/internal/proplog"
+	"batchdb/internal/storage"
+)
+
+// TableApplyStats breaks down update application for one relation, the
+// measurements behind paper Table 1.
+type TableApplyStats struct {
+	Step1, Step2, Step3        time.Duration
+	Inserted, Updated, Deleted int
+}
+
+// ApplyStats summarizes one application round (paper Fig. 4).
+type ApplyStats struct {
+	// Target is the snapshot VID applied up to (inclusive).
+	Target uint64
+	// Entries counts applied update entries.
+	Entries int
+	// Step1 orders per-worker update sets by VID; Step2 routes them to
+	// partitions by hash(RowID); Step3 applies them through the RowID
+	// hash index. Step3 is CPU time summed over parallel partition
+	// workers, matching the paper's per-step CPU-time accounting.
+	Step1, Step2, Step3 time.Duration
+	// PerTable splits the work by relation.
+	PerTable map[storage.TableID]*TableApplyStats
+}
+
+// ApplyPending applies every queued update with VID <= target, in VID
+// order per table, in parallel across partitions — the three-step
+// algorithm of paper §5/Fig. 4. Updates beyond target are requeued for
+// the next round. It must only be called while no query batch executes;
+// the Scheduler guarantees that.
+func (r *Replica) ApplyPending(target uint64) (ApplyStats, error) {
+	stats := ApplyStats{Target: target, PerTable: make(map[storage.TableID]*TableApplyStats)}
+	batches := r.takePending()
+	r.mu.Lock()
+	floor := r.floor
+	r.mu.Unlock()
+	if len(batches) == 0 {
+		r.setApplied(target)
+		return stats, nil
+	}
+
+	// Group entries by table, keeping one VID-ordered stream per worker
+	// (a worker's commits are VID-monotonic, and batches arrive in push
+	// order, so concatenation per worker preserves order).
+	perTable := make(map[storage.TableID][]*workerStream)
+	streams := make(map[[2]uint64]*workerStream) // (table, worker) -> stream
+	var leftover []proplog.Batch
+	for _, b := range batches {
+		for _, tb := range b.Tables {
+			key := [2]uint64{uint64(tb.Table), uint64(b.Worker)}
+			s := streams[key]
+			if s == nil {
+				s = &workerStream{worker: b.Worker}
+				streams[key] = s
+				perTable[tb.Table] = append(perTable[tb.Table], s)
+			}
+			for _, e := range tb.Entries {
+				if e.VID <= floor {
+					continue // already reflected by the bootstrap snapshot
+				}
+				if e.VID > target {
+					leftover = appendLeftover(leftover, b.Worker, tb.Table, e)
+					continue
+				}
+				s.entries = append(s.entries, e)
+			}
+		}
+	}
+	if len(leftover) > 0 {
+		r.mu.Lock()
+		r.pending = append(leftover, r.pending...)
+		r.mu.Unlock()
+	}
+
+	// Process tables in registration order for deterministic stats.
+	for _, t := range r.order {
+		ws := perTable[t.Schema.ID]
+		if len(ws) == 0 {
+			continue
+		}
+		ts := &TableApplyStats{}
+		stats.PerTable[t.Schema.ID] = ts
+
+		// Step 1: merge the per-worker streams into one VID-ordered
+		// stream (linear scan, complexity linear in entries — "the
+		// fastest step").
+		start := time.Now()
+		merged := mergeByVID(ws)
+		ts.Step1 = time.Since(start)
+		stats.Step1 += ts.Step1
+		stats.Entries += len(merged)
+
+		// Step 2: route entries to partitions by hash(RowID),
+		// preserving VID order within each partition.
+		start = time.Now()
+		perPart := make([][]proplog.Entry, len(t.Partitions))
+		for _, e := range merged {
+			h := e.RowID * 0x9E3779B97F4A7C15
+			pi := h % uint64(len(t.Partitions))
+			perPart[pi] = append(perPart[pi], e)
+		}
+		ts.Step2 = time.Since(start)
+		stats.Step2 += ts.Step2
+
+		// Step 3: apply per partition in parallel through the RowID
+		// hash index (the expensive, random-access step).
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var firstErr error
+		for pi, entries := range perPart {
+			if len(entries) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(p *Partition, entries []proplog.Entry) {
+				defer wg.Done()
+				t0 := time.Now()
+				ins, upd, del, err := applyToPartition(t, p, entries)
+				d := time.Since(t0)
+				mu.Lock()
+				ts.Step3 += d
+				ts.Inserted += ins
+				ts.Updated += upd
+				ts.Deleted += del
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}(t.Partitions[pi], entries)
+		}
+		wg.Wait()
+		stats.Step3 += ts.Step3
+		t.version++
+		if firstErr != nil {
+			r.mu.Lock()
+			r.applyErr = firstErr
+			r.mu.Unlock()
+			return stats, fmt.Errorf("olap: apply to table %s: %w", t.Schema.Name, firstErr)
+		}
+	}
+	r.setApplied(target)
+	return stats, nil
+}
+
+func appendLeftover(batches []proplog.Batch, worker int, table storage.TableID, e proplog.Entry) []proplog.Batch {
+	for i := range batches {
+		if batches[i].Worker == worker {
+			for j := range batches[i].Tables {
+				if batches[i].Tables[j].Table == table {
+					batches[i].Tables[j].Entries = append(batches[i].Tables[j].Entries, e)
+					return batches
+				}
+			}
+			batches[i].Tables = append(batches[i].Tables, proplog.TableBatch{
+				Table: table, Entries: []proplog.Entry{e},
+			})
+			return batches
+		}
+	}
+	return append(batches, proplog.Batch{
+		Worker: worker,
+		Tables: []proplog.TableBatch{{Table: table, Entries: []proplog.Entry{e}}},
+	})
+}
+
+// MergeWorkerStreams merges per-worker VID-ordered entry streams into
+// one VID-ordered stream (step 1 of the apply algorithm), exposed for
+// harnesses that apply update streams to alternative storage layouts
+// (the column-store microbenchmark of paper §8.3).
+func MergeWorkerStreams(streams [][]proplog.Entry) []proplog.Entry {
+	ws := make([]*workerStream, len(streams))
+	for i, s := range streams {
+		ws[i] = &workerStream{worker: i, entries: s}
+	}
+	return mergeByVID(ws)
+}
+
+// workerStream is one worker's VID-ordered entry stream for one table.
+type workerStream struct {
+	worker  int
+	entries []proplog.Entry
+}
+
+// mergeByVID k-way merges per-worker VID-sorted streams into one
+// VID-ordered stream (paper Fig. 4 step 1). Worker counts are small, so
+// a linear min-scan beats a heap.
+func mergeByVID(ws []*workerStream) []proplog.Entry {
+	total := 0
+	for _, s := range ws {
+		total += len(s.entries)
+	}
+	out := make([]proplog.Entry, 0, total)
+	heads := make([]int, len(ws))
+	for len(out) < total {
+		best := -1
+		var bestVID uint64
+		for i, s := range ws {
+			if heads[i] >= len(s.entries) {
+				continue
+			}
+			v := s.entries[heads[i]].VID
+			if best == -1 || v < bestVID {
+				best, bestVID = i, v
+			}
+		}
+		// Copy the whole run of equal-VID entries from the winning
+		// stream (one transaction's updates stay contiguous).
+		s := ws[best]
+		for heads[best] < len(s.entries) && s.entries[heads[best]].VID == bestVID {
+			out = append(out, s.entries[heads[best]])
+			heads[best]++
+		}
+	}
+	return out
+}
+
+// applyToPartition executes step 3 for one partition: updates and
+// deletes locate their tuple through the RowID hash index; inserts take
+// the next free slot. Consecutive field patches of the same tuple from
+// the same transaction share a single index lookup and count as one
+// updated tuple — the paper's Ptup counts tuples, not patches.
+func applyToPartition(t *Table, p *Partition, entries []proplog.Entry) (ins, upd, del int, err error) {
+	for i := 0; i < len(entries); i++ {
+		e := &entries[i]
+		switch e.Kind {
+		case proplog.Insert:
+			if aerr := p.Insert(e.RowID, e.Data); aerr != nil {
+				return ins, upd, del, aerr
+			}
+			t.pkInsert(e.Data, e.RowID)
+			ins++
+		case proplog.Update:
+			slot, ok := p.Locate(e.RowID)
+			if !ok {
+				return ins, upd, del, fmt.Errorf("olap: update of unknown RowID %d", e.RowID)
+			}
+			if aerr := p.PatchSlot(slot, e.Offset, e.Data); aerr != nil {
+				return ins, upd, del, aerr
+			}
+			for i+1 < len(entries) && entries[i+1].Kind == proplog.Update &&
+				entries[i+1].RowID == e.RowID && entries[i+1].VID == e.VID {
+				i++
+				if aerr := p.PatchSlot(slot, entries[i].Offset, entries[i].Data); aerr != nil {
+					return ins, upd, del, aerr
+				}
+			}
+			upd++
+		case proplog.Delete:
+			if t.pkIdx != nil {
+				if tup, ok := p.Get(e.RowID); ok {
+					t.pkDelete(tup)
+				}
+			}
+			if aerr := p.Delete(e.RowID); aerr != nil {
+				return ins, upd, del, aerr
+			}
+			del++
+		default:
+			return ins, upd, del, fmt.Errorf("olap: unknown update kind %d", e.Kind)
+		}
+	}
+	return ins, upd, del, nil
+}

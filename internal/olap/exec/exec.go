@@ -1,0 +1,326 @@
+// Package exec is BatchDB's shared-execution analytical query engine
+// (paper §5 "Query execution").
+//
+// The OLAP scheduler hands it one batch of queries at a time; because
+// the whole batch runs on one snapshot with no concurrent updates, the
+// engine can share work aggressively, in the spirit of shared scans
+// [48, 49, 59, 61] and shared joins (MQJoin [36], SharedDB [19]):
+//
+//   - Shared scans: each driver table is scanned once per batch; every
+//     tuple is offered to all queries driving off that table, so memory
+//     bandwidth is paid once regardless of batch size.
+//   - Shared join builds: hash-join build sides are keyed by
+//     (table, build-key id) and built at most once per batch; all
+//     queries probing the same table through the same key share the
+//     build. Builds over tables whose data did not change since the
+//     last batch (static dimensions like nation or item) are cached
+//     across batches and revalidated by the table's data version.
+//
+// Per paper §8.1 the query model is scan + equi-join + aggregate, which
+// covers the modified CH-benCHmark query set in Appendix A. The paper
+// notes (§8.4) that BatchDB's isolation properties do not depend on
+// shared execution; exec's QueryAtATime mode exists to ablate exactly
+// that.
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"batchdb/internal/olap"
+	"batchdb/internal/storage"
+)
+
+// AggKind selects an aggregate function.
+type AggKind uint8
+
+// Supported aggregates (the paper's query set uses SUM and COUNT).
+const (
+	Sum AggKind = iota
+	Count
+)
+
+// AggSpec is one output aggregate of a query. For Sum, Value extracts
+// the summand from the matched row combination; for Count, Value is
+// ignored.
+type AggSpec struct {
+	Kind AggKind
+	// Value receives the driver tuple and the tuples joined so far (in
+	// probe order).
+	Value func(driver []byte, joined [][]byte) float64
+}
+
+// Probe is one hash-join step: the driver row (plus previously joined
+// rows) produces a key that must find a match in the build table.
+type Probe struct {
+	// Table is the build-side relation.
+	Table storage.TableID
+	// BuildKeyID names the build key so independent queries can share
+	// the build ("pk" for primary-key builds). Probes with equal
+	// (Table, BuildKeyID) share one hash table per batch.
+	BuildKeyID string
+	// BuildKey extracts the join key from a build-side tuple. Must be
+	// unique per tuple (primary-key joins; the CH query set satisfies
+	// this).
+	BuildKey func(tup []byte) uint64
+	// ProbeKey computes the lookup key from the driver tuple and the
+	// previously joined tuples.
+	ProbeKey func(driver []byte, joined [][]byte) uint64
+	// Pred optionally filters the joined tuple; nil accepts all.
+	Pred func(tup []byte) bool
+}
+
+// Query is one analytical query: scan a driver table, filter, run a
+// chain of hash-join probes, and aggregate the surviving combinations.
+type Query struct {
+	// Name labels the query in reports (e.g. "Q5").
+	Name string
+	// Driver is the scanned fact table.
+	Driver storage.TableID
+	// DriverPred filters driver tuples; nil accepts all.
+	DriverPred func(tup []byte) bool
+	// Probes are applied in order; a missed probe drops the row.
+	Probes []Probe
+	// Aggs produce the output values.
+	Aggs []AggSpec
+}
+
+// Result carries one query's aggregate outputs, in AggSpec order.
+type Result struct {
+	Query  *Query
+	Values []float64
+	// Rows is the number of row combinations that survived all
+	// predicates and probes.
+	Rows int64
+	Err  error
+}
+
+// Engine executes query batches against an OLAP replica.
+type Engine struct {
+	replica *olap.Replica
+	// Workers bounds the scan/build parallelism (paper: the OLAP
+	// replica's dedicated cores).
+	workers int
+
+	// QueryAtATime disables scan sharing: each query performs its own
+	// scan pass. Used by the ablation benchmark.
+	QueryAtATime bool
+
+	mu     sync.Mutex
+	builds map[buildID]*build
+}
+
+type buildID struct {
+	table storage.TableID
+	key   string
+}
+
+type build struct {
+	version uint64
+	rows    map[uint64][]byte
+}
+
+// NewEngine creates an executor with the given parallelism.
+func NewEngine(replica *olap.Replica, workers int) *Engine {
+	if workers <= 0 {
+		workers = 1
+	}
+	return &Engine{replica: replica, workers: workers, builds: make(map[buildID]*build)}
+}
+
+// RunBatch executes all queries as one shared pass per driver table and
+// returns results in query order. It matches olap.RunBatchFunc and is
+// called by the scheduler with updates quiesced.
+func (e *Engine) RunBatch(queries []*Query, snap uint64) []Result {
+	results := make([]Result, len(queries))
+	for i, q := range queries {
+		results[i].Query = q
+		results[i].Values = make([]float64, len(q.Aggs))
+	}
+
+	// Stage 1: ensure every needed join build exists and is current.
+	if err := e.prepareBuilds(queries); err != nil {
+		for i := range results {
+			results[i].Err = err
+		}
+		return results
+	}
+
+	// Stage 2: group queries by driver table and share scans.
+	if e.QueryAtATime {
+		for i := range queries {
+			e.scanDriver([]*Query{queries[i]}, []*Result{&results[i]})
+		}
+		return results
+	}
+	byDriver := make(map[storage.TableID][]int)
+	for i, q := range queries {
+		byDriver[q.Driver] = append(byDriver[q.Driver], i)
+	}
+	for _, idxs := range byDriver {
+		qs := make([]*Query, len(idxs))
+		rs := make([]*Result, len(idxs))
+		for j, i := range idxs {
+			qs[j] = queries[i]
+			rs[j] = &results[i]
+		}
+		e.scanDriver(qs, rs)
+	}
+	return results
+}
+
+// prepareBuilds constructs (or revalidates) the shared hash-join build
+// sides needed by the batch. Tables that maintain an incremental PK
+// index are probed through it directly (for "pk" probes), so they never
+// need a build — the key property that keeps per-batch setup cost
+// independent of table size while updates stream in.
+func (e *Engine) prepareBuilds(queries []*Query) error {
+	type needed struct {
+		id buildID
+		fn func(tup []byte) uint64
+	}
+	var needs []needed
+	seen := make(map[buildID]bool)
+	for _, q := range queries {
+		for i := range q.Probes {
+			p := &q.Probes[i]
+			if t := e.replica.Table(p.Table); t != nil && t.HasPKIndex() && p.BuildKeyID == "pk" {
+				continue
+			}
+			id := buildID{p.Table, p.BuildKeyID}
+			if !seen[id] {
+				seen[id] = true
+				needs = append(needs, needed{id, p.BuildKey})
+			}
+		}
+	}
+	for _, n := range needs {
+		t := e.replica.Table(n.id.table)
+		if t == nil {
+			return fmt.Errorf("exec: probe into unknown table %d", n.id.table)
+		}
+		e.mu.Lock()
+		b := e.builds[n.id]
+		if b != nil && b.version == t.Version() {
+			e.mu.Unlock()
+			continue // cached build still valid
+		}
+		e.mu.Unlock()
+		nb := &build{version: t.Version(), rows: make(map[uint64][]byte, t.Live())}
+		for _, part := range t.Partitions {
+			part.Scan(func(_ uint64, tup []byte) bool {
+				nb.rows[n.fn(tup)] = tup
+				return true
+			})
+		}
+		e.mu.Lock()
+		e.builds[n.id] = nb
+		e.mu.Unlock()
+	}
+	return nil
+}
+
+// scanDriver performs one shared scan over the driver table of qs,
+// evaluating every query on every live tuple. Partitions are processed
+// in parallel; per-partition partial aggregates are merged at the end.
+func (e *Engine) scanDriver(qs []*Query, rs []*Result) {
+	t := e.replica.Table(qs[0].Driver)
+	if t == nil {
+		err := fmt.Errorf("exec: unknown driver table %d", qs[0].Driver)
+		for _, r := range rs {
+			r.Err = err
+		}
+		return
+	}
+	// Resolve each probe to either a shared build map or the target
+	// table's incremental PK index.
+	type lookup struct {
+		rows    map[uint64][]byte // nil when probing the PK index
+		pkTable *olap.Table
+	}
+	lookups := make([][]lookup, len(qs))
+	e.mu.Lock()
+	for qi, q := range qs {
+		lookups[qi] = make([]lookup, len(q.Probes))
+		for pi := range q.Probes {
+			p := &q.Probes[pi]
+			if pt := e.replica.Table(p.Table); pt != nil && pt.HasPKIndex() && p.BuildKeyID == "pk" {
+				lookups[qi][pi] = lookup{pkTable: pt}
+				continue
+			}
+			lookups[qi][pi] = lookup{rows: e.builds[buildID{p.Table, p.BuildKeyID}].rows}
+		}
+	}
+	e.mu.Unlock()
+
+	parts := t.Partitions
+	type partial struct {
+		values [][]float64
+		rows   []int64
+	}
+	partials := make([]partial, len(parts))
+	sem := make(chan struct{}, e.workers)
+	var wg sync.WaitGroup
+	for pi, part := range parts {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(pi int, part *olap.Partition) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			vals := make([][]float64, len(qs))
+			rows := make([]int64, len(qs))
+			for qi, q := range qs {
+				vals[qi] = make([]float64, len(q.Aggs))
+			}
+			joined := make([][]byte, 0, 8)
+			part.Scan(func(_ uint64, tup []byte) bool {
+				for qi, q := range qs {
+					if q.DriverPred != nil && !q.DriverPred(tup) {
+						continue
+					}
+					joined = joined[:0]
+					ok := true
+					for pi2 := range q.Probes {
+						p := &q.Probes[pi2]
+						lk := &lookups[qi][pi2]
+						var match []byte
+						var found bool
+						if lk.pkTable != nil {
+							match, found = lk.pkTable.GetByPK(p.ProbeKey(tup, joined))
+						} else {
+							match, found = lk.rows[p.ProbeKey(tup, joined)]
+						}
+						if !found || (p.Pred != nil && !p.Pred(match)) {
+							ok = false
+							break
+						}
+						joined = append(joined, match)
+					}
+					if !ok {
+						continue
+					}
+					rows[qi]++
+					for ai := range q.Aggs {
+						switch q.Aggs[ai].Kind {
+						case Sum:
+							vals[qi][ai] += q.Aggs[ai].Value(tup, joined)
+						case Count:
+							vals[qi][ai]++
+						}
+					}
+				}
+				return true
+			})
+			partials[pi] = partial{values: vals, rows: rows}
+		}(pi, part)
+	}
+	wg.Wait()
+	for _, p := range partials {
+		for qi := range qs {
+			rs[qi].Rows += p.rows[qi]
+			for ai := range p.values[qi] {
+				rs[qi].Values[ai] += p.values[qi][ai]
+			}
+		}
+	}
+}

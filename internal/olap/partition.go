@@ -1,0 +1,158 @@
+// Package olap implements BatchDB's analytical component: the secondary
+// replica of paper §5 and the right half of Fig. 1.
+//
+// The replica stores a single snapshot of the data — no version
+// metadata at all — which is only sound because the batch scheduler
+// (scheduler.go) guarantees that queries and update application never
+// overlap: queries run one batch at a time as a read-only transaction on
+// the latest snapshot, and the propagated OLTP updates are applied
+// in-between two batches (paper §3, §5). Consequently the partition
+// structures below are entirely unsynchronized: exclusive phases replace
+// locks.
+//
+// Data is horizontally soft-partitioned by a hash of the hidden RowID
+// attribute, which both spreads scan work and lets updates be applied to
+// all partitions in parallel (paper Fig. 4).
+package olap
+
+import (
+	"fmt"
+
+	"batchdb/internal/storage"
+)
+
+// Partition is one horizontal slice of a replicated table: fixed-width
+// tuple slots, a free list of deleted slots, and a hash index from RowID
+// to slot.
+//
+// The paper implements the RowID index as a cacheline-sized-bucket hash
+// table scanned with grouped software prefetching [10]; Go offers no
+// portable prefetch intrinsics, so the built-in map plays that role —
+// same asymptotics, same role in the apply "hash join" of step 3.
+type Partition struct {
+	schema    *storage.Schema
+	tupleSize int
+
+	// data holds slot i at [i*tupleSize, (i+1)*tupleSize).
+	data []byte
+	// rowIDs annotates each slot with its tuple's RowID; 0 marks an
+	// empty slot (a tombstone the scan processor skips, paper §5 step 3).
+	rowIDs []uint64
+	// free lists reusable slots (deleted tuples).
+	free []int32
+	// index maps RowID -> slot.
+	index map[uint64]int32
+
+	live int
+}
+
+// NewPartition creates an empty partition sized for capacityHint tuples.
+func NewPartition(schema *storage.Schema, capacityHint int) *Partition {
+	if capacityHint < 16 {
+		capacityHint = 16
+	}
+	return &Partition{
+		schema:    schema,
+		tupleSize: schema.TupleSize(),
+		data:      make([]byte, 0, capacityHint*schema.TupleSize()),
+		rowIDs:    make([]uint64, 0, capacityHint),
+		index:     make(map[uint64]int32, capacityHint),
+	}
+}
+
+// Insert places a tuple under rowID, reusing a free slot if possible
+// (paper §5: "the tuple is inserted into the next free slot of the
+// partition, possibly at a location where a tuple was recently
+// deleted"). Inserting an already-present RowID is a replica-divergence
+// bug and returns an error.
+func (p *Partition) Insert(rowID uint64, tuple []byte) error {
+	if _, dup := p.index[rowID]; dup {
+		return fmt.Errorf("olap: duplicate insert of RowID %d in table %s", rowID, p.schema.Name)
+	}
+	var slot int32
+	if n := len(p.free); n > 0 {
+		slot = p.free[n-1]
+		p.free = p.free[:n-1]
+		copy(p.data[int(slot)*p.tupleSize:], tuple)
+		p.rowIDs[slot] = rowID
+	} else {
+		slot = int32(len(p.rowIDs))
+		p.data = append(p.data, tuple...)
+		p.rowIDs = append(p.rowIDs, rowID)
+	}
+	p.index[rowID] = slot
+	p.live++
+	return nil
+}
+
+// Locate resolves a RowID to its slot through the hash index. Apply
+// step 3 coalesces all field patches of one tuple behind a single
+// lookup (the per-tuple "hash join" of paper Fig. 4).
+func (p *Partition) Locate(rowID uint64) (int32, bool) {
+	slot, ok := p.index[rowID]
+	return slot, ok
+}
+
+// PatchSlot applies one field patch to an already-located slot.
+func (p *Partition) PatchSlot(slot int32, offset uint32, data []byte) error {
+	if int(offset)+len(data) > p.tupleSize {
+		return fmt.Errorf("olap: update beyond tuple bounds (table %s, offset %d, size %d)", p.schema.Name, offset, len(data))
+	}
+	copy(p.data[int(slot)*p.tupleSize+int(offset):], data)
+	return nil
+}
+
+// UpdateField patches [offset, offset+len(data)) of the tuple with the
+// given RowID in place (paper §5: updates are applied at the granularity
+// of single attributes).
+func (p *Partition) UpdateField(rowID uint64, offset uint32, data []byte) error {
+	slot, ok := p.index[rowID]
+	if !ok {
+		return fmt.Errorf("olap: update of unknown RowID %d in table %s", rowID, p.schema.Name)
+	}
+	return p.PatchSlot(slot, offset, data)
+}
+
+// Delete tombstones the tuple with the given RowID and recycles its
+// slot.
+func (p *Partition) Delete(rowID uint64) error {
+	slot, ok := p.index[rowID]
+	if !ok {
+		return fmt.Errorf("olap: delete of unknown RowID %d in table %s", rowID, p.schema.Name)
+	}
+	delete(p.index, rowID)
+	p.rowIDs[slot] = 0
+	p.free = append(p.free, slot)
+	p.live--
+	return nil
+}
+
+// Live returns the number of live tuples.
+func (p *Partition) Live() int { return p.live }
+
+// Slots returns the number of allocated slots (live + tombstoned).
+func (p *Partition) Slots() int { return len(p.rowIDs) }
+
+// Scan visits every live tuple. The callback receives the RowID and the
+// tuple bytes (aliasing partition storage — do not retain). Returning
+// false stops the scan.
+func (p *Partition) Scan(fn func(rowID uint64, tuple []byte) bool) {
+	ts := p.tupleSize
+	for i, rid := range p.rowIDs {
+		if rid == 0 {
+			continue // tombstone
+		}
+		if !fn(rid, p.data[i*ts:(i+1)*ts]) {
+			return
+		}
+	}
+}
+
+// Get returns the tuple bytes for rowID (aliasing partition storage).
+func (p *Partition) Get(rowID uint64) ([]byte, bool) {
+	slot, ok := p.index[rowID]
+	if !ok {
+		return nil, false
+	}
+	return p.data[int(slot)*p.tupleSize : (int(slot)+1)*p.tupleSize], true
+}

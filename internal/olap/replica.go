@@ -1,0 +1,212 @@
+package olap
+
+import (
+	"fmt"
+	"sync"
+
+	"batchdb/internal/index"
+	"batchdb/internal/proplog"
+	"batchdb/internal/storage"
+)
+
+// Table is one replicated relation: its schema and hash(RowID)
+// partitions.
+type Table struct {
+	Schema     *storage.Schema
+	Partitions []*Partition
+
+	// version counts data-changing events (loads and applied update
+	// rounds). The shared-execution engine uses it to cache join build
+	// sides for tables that did not change — static dimension tables
+	// keep their builds across batches.
+	version uint64
+
+	// pkFn and pkIdx implement an optional primary-key index
+	// (pk -> RowID) maintained incrementally during load and update
+	// application. The shared-execution engine probes it for join
+	// lookups into tables that change every batch, so no hash-join
+	// build side ever has to be rebuilt from a full scan.
+	pkFn  func(tup []byte) uint64
+	pkIdx *index.Hash[uint64]
+}
+
+// Version returns the table's data version; it changes whenever tuples
+// are loaded or updates applied.
+func (t *Table) Version() uint64 { return t.version }
+
+// SetPK installs a primary-key extractor and enables the incremental PK
+// index. Must be called before any data is loaded. Primary keys must be
+// immutable under updates (BatchDB's workloads guarantee this; the
+// primary replica's rows are keyed the same way).
+func (t *Table) SetPK(fn func(tup []byte) uint64, capacityHint int) {
+	t.pkFn = fn
+	t.pkIdx = index.NewHash[uint64](capacityHint)
+}
+
+// HasPKIndex reports whether the table maintains a PK index.
+func (t *Table) HasPKIndex() bool { return t.pkIdx != nil }
+
+// GetByPK resolves a primary key to the live tuple bytes via the PK
+// index and the owning partition's RowID index.
+func (t *Table) GetByPK(pk uint64) ([]byte, bool) {
+	rowID, ok := t.pkIdx.Get(pk)
+	if !ok {
+		return nil, false
+	}
+	return t.partitionOf(rowID).Get(rowID)
+}
+
+// pkInsert/pkDelete maintain the PK index during load and apply.
+func (t *Table) pkInsert(tup []byte, rowID uint64) {
+	if t.pkIdx != nil {
+		t.pkIdx.Put(t.pkFn(tup), rowID)
+	}
+}
+
+func (t *Table) pkDelete(tup []byte) {
+	if t.pkIdx != nil {
+		t.pkIdx.Delete(t.pkFn(tup))
+	}
+}
+
+// partitionOf routes a RowID to its partition (paper §5: horizontal
+// soft-partitioning on a hash of the RowID attribute).
+func (t *Table) partitionOf(rowID uint64) *Partition {
+	h := rowID * 0x9E3779B97F4A7C15
+	return t.Partitions[h%uint64(len(t.Partitions))]
+}
+
+// Live returns the number of live tuples across all partitions.
+func (t *Table) Live() int {
+	n := 0
+	for _, p := range t.Partitions {
+		n += p.Live()
+	}
+	return n
+}
+
+// Replica is the OLAP replica: a set of partitioned single-snapshot
+// tables plus the queue of propagated-but-not-yet-applied OLTP updates
+// (the "OLTP Update Queue" of paper Fig. 1).
+type Replica struct {
+	tables map[storage.TableID]*Table
+	order  []*Table
+	parts  int
+
+	// pending holds pushed update batches awaiting application. Guarded
+	// by mu: pushes arrive from the primary's dispatcher goroutine while
+	// the OLAP dispatcher drains between query batches.
+	mu       sync.Mutex
+	pending  []proplog.Batch
+	covered  uint64 // highest upTo received
+	applied  uint64 // snapshot VID the stored data corresponds to
+	floor    uint64 // updates at or below this VID are already in the data
+	applyErr error
+}
+
+// NewReplica creates a replica whose tables are split into parts
+// partitions each (paper: one partition per OLAP worker core).
+func NewReplica(parts int) *Replica {
+	if parts <= 0 {
+		parts = 1
+	}
+	return &Replica{tables: make(map[storage.TableID]*Table), parts: parts}
+}
+
+// CreateTable registers a replicated relation. All DDL must precede use.
+func (r *Replica) CreateTable(schema *storage.Schema, capacityHint int) *Table {
+	t := &Table{Schema: schema}
+	per := capacityHint / r.parts
+	for i := 0; i < r.parts; i++ {
+		t.Partitions = append(t.Partitions, NewPartition(schema, per))
+	}
+	r.tables[schema.ID] = t
+	r.order = append(r.order, t)
+	return t
+}
+
+// Table returns the replicated table with the given ID, or nil.
+func (r *Replica) Table(id storage.TableID) *Table { return r.tables[id] }
+
+// Tables returns all replicated tables in creation order.
+func (r *Replica) Tables() []*Table { return r.order }
+
+// Partitions returns the partition count per table.
+func (r *Replica) Partitions() int { return r.parts }
+
+// LoadTuple inserts one tuple during initial load (VID 0 state), before
+// the replica starts receiving propagated updates.
+func (r *Replica) LoadTuple(id storage.TableID, rowID uint64, tuple []byte) error {
+	t := r.tables[id]
+	if t == nil {
+		return fmt.Errorf("olap: load into unknown table %d", id)
+	}
+	t.version++
+	if err := t.partitionOf(rowID).Insert(rowID, tuple); err != nil {
+		return err
+	}
+	t.pkInsert(tuple, rowID)
+	return nil
+}
+
+// ApplyUpdates implements the primary's update sink: pushed batches are
+// queued (not applied) so queries currently executing are never
+// disturbed; the OLAP dispatcher applies them between query batches.
+func (r *Replica) ApplyUpdates(batches []proplog.Batch, upTo uint64) {
+	r.mu.Lock()
+	r.pending = append(r.pending, batches...)
+	if upTo > r.covered {
+		r.covered = upTo
+	}
+	r.mu.Unlock()
+}
+
+// Covered returns the highest VID for which all updates have been
+// received (though not necessarily applied).
+func (r *Replica) Covered() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.covered
+}
+
+// AppliedVID returns the snapshot VID the replica's data reflects.
+func (r *Replica) AppliedVID() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied
+}
+
+// takePending removes and returns the queued batches (called by the
+// apply step with query execution quiesced).
+func (r *Replica) takePending() []proplog.Batch {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.pending
+	r.pending = nil
+	return b
+}
+
+// SetFloor declares that the replica's data already reflects every
+// update with VID <= v; such updates arriving through ApplyUpdates are
+// discarded instead of applied. A replica bootstrapped from a snapshot
+// taken at VID v sets the floor to v, which makes it safe to attach the
+// update feed *before* shipping the snapshot (no update is lost, none is
+// applied twice).
+func (r *Replica) SetFloor(v uint64) {
+	r.mu.Lock()
+	if v > r.floor {
+		r.floor = v
+	}
+	if v > r.applied {
+		r.applied = v
+	}
+	r.mu.Unlock()
+}
+
+func (r *Replica) setApplied(v uint64) {
+	r.mu.Lock()
+	if v > r.applied {
+		r.applied = v
+	}
+	r.mu.Unlock()
+}

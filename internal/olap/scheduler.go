@@ -1,0 +1,181 @@
+package olap
+
+import (
+	"errors"
+	"time"
+
+	"batchdb/internal/metrics"
+)
+
+// Primary is the OLAP dispatcher's view of the transactional component:
+// asking it for the latest committed snapshot version forces an
+// immediate push of all extracted updates (paper Fig. 1 "Fetch latest
+// snapshot version").
+type Primary interface {
+	SyncUpdates() uint64
+}
+
+// StaticPrimary is a Primary for replicas with no live OLTP feed (e.g.
+// loaded once for analytics benchmarks); it always reports the given
+// VID.
+type StaticPrimary uint64
+
+// SyncUpdates returns the fixed VID.
+func (s StaticPrimary) SyncUpdates() uint64 { return uint64(s) }
+
+// RunBatchFunc executes one batch of queries against the replica as a
+// single read-only transaction on snapshot snap and returns one result
+// per query, in order. The scheduler guarantees no updates are applied
+// while it runs.
+type RunBatchFunc[Q, R any] func(queries []Q, snap uint64) []R
+
+// SchedulerStats exposes the OLAP dispatcher's counters.
+type SchedulerStats struct {
+	Queries        metrics.Counter
+	Batches        metrics.Counter
+	AppliedEntries metrics.Counter
+	// Latency measures queue + execution time per query (what a client
+	// observes, paper Fig. 7b).
+	Latency metrics.Histogram
+	// BatchExec measures pure batch execution time.
+	BatchExec metrics.Histogram
+	// ApplyTime accumulates time spent applying updates between batches.
+	ApplyTime metrics.Histogram
+	Busy      metrics.BusyTracker
+}
+
+// Scheduler is the OLAP dispatcher (paper Fig. 1 right, §5 "Query
+// scheduling"): incoming queries queue up; the scheduler repeatedly
+// (1) collects all queued queries into one batch, (2) fetches the latest
+// committed snapshot version from the primary, (3) applies the queued
+// updates up to that version, and (4) executes the whole batch as one
+// read-only transaction on that single snapshot.
+type Scheduler[Q, R any] struct {
+	replica *Replica
+	primary Primary
+	run     RunBatchFunc[Q, R]
+
+	queue    chan schedReq[Q, R]
+	closing  chan struct{}
+	closed   chan struct{}
+	maxBatch int
+
+	stats SchedulerStats
+
+	// lastApply records the most recent apply round's stats for
+	// inspection by benchmarks (Table 1).
+	lastApply ApplyStats
+}
+
+type schedReq[Q, R any] struct {
+	q       Q
+	reply   chan R
+	arrived time.Time
+}
+
+// NewScheduler creates an OLAP dispatcher over replica, syncing with
+// primary and executing batches with run.
+func NewScheduler[Q, R any](replica *Replica, primary Primary, run RunBatchFunc[Q, R]) *Scheduler[Q, R] {
+	return &Scheduler[Q, R]{
+		replica:  replica,
+		primary:  primary,
+		run:      run,
+		queue:    make(chan schedReq[Q, R], 16384),
+		closing:  make(chan struct{}),
+		closed:   make(chan struct{}),
+		maxBatch: 8192,
+	}
+}
+
+// Stats returns the scheduler's counters.
+func (s *Scheduler[Q, R]) Stats() *SchedulerStats { return &s.stats }
+
+// LastApply returns the statistics of the most recent update-application
+// round.
+func (s *Scheduler[Q, R]) LastApply() ApplyStats { return s.lastApply }
+
+// Start launches the dispatcher loop.
+func (s *Scheduler[Q, R]) Start() { go s.loop() }
+
+// Close stops the dispatcher after the current batch.
+func (s *Scheduler[Q, R]) Close() {
+	close(s.closing)
+	<-s.closed
+}
+
+// ErrSchedulerClosed reports a query submitted after Close.
+var ErrSchedulerClosed = errors.New("olap: scheduler closed")
+
+// Query submits one analytical query and waits for its result.
+func (s *Scheduler[Q, R]) Query(q Q) (R, error) {
+	var zero R
+	reply := make(chan R, 1)
+	select {
+	case s.queue <- schedReq[Q, R]{q: q, reply: reply, arrived: time.Now()}:
+	case <-s.closing:
+		return zero, ErrSchedulerClosed
+	}
+	select {
+	case r := <-reply:
+		return r, nil
+	case <-s.closed:
+		return zero, ErrSchedulerClosed
+	}
+}
+
+func (s *Scheduler[Q, R]) loop() {
+	defer close(s.closed)
+	reqs := make([]schedReq[Q, R], 0, 256)
+	for {
+		// Wait for at least one query (or shutdown).
+		reqs = reqs[:0]
+		select {
+		case r := <-s.queue:
+			reqs = append(reqs, r)
+		case <-s.closing:
+			return
+		}
+		// Batch all concurrently queued queries (paper: "batches all
+		// concurrent OLAP queries in the system").
+	drain:
+		for len(reqs) < s.maxBatch {
+			select {
+			case r := <-s.queue:
+				reqs = append(reqs, r)
+			default:
+				break drain
+			}
+		}
+
+		// Fetch the latest committed snapshot version and apply the
+		// propagated updates up to it.
+		t0 := time.Now()
+		target := s.primary.SyncUpdates()
+		st, err := s.replica.ApplyPending(target)
+		s.stats.ApplyTime.RecordSince(t0)
+		s.lastApply = st
+		s.stats.AppliedEntries.Add(uint64(st.Entries))
+		if err != nil {
+			// Replica divergence is unrecoverable; surface loudly.
+			panic(err)
+		}
+
+		// Execute the whole batch as one read-only transaction on the
+		// (single) latest snapshot.
+		queries := make([]Q, len(reqs))
+		for i := range reqs {
+			queries[i] = reqs[i].q
+		}
+		t1 := time.Now()
+		results := s.run(queries, target)
+		d := time.Since(t1)
+		s.stats.BatchExec.Record(int64(d))
+		s.stats.Busy.Track(time.Since(t0))
+		s.stats.Batches.Inc()
+		for i := range reqs {
+			s.stats.Queries.Inc()
+			s.stats.Latency.RecordSince(reqs[i].arrived)
+			reqs[i].reply <- results[i]
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package oltp
+
+import (
+	"sort"
+	"time"
+
+	"batchdb/internal/proplog"
+	"batchdb/internal/wal"
+)
+
+// dispatch is the OLTP dispatcher loop (paper Fig. 1, §4 "Scheduling"):
+// it runs one batch of requests at a time, performs group commit of the
+// durable log at batch boundaries, and pushes the extracted physical
+// updates to the OLAP sink either on demand or every PushPeriod.
+func (e *Engine) dispatch() {
+	defer close(e.closed)
+	lastPush := time.Now()
+	var lastGCCommits uint64
+	pending := make([]request, 0, e.cfg.MaxBatch)
+	timer := time.NewTimer(e.cfg.PushPeriod)
+	defer timer.Stop()
+
+	for {
+		// Gather the next batch: drain whatever has queued up, blocking
+		// only when there is nothing to do.
+		pending = pending[:0]
+		var syncWaiters []chan uint64
+		select {
+		case r := <-e.queue:
+			pending = append(pending, r)
+		case s := <-e.syncReq:
+			syncWaiters = append(syncWaiters, s)
+		case <-timer.C:
+		case <-e.closing:
+			e.drainAndStop(pending)
+			return
+		}
+	drain:
+		for len(pending) < e.cfg.MaxBatch {
+			select {
+			case r := <-e.queue:
+				pending = append(pending, r)
+			case s := <-e.syncReq:
+				syncWaiters = append(syncWaiters, s)
+			default:
+				break drain
+			}
+		}
+
+		if len(pending) > 0 {
+			e.runBatch(pending)
+			if c := e.stats.Committed.Load(); e.cfg.GCEveryTxns > 0 && c-lastGCCommits >= uint64(e.cfg.GCEveryTxns) {
+				e.store.CollectGarbage()
+				lastGCCommits = c
+			}
+		}
+
+		// Batch boundary: push updates if asked for, or if the push
+		// period elapsed (paper §3.2).
+		if len(syncWaiters) > 0 || time.Since(lastPush) >= e.cfg.PushPeriod {
+			covered := e.pushUpdates()
+			lastPush = time.Now()
+			for _, s := range syncWaiters {
+				s <- covered
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(e.cfg.PushPeriod)
+	}
+}
+
+// runBatch distributes requests round-robin over the workers, waits for
+// completion, and group-commits the durable log.
+func (e *Engine) runBatch(batch []request) {
+	n := len(e.workers)
+	shares := make([][]request, n)
+	per := (len(batch) + n - 1) / n
+	for i := range shares {
+		shares[i] = make([]request, 0, per)
+	}
+	for i, r := range batch {
+		shares[i%n] = append(shares[i%n], r)
+	}
+	active := 0
+	for i, w := range e.workers {
+		if len(shares[i]) > 0 {
+			w.in <- shares[i]
+			active++
+		}
+	}
+	var recs []walRec
+	for i, w := range e.workers {
+		if len(shares[i]) > 0 {
+			res := <-w.out
+			recs = append(recs, res.walRecs...)
+		}
+	}
+	e.stats.Batches.Inc()
+	if e.log != nil && len(recs) > 0 {
+		// Log in commit-VID order so replay is deterministic; committed
+		// VIDs are dense, which recovery asserts.
+		sort.Slice(recs, func(i, j int) bool { return recs[i].commitVID < recs[j].commitVID })
+		for _, r := range recs {
+			e.log.Append(wal.Record{
+				CommitVID: r.commitVID, ReadVID: r.readVID, Proc: r.proc, Args: r.args,
+			})
+		}
+		e.log.Commit() // group commit for the whole batch
+	}
+}
+
+// pushUpdates takes every worker's update buffer (all workers are idle
+// at a batch boundary, so this is race-free) and hands the batches to
+// the sink. Returns the covered watermark.
+func (e *Engine) pushUpdates() uint64 {
+	covered := e.store.VIDs.Watermark()
+	holder := e.sink.Load()
+	if holder == nil {
+		// NoRep: discard extracted updates so buffers stay bounded.
+		for _, w := range e.workers {
+			if w.updates.Len() > 0 {
+				w.updates.Take()
+			}
+		}
+		return covered
+	}
+	var batches []proplog.Batch
+	for _, w := range e.workers {
+		if w.updates.Len() > 0 {
+			b := w.updates.Take()
+			batches = append(batches, b)
+		}
+	}
+	holder.s.ApplyUpdates(batches, covered)
+	e.stats.Pushes.Inc()
+	return covered
+}
+
+// drainAndStop flushes extracted updates and fails queued requests
+// during shutdown.
+func (e *Engine) drainAndStop(pending []request) {
+	e.pushUpdates() // final push so no committed update is stranded
+	for _, r := range pending {
+		r.reply <- Response{Err: ErrClosed}
+	}
+	for {
+		select {
+		case r := <-e.queue:
+			r.reply <- Response{Err: ErrClosed}
+		case s := <-e.syncReq:
+			s <- e.store.VIDs.Watermark()
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,294 @@
+// Package oltp implements BatchDB's transactional component: the primary
+// replica of paper §4 and the left half of Fig. 1.
+//
+// Clients submit stored-procedure calls. A single dispatcher schedules
+// them one batch at a time: while a batch executes, incoming requests
+// queue up; when the batch finishes, the dispatcher drains the queue and
+// hands requests to worker threads round-robin. Batch boundaries are
+// where the cheap amortized work happens — group commit of the command
+// log, garbage-collection triggering, and propagation of the physical
+// update log to the OLAP replica (every push period, or immediately when
+// the OLAP dispatcher asks for the latest snapshot version).
+package oltp
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"batchdb/internal/metrics"
+	"batchdb/internal/mvcc"
+	"batchdb/internal/proplog"
+	"batchdb/internal/storage"
+	"batchdb/internal/wal"
+)
+
+// Procedure is a natively registered stored procedure. It must be
+// deterministic given (args, snapshot): all randomness belongs in args,
+// which is what makes command logging sufficient for recovery. The
+// returned payload is delivered to the client verbatim.
+type Procedure func(tx *mvcc.Txn, args []byte) ([]byte, error)
+
+// UpdateSink receives pushed update batches. It is implemented by the
+// local OLAP replica and by the network forwarder for remote replicas.
+// upTo is the commit watermark covered: after the call, the sink holds
+// every update with VID <= upTo.
+type UpdateSink interface {
+	ApplyUpdates(batches []proplog.Batch, upTo uint64)
+}
+
+// Config parameterizes the OLTP engine.
+type Config struct {
+	// Workers is the number of worker threads (paper: one NUMA node's
+	// cores). Default 4.
+	Workers int
+	// PushPeriod bounds update staleness: updates are pushed at the
+	// first batch boundary after this period even if the OLAP replica
+	// did not ask (paper §3.2: 200 ms). Default 200 ms.
+	PushPeriod time.Duration
+	// MaxBatch caps how many queued requests one batch may absorb.
+	// Default 8192.
+	MaxBatch int
+	// Replicated marks the tables whose updates are extracted and
+	// propagated (paper §8.3 propagates only the relations used by the
+	// analytical workload). Nil propagates every table.
+	Replicated map[storage.TableID]bool
+	// FieldSpecific selects sub-tuple (offset/size) update extraction
+	// rather than whole-tuple images (paper Fig. 6 compares both).
+	FieldSpecific bool
+	// WALPath enables command logging when non-empty.
+	WALPath string
+	// WALSync forces fsync per group commit.
+	WALSync bool
+	// GCEveryTxns triggers version garbage collection after this many
+	// commits. GC passes scan every version chain and index, so they
+	// must be infrequent; but ordered indexes over high-churn tables
+	// (TPC-C new_order) accumulate dead entries between passes, so they
+	// must not be too rare either. Default 5000.
+	GCEveryTxns int
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.PushPeriod <= 0 {
+		c.PushPeriod = 200 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8192
+	}
+	if c.GCEveryTxns == 0 {
+		c.GCEveryTxns = 5000
+	}
+}
+
+// Stats exposes the engine's performance counters.
+type Stats struct {
+	Committed    metrics.Counter
+	Aborted      metrics.Counter
+	Conflicts    metrics.Counter
+	Batches      metrics.Counter
+	Pushes       metrics.Counter
+	PushedTuples metrics.Counter
+	Latency      metrics.Histogram
+	Busy         metrics.BusyTracker
+}
+
+// Response is the outcome of one stored-procedure call.
+type Response struct {
+	// Payload is the procedure's result.
+	Payload []byte
+	// CommitVID is the commit VID (0 for read-only procedures).
+	CommitVID uint64
+	// Err is nil on commit; mvcc.ErrConflict signals a retryable abort.
+	Err error
+}
+
+// request travels from client to dispatcher to worker.
+type request struct {
+	proc    string
+	args    []byte
+	reply   chan Response
+	arrived time.Time
+}
+
+// Engine is the OLTP replica.
+type Engine struct {
+	cfg   Config
+	store *mvcc.Store
+	procs map[string]Procedure
+	sink  atomic.Pointer[sinkHolder]
+
+	queue   chan request
+	syncReq chan chan uint64
+	closing chan struct{}
+	closed  chan struct{}
+
+	workers []*worker
+	log     *wal.Log
+	started bool
+
+	stats Stats
+}
+
+// New creates an engine over an existing store. Register procedures and
+// load data before calling Start.
+func New(store *mvcc.Store, cfg Config) (*Engine, error) {
+	cfg.fill()
+	e := &Engine{
+		cfg:     cfg,
+		store:   store,
+		procs:   make(map[string]Procedure),
+		queue:   make(chan request, cfg.MaxBatch*2),
+		syncReq: make(chan chan uint64, 16),
+		closing: make(chan struct{}),
+		closed:  make(chan struct{}),
+	}
+	if cfg.WALPath != "" {
+		l, err := wal.Create(cfg.WALPath, wal.Options{Sync: cfg.WALSync})
+		if err != nil {
+			return nil, err
+		}
+		e.log = l
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		e.workers = append(e.workers, newWorker(i, e))
+	}
+	return e, nil
+}
+
+// Store returns the underlying MVCC store.
+func (e *Engine) Store() *mvcc.Store { return e.store }
+
+// Stats returns the engine's counters.
+func (e *Engine) Stats() *Stats { return &e.stats }
+
+// Register installs a stored procedure under name. Must be called
+// before Start.
+func (e *Engine) Register(name string, p Procedure) {
+	e.procs[name] = p
+}
+
+// Proc returns the registered procedure with the given name, or nil.
+// Exposed so alternative schedulers (the shared-engine baselines of
+// paper §8.5) can reuse the same procedure implementations.
+func (e *Engine) Proc(name string) Procedure { return e.procs[name] }
+
+type sinkHolder struct{ s UpdateSink }
+
+// multiSink fans one push out to several sinks.
+type multiSink []UpdateSink
+
+// ApplyUpdates delivers the push to every sink.
+func (m multiSink) ApplyUpdates(batches []proplog.Batch, upTo uint64) {
+	for _, s := range m {
+		s.ApplyUpdates(batches, upTo)
+	}
+}
+
+// SetSink installs the update sink, replacing any previous sinks. A nil
+// sink disables propagation (the paper's "NoRep" configuration).
+func (e *Engine) SetSink(s UpdateSink) {
+	if s == nil {
+		e.sink.Store(nil)
+		return
+	}
+	e.sink.Store(&sinkHolder{s: s})
+}
+
+// AddSink attaches an additional update sink at runtime — how new
+// replicas join for elasticity (paper §3.2, §6: the primary can feed
+// multiple secondaries). Pushes after this call reach the new sink;
+// combine with a snapshot bootstrap and the replica's VID floor to
+// avoid gaps or double-application.
+func (e *Engine) AddSink(s UpdateSink) {
+	for {
+		old := e.sink.Load()
+		var next UpdateSink = s
+		if old != nil {
+			if m, ok := old.s.(multiSink); ok {
+				next = append(append(multiSink(nil), m...), s)
+			} else {
+				next = multiSink{old.s, s}
+			}
+		}
+		if e.sink.CompareAndSwap(old, &sinkHolder{s: next}) {
+			return
+		}
+	}
+}
+
+// Start launches the dispatcher and workers.
+func (e *Engine) Start() {
+	e.started = true
+	for _, w := range e.workers {
+		go w.run()
+	}
+	go e.dispatch()
+}
+
+// Close drains in-flight work, stops the engine, and closes the log.
+// Closing an engine that was never started only releases the log.
+func (e *Engine) Close() error {
+	close(e.closing)
+	if e.started {
+		<-e.closed
+		for _, w := range e.workers {
+			close(w.in)
+			<-w.done
+		}
+	}
+	if e.log != nil {
+		return e.log.Close()
+	}
+	return nil
+}
+
+// ErrUnknownProc reports a call to an unregistered procedure.
+var ErrUnknownProc = errors.New("oltp: unknown stored procedure")
+
+// ErrClosed reports a call submitted after Close.
+var ErrClosed = errors.New("oltp: engine closed")
+
+// Exec submits a stored-procedure call and waits for its outcome.
+func (e *Engine) Exec(proc string, args []byte) Response {
+	if _, ok := e.procs[proc]; !ok {
+		return Response{Err: fmt.Errorf("%w: %q", ErrUnknownProc, proc)}
+	}
+	reply := make(chan Response, 1)
+	select {
+	case e.queue <- request{proc: proc, args: args, reply: reply, arrived: time.Now()}:
+	case <-e.closing:
+		return Response{Err: ErrClosed}
+	}
+	select {
+	case r := <-reply:
+		return r
+	case <-e.closed:
+		return Response{Err: ErrClosed}
+	}
+}
+
+// LatestVID returns the current committed snapshot watermark.
+func (e *Engine) LatestVID() uint64 { return e.store.VIDs.Watermark() }
+
+// SyncUpdates asks the dispatcher for an immediate push of the physical
+// update log and blocks until the sink has received every update up to
+// the returned VID. This is the "OLAP dispatcher fetches the latest
+// snapshot version" interaction of paper Fig. 1.
+func (e *Engine) SyncUpdates() uint64 {
+	reply := make(chan uint64, 1)
+	select {
+	case e.syncReq <- reply:
+	case <-e.closing:
+		return e.LatestVID()
+	}
+	select {
+	case v := <-reply:
+		return v
+	case <-e.closed:
+		return e.LatestVID()
+	}
+}

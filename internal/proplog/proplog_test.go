@@ -1,0 +1,123 @@
+package proplog
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"batchdb/internal/storage"
+)
+
+func TestBufferAccumulatesPerTable(t *testing.T) {
+	b := NewBuffer(3)
+	b.Add(1, Entry{VID: 1, Kind: Insert, RowID: 10, Size: 2, Data: []byte{1, 2}})
+	b.Add(2, Entry{VID: 1, Kind: Delete, RowID: 20})
+	b.Add(1, Entry{VID: 2, Kind: Update, RowID: 10, Offset: 4, Size: 1, Data: []byte{9}})
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	batch := b.Take()
+	if batch.Worker != 3 || len(batch.Tables) != 2 {
+		t.Fatalf("batch = %+v", batch)
+	}
+	if batch.NumEntries() != 3 {
+		t.Fatalf("NumEntries = %d", batch.NumEntries())
+	}
+	if len(batch.Tables[0].Entries) != 2 || batch.Tables[0].Table != 1 {
+		t.Fatalf("table grouping wrong: %+v", batch.Tables)
+	}
+	// Buffer is reset.
+	if b.Len() != 0 {
+		t.Fatalf("buffer not reset: %d", b.Len())
+	}
+	empty := b.Take()
+	if !empty.Empty() {
+		t.Fatal("fresh buffer not empty")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	b := NewBuffer(7)
+	b.Add(4, Entry{VID: 100, Kind: Insert, RowID: 1, Size: 3, Data: []byte{1, 2, 3}})
+	b.Add(4, Entry{VID: 101, Kind: Update, RowID: 1, Offset: 8, Size: 2, Data: []byte{5, 6}})
+	b.Add(4, Entry{VID: 102, Kind: Delete, RowID: 1})
+	b.Add(9, Entry{VID: 100, Kind: Insert, RowID: 2, Size: 1, Data: []byte{7}})
+	batch := b.Take()
+
+	enc := AppendEncode(nil, &batch)
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Worker != 7 || len(got.Tables) != 2 {
+		t.Fatalf("decoded = %+v", got)
+	}
+	for ti := range batch.Tables {
+		if got.Tables[ti].Table != batch.Tables[ti].Table {
+			t.Fatalf("table %d id mismatch", ti)
+		}
+		for i := range batch.Tables[ti].Entries {
+			w, g := batch.Tables[ti].Entries[i], got.Tables[ti].Entries[i]
+			if w.VID != g.VID || w.Kind != g.Kind || w.RowID != g.RowID ||
+				w.Offset != g.Offset || w.Size != g.Size || !bytes.Equal(w.Data, g.Data) {
+				t.Fatalf("entry %d/%d: %+v != %+v", ti, i, g, w)
+			}
+		}
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	b := NewBuffer(0)
+	b.Add(1, Entry{VID: 1, Kind: Insert, RowID: 1, Size: 8, Data: make([]byte, 8)})
+	batch := b.Take()
+	enc := AppendEncode(nil, &batch)
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("Decode accepted truncation at %d/%d bytes", cut, len(enc))
+		}
+	}
+}
+
+// Property: arbitrary batches survive the wire round trip.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(entries []Entry, tables []uint8, worker uint16) bool {
+		b := NewBuffer(int(worker))
+		for i, e := range entries {
+			e.Size = uint32(len(e.Data))
+			if len(tables) > 0 {
+				b.Add(storage.TableID(2+uint16(tables[i%len(tables)])), e)
+			} else {
+				b.Add(1, e)
+			}
+		}
+		batch := b.Take()
+		want := batch.NumEntries()
+		enc := AppendEncode(nil, &batch)
+		got, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		if got.NumEntries() != want || got.Worker != int(worker) {
+			return false
+		}
+		for ti := range batch.Tables {
+			for i := range batch.Tables[ti].Entries {
+				w, g := batch.Tables[ti].Entries[i], got.Tables[ti].Entries[i]
+				if w.VID != g.VID || w.Kind != g.Kind || w.RowID != g.RowID ||
+					w.Offset != g.Offset || !bytes.Equal(w.Data, g.Data) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Insert.String() != "I" || Update.String() != "U" || Delete.String() != "D" {
+		t.Fatal("Kind.String wrong")
+	}
+}

@@ -1,0 +1,109 @@
+package replica
+
+import (
+	"testing"
+	"time"
+
+	"batchdb/internal/storage"
+)
+
+// A replica whose connection to the primary dies must keep answering
+// queries from its last consistent snapshot: SyncUpdates falls back to
+// the highest covered VID instead of blocking forever.
+func TestSyncAfterConnectionLoss(t *testing.T) {
+	c := newCluster(t)
+	c.engine.Start()
+	for i := int64(1); i <= 10; i++ {
+		if r := c.engine.Exec("put", args2(i, i)); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	covered := c.client.SyncUpdates()
+	if covered != 10 {
+		t.Fatalf("covered = %d", covered)
+	}
+	if _, err := c.replica.ApplyPending(covered); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the transport.
+	c.pub.conn.Close()
+
+	done := make(chan uint64, 1)
+	go func() { done <- c.client.SyncUpdates() }()
+	select {
+	case v := <-done:
+		if v != covered {
+			t.Fatalf("fallback covered = %d, want %d", v, covered)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("SyncUpdates blocked after connection loss")
+	}
+	// The replica's data stays queryable (stale but consistent).
+	if c.replica.Table(1).Live() != 10 {
+		t.Fatalf("replica lost data after disconnect: %d rows", c.replica.Table(1).Live())
+	}
+}
+
+// WaitBootstrap must fail fast when the connection dies before the
+// snapshot completes.
+func TestBootstrapFailure(t *testing.T) {
+	c := newCluster(t)
+	c.pub.conn.Close() // primary side goes away before shipping
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.client.WaitBootstrap()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("WaitBootstrap succeeded with a dead primary")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("WaitBootstrap hung on dead connection")
+	}
+}
+
+// Updates received both via bootstrap snapshot and the live feed are
+// applied exactly once (the VID-floor dedup).
+func TestFloorPreventsDoubleApply(t *testing.T) {
+	c := newCluster(t)
+	c.engine.Start()
+	// Commit before the snapshot so these rows are in both the snapshot
+	// and (because the sink is attached from the start) the update feed.
+	for i := int64(1); i <= 20; i++ {
+		if r := c.engine.Exec("put", args2(i, 5)); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	c.engine.SyncUpdates() // push the updates into the feed
+	if _, err := ShipSnapshot(c.pub.conn, c.engine.Store(), tableIDs1(), 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.client.WaitBootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	covered := c.client.SyncUpdates()
+	if _, err := c.replica.ApplyPending(covered); err != nil {
+		t.Fatalf("double-apply not deduplicated: %v", err)
+	}
+	if got := c.replica.Table(1).Live(); got != 20 {
+		t.Fatalf("rows = %d, want 20", got)
+	}
+	// Post-snapshot updates still apply.
+	for i := int64(21); i <= 25; i++ {
+		if r := c.engine.Exec("put", args2(i, 1)); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	covered = c.client.SyncUpdates()
+	if _, err := c.replica.ApplyPending(covered); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.replica.Table(1).Live(); got != 25 {
+		t.Fatalf("rows after live updates = %d, want 25", got)
+	}
+}
+
+func tableIDs1() []storage.TableID { return []storage.TableID{1} }

@@ -1,0 +1,399 @@
+// Package replica implements BatchDB's cross-machine replication: the
+// primary node ships its physical update log and bootstrap snapshots to
+// remote OLAP replicas over the network transport (paper §6; the
+// "Distributed (RDMA) Replicas" configuration of Fig. 7).
+//
+// Wire protocol, all multiplexed on one ordered connection:
+//
+//	replica -> primary: sync            (fetch latest snapshot version)
+//	primary -> replica: updates         (pushed update batches + upTo)
+//	primary -> replica: syncReply       (covered VID; ordered after the
+//	                                     updates it covers)
+//	primary -> replica: bootRows        (snapshot chunk during bootstrap)
+//	primary -> replica: bootDone        (snapshot VID)
+//
+// Because the connection delivers in order and the primary writes the
+// updates before the matching syncReply, a replica that has read the
+// syncReply is guaranteed to have enqueued every update the reply
+// covers — the same reasoning the paper applies to its RDMA channel.
+package replica
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"batchdb/internal/mvcc"
+	"batchdb/internal/network"
+	"batchdb/internal/olap"
+	"batchdb/internal/oltp"
+	"batchdb/internal/proplog"
+	"batchdb/internal/storage"
+)
+
+// Message types.
+const (
+	msgSync      = 1
+	msgSyncReply = 2
+	msgUpdates   = 3
+	msgBootRows  = 4
+	msgBootDone  = 5
+)
+
+// MultiSink fans updates out to several sinks (e.g. the local replica
+// plus one forwarder per remote replica — the paper's elasticity story:
+// the network is fast enough to feed multiple secondaries).
+type MultiSink []oltp.UpdateSink
+
+// ApplyUpdates delivers the push to every sink.
+func (m MultiSink) ApplyUpdates(batches []proplog.Batch, upTo uint64) {
+	for _, s := range m {
+		s.ApplyUpdates(batches, upTo)
+	}
+}
+
+// --- primary side ------------------------------------------------------
+
+// Publisher runs on the primary node: its Forwarder ships update pushes
+// to one remote replica, and its Serve loop answers that replica's sync
+// requests.
+type Publisher struct {
+	conn   *network.Conn
+	engine *oltp.Engine
+	enc    []byte
+	mu     sync.Mutex
+}
+
+// NewPublisher wraps an established connection to a replica node.
+func NewPublisher(conn *network.Conn, engine *oltp.Engine) *Publisher {
+	return &Publisher{conn: conn, engine: engine}
+}
+
+// ApplyUpdates implements oltp.UpdateSink by shipping the push over the
+// network. It is called from the OLTP dispatcher at batch boundaries.
+func (p *Publisher) ApplyUpdates(batches []proplog.Batch, upTo uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	buf := p.enc[:0]
+	buf = binary.LittleEndian.AppendUint64(buf, upTo)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(batches)))
+	for i := range batches {
+		lenPos := len(buf)
+		buf = append(buf, 0, 0, 0, 0)
+		buf = proplog.AppendEncode(buf, &batches[i])
+		binary.LittleEndian.PutUint32(buf[lenPos:], uint32(len(buf)-lenPos-4))
+	}
+	p.enc = buf
+	// Best effort: a dead replica must not wedge the primary.
+	_ = p.conn.Send(msgUpdates, buf)
+}
+
+// Serve answers sync requests until the connection closes.
+//
+// The reader loop must never block on the engine: a sync request makes
+// the engine's dispatcher push updates through ApplyUpdates, and a push
+// larger than the transport's eager limit waits for a rendezvous grant
+// that only this connection's Recv loop can deliver. Handling syncs on
+// a separate goroutine keeps the reader free to service grants, which
+// breaks that cycle.
+func (p *Publisher) Serve() error {
+	syncs := make(chan struct{}, 64)
+	defer close(syncs)
+	go func() {
+		for range syncs {
+			// SyncUpdates pushes through our ApplyUpdates (among the
+			// engine's sinks) before returning, so the reply is ordered
+			// after the updates it covers.
+			covered := p.engine.SyncUpdates()
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], covered)
+			if err := p.conn.Send(msgSyncReply, b[:]); err != nil {
+				return
+			}
+		}
+	}()
+	for {
+		mt, _, release, err := p.conn.Recv()
+		if err != nil {
+			return err
+		}
+		if release != nil {
+			release()
+		}
+		if mt != msgSync {
+			return fmt.Errorf("replica: primary received unexpected message type %d", mt)
+		}
+		// Every request gets exactly one reply (the client performs one
+		// sync round trip at a time, so this never blocks in practice).
+		syncs <- struct{}{}
+	}
+}
+
+// ShipSnapshot streams the current committed state of the given tables
+// to the replica node, chunked so large tables exercise the bulk
+// (rendezvous) path, and finishes with the snapshot VID. Attach the
+// Publisher to the engine's sink set *before* calling this: the replica
+// discards any update the snapshot already contains (VID floor). The
+// Publisher's Serve loop must already be running, because bulk chunks
+// wait for the receiver's rendezvous grant, which Serve's Recv loop
+// delivers.
+func ShipSnapshot(conn *network.Conn, store *mvcc.Store, tables []storage.TableID, chunkRows int) (uint64, error) {
+	if chunkRows <= 0 {
+		chunkRows = 4096
+	}
+	ro := store.BeginRO()
+	defer ro.Release()
+	snap := ro.Snapshot()
+	for _, id := range tables {
+		t := store.Table(id)
+		if t == nil {
+			return 0, fmt.Errorf("replica: snapshot of unknown table %d", id)
+		}
+		var buf []byte
+		var n int
+		var scanErr error
+		flush := func() error {
+			if n == 0 {
+				return nil
+			}
+			hdr := make([]byte, 6, 6+len(buf))
+			binary.LittleEndian.PutUint16(hdr, uint16(id))
+			binary.LittleEndian.PutUint32(hdr[2:], uint32(n))
+			if err := conn.Send(msgBootRows, append(hdr, buf...)); err != nil {
+				return err
+			}
+			buf, n = buf[:0], 0
+			return nil
+		}
+		t.ScanChains(func(c *mvcc.Chain) bool {
+			rec := ro.ReadChain(c)
+			if rec == nil {
+				return true
+			}
+			buf = binary.LittleEndian.AppendUint64(buf, rec.RowID)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.Data)))
+			buf = append(buf, rec.Data...)
+			n++
+			if n >= chunkRows {
+				if err := flush(); err != nil {
+					scanErr = err
+					return false
+				}
+			}
+			return true
+		})
+		if scanErr != nil {
+			return 0, scanErr
+		}
+		if err := flush(); err != nil {
+			return 0, err
+		}
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], snap)
+	if err := conn.Send(msgBootDone, b[:]); err != nil {
+		return 0, err
+	}
+	return snap, nil
+}
+
+// LoadLocal populates a co-located OLAP replica directly from the
+// primary store's current committed state and sets the replica's floor
+// to the snapshot VID (the local-machine bootstrap; remote replicas use
+// ShipSnapshot instead). Attach the replica as an update sink before
+// calling so no update between snapshot and first push is lost.
+func LoadLocal(rep *olap.Replica, store *mvcc.Store, tables []storage.TableID) (uint64, error) {
+	ro := store.BeginRO()
+	defer ro.Release()
+	snap := ro.Snapshot()
+	for _, id := range tables {
+		t := store.Table(id)
+		if t == nil {
+			return 0, fmt.Errorf("replica: local load of unknown table %d", id)
+		}
+		var loadErr error
+		t.ScanChains(func(c *mvcc.Chain) bool {
+			rec := ro.ReadChain(c)
+			if rec == nil {
+				return true
+			}
+			tup := append([]byte(nil), rec.Data...)
+			if err := rep.LoadTuple(id, rec.RowID, tup); err != nil {
+				loadErr = err
+				return false
+			}
+			return true
+		})
+		if loadErr != nil {
+			return 0, loadErr
+		}
+	}
+	rep.SetFloor(snap)
+	return snap, nil
+}
+
+// --- replica side -------------------------------------------------------
+
+// Client runs on the replica node: it feeds received updates and
+// bootstrap rows into the local olap.Replica and implements olap.Primary
+// by forwarding sync requests to the primary node.
+type Client struct {
+	conn    *network.Conn
+	replica *olap.Replica
+
+	syncMu    sync.Mutex // serializes sync round trips
+	syncReply chan uint64
+
+	bootDone chan uint64
+	bootOnce sync.Once
+	done     chan struct{}
+	doneOnce sync.Once
+
+	errMu sync.Mutex
+	err   error
+}
+
+// NewClient wraps an established connection to the primary node.
+func NewClient(conn *network.Conn, replica *olap.Replica) *Client {
+	return &Client{
+		conn:      conn,
+		replica:   replica,
+		syncReply: make(chan uint64, 1),
+		bootDone:  make(chan uint64, 1),
+		done:      make(chan struct{}),
+	}
+}
+
+// Serve demultiplexes messages from the primary until the connection
+// closes. Run it in its own goroutine.
+func (c *Client) Serve() error {
+	for {
+		mt, payload, release, err := c.conn.Recv()
+		if err != nil {
+			c.errMu.Lock()
+			c.err = err
+			c.errMu.Unlock()
+			c.bootOnce.Do(func() { close(c.bootDone) })
+			c.doneOnce.Do(func() { close(c.done) })
+			return err
+		}
+		switch mt {
+		case msgUpdates:
+			err = c.handleUpdates(payload)
+		case msgSyncReply:
+			if len(payload) >= 8 {
+				c.syncReply <- binary.LittleEndian.Uint64(payload)
+			}
+		case msgBootRows:
+			err = c.handleBootRows(payload)
+		case msgBootDone:
+			if len(payload) >= 8 {
+				vid := binary.LittleEndian.Uint64(payload)
+				c.replica.SetFloor(vid)
+				c.bootOnce.Do(func() { c.bootDone <- vid })
+			}
+		default:
+			err = fmt.Errorf("replica: unexpected message type %d", mt)
+		}
+		if release != nil {
+			release()
+		}
+		if err != nil {
+			c.errMu.Lock()
+			c.err = err
+			c.errMu.Unlock()
+			c.doneOnce.Do(func() { close(c.done) })
+			return err
+		}
+	}
+}
+
+func (c *Client) handleUpdates(payload []byte) error {
+	if len(payload) < 12 {
+		return errors.New("replica: short updates message")
+	}
+	upTo := binary.LittleEndian.Uint64(payload)
+	n := int(binary.LittleEndian.Uint32(payload[8:]))
+	pos := 12
+	batches := make([]proplog.Batch, 0, n)
+	for i := 0; i < n; i++ {
+		if len(payload)-pos < 4 {
+			return errors.New("replica: truncated updates message")
+		}
+		bl := int(binary.LittleEndian.Uint32(payload[pos:]))
+		pos += 4
+		if len(payload)-pos < bl {
+			return errors.New("replica: truncated batch")
+		}
+		// Copy: decoded entries alias the receive buffer, which is
+		// recycled after this handler returns, while entries stay
+		// queued until the next OLAP batch boundary.
+		chunk := append([]byte(nil), payload[pos:pos+bl]...)
+		pos += bl
+		b, err := proplog.Decode(chunk)
+		if err != nil {
+			return err
+		}
+		batches = append(batches, b)
+	}
+	c.replica.ApplyUpdates(batches, upTo)
+	return nil
+}
+
+func (c *Client) handleBootRows(payload []byte) error {
+	if len(payload) < 6 {
+		return errors.New("replica: short bootstrap message")
+	}
+	id := storage.TableID(binary.LittleEndian.Uint16(payload))
+	n := int(binary.LittleEndian.Uint32(payload[2:]))
+	pos := 6
+	for i := 0; i < n; i++ {
+		if len(payload)-pos < 12 {
+			return errors.New("replica: truncated bootstrap row")
+		}
+		rowID := binary.LittleEndian.Uint64(payload[pos:])
+		l := int(binary.LittleEndian.Uint32(payload[pos+8:]))
+		pos += 12
+		if len(payload)-pos < l {
+			return errors.New("replica: truncated bootstrap tuple")
+		}
+		tup := append([]byte(nil), payload[pos:pos+l]...)
+		pos += l
+		if err := c.replica.LoadTuple(id, rowID, tup); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WaitBootstrap blocks until the snapshot finished loading and returns
+// its VID.
+func (c *Client) WaitBootstrap() (uint64, error) {
+	v, ok := <-c.bootDone
+	if !ok {
+		c.errMu.Lock()
+		defer c.errMu.Unlock()
+		return 0, fmt.Errorf("replica: connection failed during bootstrap: %v", c.err)
+	}
+	return v, nil
+}
+
+// SyncUpdates implements olap.Primary: it performs one sync round trip
+// with the primary node. By the time the reply arrives, every update it
+// covers has been enqueued (ordered channel).
+func (c *Client) SyncUpdates() uint64 {
+	c.syncMu.Lock()
+	defer c.syncMu.Unlock()
+	if err := c.conn.Send(msgSync, nil); err != nil {
+		return c.replica.Covered()
+	}
+	select {
+	case v := <-c.syncReply:
+		return v
+	case <-c.done:
+		// Connection lost: fall back to what we already hold so the
+		// OLAP dispatcher keeps serving (stale but consistent data).
+		return c.replica.Covered()
+	}
+}

@@ -1,0 +1,124 @@
+package resmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPaperTestbed(t *testing.T) {
+	tb := PaperTestbed()
+	if tb.Cores() != 40 {
+		t.Fatalf("paper testbed cores = %d, want 40", tb.Cores())
+	}
+}
+
+func TestProjectRate(t *testing.T) {
+	// 1s serial + 9s parallel over 10 items.
+	r1 := ProjectRate(time.Second, 9*time.Second, 10, 1)
+	if math.Abs(r1-1.0) > 1e-9 {
+		t.Fatalf("1-core rate = %f, want 1", r1)
+	}
+	// On 9 cores: 1 + 1 = 2s -> 5 items/s.
+	r9 := ProjectRate(time.Second, 9*time.Second, 10, 9)
+	if math.Abs(r9-5.0) > 1e-9 {
+		t.Fatalf("9-core rate = %f, want 5", r9)
+	}
+	// Rates must be monotonically nondecreasing in cores.
+	prev := 0.0
+	for k := 1; k <= 64; k++ {
+		r := ProjectRate(time.Second, 9*time.Second, 10, k)
+		if r < prev {
+			t.Fatalf("rate decreased at %d cores", k)
+		}
+		prev = r
+	}
+	if ProjectRate(0, 0, 10, 4) != 0 {
+		t.Fatal("zero-time rate not zero")
+	}
+}
+
+func TestSpeedupAmdahl(t *testing.T) {
+	if s := Speedup(0, 10); math.Abs(s-10) > 1e-9 {
+		t.Fatalf("fully parallel speedup = %f", s)
+	}
+	if s := Speedup(1, 10); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("fully serial speedup = %f", s)
+	}
+	// 10% serial caps speedup below 10 regardless of cores.
+	if s := Speedup(0.1, 1000000); s >= 10 {
+		t.Fatalf("Amdahl cap violated: %f", s)
+	}
+}
+
+func TestThroughputFactor(t *testing.T) {
+	// Unsaturated socket: full speed.
+	if f := ThroughputFactor(1.0, 0.3, 0.5); f != 1 {
+		t.Fatalf("unsaturated factor = %f", f)
+	}
+	// OLTP + bandwidth-saturating scan on one socket: both halve
+	// (paper Fig. 9: ~50% OLTP degradation).
+	if f := ThroughputFactor(1.0, 1.0, 1.0); math.Abs(f-0.5) > 1e-9 {
+		t.Fatalf("co-located factor = %f, want 0.5", f)
+	}
+	// Scan on a remote socket contributes no demand: full speed.
+	if f := ThroughputFactor(1.0, 1.0); f != 1 {
+		t.Fatalf("isolated factor = %f, want 1", f)
+	}
+}
+
+// Property: the factor is in (0, 1] and monotonically nonincreasing as
+// demand is added.
+func TestThroughputFactorProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		demands := make([]float64, 0, len(raw))
+		factor := 1.0
+		for _, r := range raw {
+			demands = append(demands, float64(r)/64)
+			nf := ThroughputFactor(1.0, demands...)
+			if nf <= 0 || nf > 1 || nf > factor+1e-12 {
+				return false
+			}
+			factor = nf
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperPlacement(t *testing.T) {
+	p := PaperPlacement(PaperTestbed())
+	if len(p) != 4 {
+		t.Fatalf("placements = %d", len(p))
+	}
+	if p[0].Component != "oltp" || p[0].Socket != 0 {
+		t.Fatalf("first placement = %+v", p[0])
+	}
+	olap := 0
+	for _, pl := range p[1:] {
+		if pl.Component == "olap" {
+			olap++
+		}
+	}
+	if olap != 3 {
+		t.Fatalf("olap sockets = %d, want 3", olap)
+	}
+}
+
+func TestScaleUtilization(t *testing.T) {
+	// 500ms busy over 1s, component owns 1 core -> 50%.
+	if u := ScaleUtilization(500*time.Millisecond, time.Second, 1, 1); math.Abs(u-0.5) > 1e-9 {
+		t.Fatalf("u = %f", u)
+	}
+	// Spread over 10 modeled cores -> 5%.
+	if u := ScaleUtilization(500*time.Millisecond, time.Second, 1, 10); math.Abs(u-0.05) > 1e-9 {
+		t.Fatalf("u = %f", u)
+	}
+	// Capped at 1.
+	if u := ScaleUtilization(10*time.Second, time.Second, 1, 1); u != 1 {
+		t.Fatalf("u = %f", u)
+	}
+}

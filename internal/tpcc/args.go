@@ -1,0 +1,222 @@
+package tpcc
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Stored-procedure argument records. All randomness is drawn by the
+// driver and carried in the arguments, keeping procedures deterministic
+// for command-log recovery (paper §4 "Logging").
+
+// OrderLineReq is one requested line of a New-Order transaction.
+type OrderLineReq struct {
+	ItemID    int64 // 0 encodes the spec's intentional invalid item
+	SupplyWID int64
+	Quantity  int64
+}
+
+// NewOrderArgs parameterizes the New-Order transaction.
+type NewOrderArgs struct {
+	WID, DID, CID int64
+	EntryD        int64
+	Lines         []OrderLineReq
+}
+
+// PaymentArgs parameterizes the Payment transaction.
+type PaymentArgs struct {
+	WID, DID   int64
+	CWID, CDID int64
+	ByName     bool
+	CID        int64
+	CLast      string
+	Amount     float64
+	Date       int64
+}
+
+// OrderStatusArgs parameterizes the Order-Status transaction.
+type OrderStatusArgs struct {
+	WID, DID int64
+	ByName   bool
+	CID      int64
+	CLast    string
+}
+
+// DeliveryArgs parameterizes the Delivery transaction.
+type DeliveryArgs struct {
+	WID       int64
+	CarrierID int64
+	Date      int64
+}
+
+// StockLevelArgs parameterizes the Stock-Level transaction.
+type StockLevelArgs struct {
+	WID, DID  int64
+	Threshold int64
+}
+
+// errShortArgs reports a malformed argument record.
+var errShortArgs = errors.New("tpcc: short argument record")
+
+func appendI64(b []byte, v int64) []byte { return binary.LittleEndian.AppendUint64(b, uint64(v)) }
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, uint64(int64(v*100))) // cents, exact
+}
+func appendStr(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+type argReader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (r *argReader) i64() int64 {
+	if r.err != nil || len(r.b)-r.pos < 8 {
+		r.err = errShortArgs
+		return 0
+	}
+	v := int64(binary.LittleEndian.Uint64(r.b[r.pos:]))
+	r.pos += 8
+	return v
+}
+
+func (r *argReader) f64() float64 { return float64(r.i64()) / 100 }
+
+func (r *argReader) str() string {
+	if r.err != nil || len(r.b)-r.pos < 2 {
+		r.err = errShortArgs
+		return ""
+	}
+	n := int(binary.LittleEndian.Uint16(r.b[r.pos:]))
+	r.pos += 2
+	if len(r.b)-r.pos < n {
+		r.err = errShortArgs
+		return ""
+	}
+	s := string(r.b[r.pos : r.pos+n])
+	r.pos += n
+	return s
+}
+
+// Encode serializes NewOrderArgs.
+func (a *NewOrderArgs) Encode() []byte {
+	b := make([]byte, 0, 64+24*len(a.Lines))
+	b = appendI64(b, a.WID)
+	b = appendI64(b, a.DID)
+	b = appendI64(b, a.CID)
+	b = appendI64(b, a.EntryD)
+	b = appendI64(b, int64(len(a.Lines)))
+	for _, l := range a.Lines {
+		b = appendI64(b, l.ItemID)
+		b = appendI64(b, l.SupplyWID)
+		b = appendI64(b, l.Quantity)
+	}
+	return b
+}
+
+// DecodeNewOrderArgs parses NewOrderArgs.
+func DecodeNewOrderArgs(b []byte) (NewOrderArgs, error) {
+	r := argReader{b: b}
+	var a NewOrderArgs
+	a.WID, a.DID, a.CID, a.EntryD = r.i64(), r.i64(), r.i64(), r.i64()
+	n := r.i64()
+	for i := int64(0); i < n && r.err == nil; i++ {
+		a.Lines = append(a.Lines, OrderLineReq{r.i64(), r.i64(), r.i64()})
+	}
+	return a, r.err
+}
+
+// Encode serializes PaymentArgs.
+func (a *PaymentArgs) Encode() []byte {
+	b := make([]byte, 0, 96)
+	b = appendI64(b, a.WID)
+	b = appendI64(b, a.DID)
+	b = appendI64(b, a.CWID)
+	b = appendI64(b, a.CDID)
+	if a.ByName {
+		b = appendI64(b, 1)
+	} else {
+		b = appendI64(b, 0)
+	}
+	b = appendI64(b, a.CID)
+	b = appendStr(b, a.CLast)
+	b = appendF64(b, a.Amount)
+	b = appendI64(b, a.Date)
+	return b
+}
+
+// DecodePaymentArgs parses PaymentArgs.
+func DecodePaymentArgs(b []byte) (PaymentArgs, error) {
+	r := argReader{b: b}
+	var a PaymentArgs
+	a.WID, a.DID, a.CWID, a.CDID = r.i64(), r.i64(), r.i64(), r.i64()
+	a.ByName = r.i64() != 0
+	a.CID = r.i64()
+	a.CLast = r.str()
+	a.Amount = r.f64()
+	a.Date = r.i64()
+	return a, r.err
+}
+
+// Encode serializes OrderStatusArgs.
+func (a *OrderStatusArgs) Encode() []byte {
+	b := make([]byte, 0, 64)
+	b = appendI64(b, a.WID)
+	b = appendI64(b, a.DID)
+	if a.ByName {
+		b = appendI64(b, 1)
+	} else {
+		b = appendI64(b, 0)
+	}
+	b = appendI64(b, a.CID)
+	b = appendStr(b, a.CLast)
+	return b
+}
+
+// DecodeOrderStatusArgs parses OrderStatusArgs.
+func DecodeOrderStatusArgs(b []byte) (OrderStatusArgs, error) {
+	r := argReader{b: b}
+	var a OrderStatusArgs
+	a.WID, a.DID = r.i64(), r.i64()
+	a.ByName = r.i64() != 0
+	a.CID = r.i64()
+	a.CLast = r.str()
+	return a, r.err
+}
+
+// Encode serializes DeliveryArgs.
+func (a *DeliveryArgs) Encode() []byte {
+	b := make([]byte, 0, 24)
+	b = appendI64(b, a.WID)
+	b = appendI64(b, a.CarrierID)
+	b = appendI64(b, a.Date)
+	return b
+}
+
+// DecodeDeliveryArgs parses DeliveryArgs.
+func DecodeDeliveryArgs(b []byte) (DeliveryArgs, error) {
+	r := argReader{b: b}
+	var a DeliveryArgs
+	a.WID, a.CarrierID, a.Date = r.i64(), r.i64(), r.i64()
+	return a, r.err
+}
+
+// Encode serializes StockLevelArgs.
+func (a *StockLevelArgs) Encode() []byte {
+	b := make([]byte, 0, 24)
+	b = appendI64(b, a.WID)
+	b = appendI64(b, a.DID)
+	b = appendI64(b, a.Threshold)
+	return b
+}
+
+// DecodeStockLevelArgs parses StockLevelArgs.
+func DecodeStockLevelArgs(b []byte) (StockLevelArgs, error) {
+	r := argReader{b: b}
+	var a StockLevelArgs
+	a.WID, a.DID, a.Threshold = r.i64(), r.i64(), r.i64()
+	return a, r.err
+}

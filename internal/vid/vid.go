@@ -1,0 +1,114 @@
+// Package vid manages snapshot version identifiers (VIDs) for BatchDB.
+//
+// Every committed transaction is assigned a unique, monotonically
+// increasing VID. Readers take snapshots at the current "watermark": the
+// highest VID such that every transaction with a smaller-or-equal VID has
+// finished installing its versions. Because VIDs are assigned before
+// version installation completes, commits may finish out of order; the
+// watermark is only advanced once all earlier commits have published.
+// This guarantees that a snapshot never observes half of a transaction,
+// which is the property the OLAP replica relies on when it asks the
+// primary for "the latest committed snapshot version" (paper §4, §5).
+package vid
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Infinity marks a version that is still visible to all future snapshots
+// (the VIDto of the newest version in a chain, paper Fig. 2).
+const Infinity = ^uint64(0)
+
+// Allocator hands out commit VIDs and tracks the publication watermark.
+//
+// The zero value is not usable; call NewAllocator. VID 0 is reserved for
+// "initial load": data present before the first transaction commits.
+type Allocator struct {
+	next atomic.Uint64 // last VID handed out
+
+	mu        sync.Mutex
+	watermark atomic.Uint64 // highest fully published prefix
+	published map[uint64]struct{}
+	waiters   []chan struct{}
+}
+
+// NewAllocator returns an allocator whose watermark starts at 0, meaning
+// only initially loaded data (VID 0) is visible.
+func NewAllocator() *Allocator {
+	return &Allocator{published: make(map[uint64]struct{})}
+}
+
+// Allocate reserves the next commit VID. The caller must eventually call
+// Publish with the returned VID once all versions of the committing
+// transaction are installed, otherwise the watermark stalls.
+func (a *Allocator) Allocate() uint64 {
+	return a.next.Add(1)
+}
+
+// Publish marks a previously Allocated VID as fully installed and
+// advances the watermark over any contiguous published prefix.
+func (a *Allocator) Publish(v uint64) {
+	a.mu.Lock()
+	a.published[v] = struct{}{}
+	w := a.watermark.Load()
+	advanced := false
+	for {
+		if _, ok := a.published[w+1]; !ok {
+			break
+		}
+		delete(a.published, w+1)
+		w++
+		advanced = true
+	}
+	if advanced {
+		a.watermark.Store(w)
+		for _, ch := range a.waiters {
+			close(ch)
+		}
+		a.waiters = a.waiters[:0]
+	}
+	a.mu.Unlock()
+}
+
+// Watermark returns the highest VID v such that all transactions with
+// VIDs <= v are fully published. Reading at this VID yields a consistent
+// snapshot.
+func (a *Allocator) Watermark() uint64 {
+	return a.watermark.Load()
+}
+
+// Last returns the last VID handed out (published or not). Useful for
+// tests and for draining: once Watermark() == Last() every allocated
+// commit has published.
+func (a *Allocator) Last() uint64 {
+	return a.next.Load()
+}
+
+// WaitFor blocks until the watermark reaches at least v. It is used by
+// the OLAP dispatcher when it has been promised updates up to a VID that
+// is still being installed.
+func (a *Allocator) WaitFor(v uint64) {
+	for {
+		if a.watermark.Load() >= v {
+			return
+		}
+		a.mu.Lock()
+		if a.watermark.Load() >= v {
+			a.mu.Unlock()
+			return
+		}
+		ch := make(chan struct{})
+		a.waiters = append(a.waiters, ch)
+		a.mu.Unlock()
+		<-ch
+	}
+}
+
+// Visible reports whether a version with lifetime [from, to) is visible
+// at snapshot snap, following the paper's Fig. 2 semantics: a version is
+// visible if it was created at or before the snapshot and superseded
+// strictly after it.
+func Visible(from, to, snap uint64) bool {
+	return from <= snap && snap < to
+}

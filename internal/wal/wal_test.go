@@ -1,0 +1,198 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func tmpLog(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "cmd.log")
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := tmpLog(t)
+	l, err := Create(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		{CommitVID: 1, ReadVID: 0, Proc: "new_order", Args: []byte("a")},
+		{CommitVID: 2, ReadVID: 1, Proc: "payment", Args: nil},
+		{CommitVID: 3, ReadVID: 1, Proc: "delivery", Args: []byte{0, 1, 2, 255}},
+	}
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []Record
+	if err := Replay(path, func(r Record) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].CommitVID != want[i].CommitVID || got[i].ReadVID != want[i].ReadVID ||
+			got[i].Proc != want[i].Proc || string(got[i].Args) != string(want[i].Args) {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGroupCommitVisibility(t *testing.T) {
+	path := tmpLog(t)
+	l, err := Create(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(Record{CommitVID: 1, Proc: "p"}); err != nil {
+		t.Fatal(err)
+	}
+	// Before Commit, the record may be buffered; after Commit it must be
+	// in the file.
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := Replay(path, func(Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d records after Commit, want 1", n)
+	}
+}
+
+func TestReplayTornTail(t *testing.T) {
+	path := tmpLog(t)
+	l, _ := Create(path, Options{})
+	for i := uint64(1); i <= 5; i++ {
+		l.Append(Record{CommitVID: i, Proc: "p", Args: []byte("0123456789")})
+	}
+	l.Close()
+	// Truncate mid-record to simulate a crash during the last write.
+	fi, _ := os.Stat(path)
+	if err := os.Truncate(path, fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := Replay(path, func(Record) error { n++; return nil }); err != nil {
+		t.Fatalf("torn tail must not error: %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("replayed %d records, want 4 (intact prefix)", n)
+	}
+}
+
+func TestReplayMidFileCorruption(t *testing.T) {
+	path := tmpLog(t)
+	l, _ := Create(path, Options{})
+	for i := uint64(1); i <= 5; i++ {
+		l.Append(Record{CommitVID: i, Proc: "p", Args: []byte("0123456789")})
+	}
+	l.Close()
+	// Flip a byte inside the second record's body.
+	b, _ := os.ReadFile(path)
+	b[len(magic)+8+10] ^= 0xFF
+	os.WriteFile(path, b, 0o644)
+	err := Replay(path, func(Record) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-file corruption: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReplayEmptyLog(t *testing.T) {
+	path := tmpLog(t)
+	l, _ := Create(path, Options{})
+	l.Close()
+	if err := Replay(path, func(Record) error { t.Fatal("unexpected record"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayBadHeader(t *testing.T) {
+	path := tmpLog(t)
+	os.WriteFile(path, []byte("NOTAWAL!"), 0o644)
+	if err := Replay(path, func(Record) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad header: err = %v", err)
+	}
+}
+
+func TestReplayCallbackError(t *testing.T) {
+	path := tmpLog(t)
+	l, _ := Create(path, Options{})
+	l.Append(Record{CommitVID: 1, Proc: "p"})
+	l.Close()
+	sentinel := errors.New("stop")
+	if err := Replay(path, func(Record) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("callback error not propagated: %v", err)
+	}
+}
+
+// Property: arbitrary records survive the encode/replay round trip.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(recs []Record) bool {
+		path := filepath.Join(t.TempDir(), "q.log")
+		l, err := Create(path, Options{})
+		if err != nil {
+			return false
+		}
+		for i := range recs {
+			if len(recs[i].Proc) > 1000 {
+				recs[i].Proc = recs[i].Proc[:1000]
+			}
+			if err := l.Append(recs[i]); err != nil {
+				return false
+			}
+		}
+		if err := l.Close(); err != nil {
+			return false
+		}
+		var got []Record
+		if err := Replay(path, func(r Record) error { got = append(got, r); return nil }); err != nil {
+			return false
+		}
+		if len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if got[i].CommitVID != recs[i].CommitVID || got[i].Proc != recs[i].Proc ||
+				string(got[i].Args) != string(recs[i].Args) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncOption(t *testing.T) {
+	path := tmpLog(t)
+	l, err := Create(path, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{CommitVID: 1, Proc: "p"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

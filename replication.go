@@ -1,0 +1,189 @@
+package batchdb
+
+import (
+	"errors"
+	"fmt"
+
+	"batchdb/internal/network"
+	"batchdb/internal/olap"
+	"batchdb/internal/olap/exec"
+	"batchdb/internal/replica"
+)
+
+// ServeReplicas makes the primary accept remote OLAP replica nodes on
+// addr (use "127.0.0.1:0" to pick a free port; the bound address is
+// returned). For every replica that connects, the primary attaches an
+// update forwarder, ships a bootstrap snapshot of all analytical
+// tables, and then keeps feeding pushed updates — the paper's
+// elasticity mechanism (§3.2, §6): modern networks let one primary feed
+// multiple secondaries.
+func (db *DB) ServeReplicas(addr string) (string, error) {
+	if !db.started {
+		return "", errors.New("batchdb: ServeReplicas before Start")
+	}
+	ln, err := network.Listen(addr, nil)
+	if err != nil {
+		return "", err
+	}
+	db.repLn = ln
+	var analytical []TableID
+	for _, t := range db.order {
+		if t.opts.Analytical {
+			analytical = append(analytical, t.id)
+		}
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			pub := replica.NewPublisher(conn, db.engine)
+			// Attach the feed before snapshotting so the replica's VID
+			// floor covers the gap (no loss, no double apply).
+			db.engine.AddSink(pub)
+			go pub.Serve()
+			go func() {
+				if _, err := replica.ShipSnapshot(conn, db.store, analytical, 4096); err != nil {
+					conn.Close()
+				}
+			}()
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// WorkloadReplica is an additional co-located analytical replica with
+// its own dispatcher — the paper's §7 extension ("separate replica for
+// different types of workloads"): long-running offline queries run on
+// their own replica and batch schedule, so they never inflate the
+// latency of the online analytical class. It trades memory for
+// isolation, exactly as §7 discusses.
+type WorkloadReplica struct {
+	rep   *olap.Replica
+	execE *exec.Engine
+	sched *olap.Scheduler[*Query, Result]
+}
+
+// AttachWorkloadReplica creates and bootstraps an extra local replica
+// fed by the same update stream as the main OLAP replica. Call after
+// Start. workers bounds its scan parallelism; partitions its table
+// partition count.
+func (db *DB) AttachWorkloadReplica(workers, partitions int) (*WorkloadReplica, error) {
+	if !db.started {
+		return nil, errors.New("batchdb: AttachWorkloadReplica before Start")
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if partitions <= 0 {
+		partitions = workers
+	}
+	rep := olap.NewReplica(partitions)
+	var analytical []TableID
+	for _, t := range db.order {
+		if t.opts.Analytical {
+			rep.CreateTable(t.OLTP.Schema, t.opts.CapacityHint)
+			analytical = append(analytical, t.id)
+		}
+	}
+	// Attach the feed first, then snapshot: the replica's VID floor
+	// discards updates the snapshot already contains.
+	db.engine.AddSink(rep)
+	if _, err := replica.LoadLocal(rep, db.store, analytical); err != nil {
+		return nil, err
+	}
+	w := &WorkloadReplica{rep: rep, execE: exec.NewEngine(rep, workers)}
+	w.sched = olap.NewScheduler[*Query, Result](rep, db.engine, w.execE.RunBatch)
+	w.sched.Start()
+	return w, nil
+}
+
+// Query submits a query to this workload class's own batch schedule.
+func (w *WorkloadReplica) Query(q *Query) (Result, error) { return w.sched.Query(q) }
+
+// Stats returns the class's dispatcher counters.
+func (w *WorkloadReplica) Stats() *olap.SchedulerStats { return w.sched.Stats() }
+
+// Close stops the class's dispatcher (the replica stops applying
+// updates but keeps receiving them until the DB closes).
+func (w *WorkloadReplica) Close() { w.sched.Close() }
+
+// ReplicaTable declares one relation of a remote replica node; the
+// schema must match the primary's definition.
+type ReplicaTable struct {
+	Schema       *Schema
+	CapacityHint int
+}
+
+// ReplicaNodeConfig parameterizes a remote OLAP replica node.
+type ReplicaNodeConfig struct {
+	// Partitions per table (default 4).
+	Partitions int
+	// Workers bounds scan/build parallelism (default 4).
+	Workers int
+}
+
+// ReplicaNode is a remote analytical replica: it bootstraps from a
+// primary over the network, receives pushed updates, and answers
+// analytical queries with the same batch-at-a-time semantics as the
+// primary-local replica (paper §6, "Distributed (RDMA) Replicas").
+type ReplicaNode struct {
+	conn   *network.Conn
+	rep    *olap.Replica
+	client *replica.Client
+	execE  *exec.Engine
+	sched  *olap.Scheduler[*Query, Result]
+}
+
+// ConnectReplica dials a primary's replication address, bootstraps, and
+// starts serving queries.
+func ConnectReplica(primaryAddr string, cfg ReplicaNodeConfig, tables []ReplicaTable) (*ReplicaNode, error) {
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 4
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	rep := olap.NewReplica(cfg.Partitions)
+	for _, t := range tables {
+		hint := t.CapacityHint
+		if hint <= 0 {
+			hint = 1024
+		}
+		rep.CreateTable(t.Schema, hint)
+	}
+	conn, err := network.Dial(primaryAddr, nil)
+	if err != nil {
+		return nil, err
+	}
+	n := &ReplicaNode{conn: conn, rep: rep, client: replica.NewClient(conn, rep)}
+	go n.client.Serve()
+	if _, err := n.client.WaitBootstrap(); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("batchdb: replica bootstrap: %w", err)
+	}
+	n.execE = exec.NewEngine(rep, cfg.Workers)
+	n.sched = olap.NewScheduler[*Query, Result](rep, n.client, n.execE.RunBatch)
+	n.sched.Start()
+	return n, nil
+}
+
+// Query submits one analytical query to this replica node.
+func (n *ReplicaNode) Query(q *Query) (Result, error) { return n.sched.Query(q) }
+
+// Stats returns the node's dispatcher counters.
+func (n *ReplicaNode) Stats() *olap.SchedulerStats { return n.sched.Stats() }
+
+// Replica exposes the node's local replica state.
+func (n *ReplicaNode) Replica() *olap.Replica { return n.rep }
+
+// TransportStats returns the node's network counters (eager vs
+// rendezvous messages, buffer reuse).
+func (n *ReplicaNode) TransportStats() *network.Stats { return n.conn.Stats() }
+
+// Close disconnects and stops the node.
+func (n *ReplicaNode) Close() {
+	n.sched.Close()
+	n.conn.Close()
+}

@@ -1,0 +1,84 @@
+package batchdb
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWorkloadReplicaIsolation exercises the paper's §7 extension: a
+// second replica dedicated to long-running (offline) queries. A slow
+// query monopolizing the offline class's batch schedule must not delay
+// queries on the online class, and both classes must see consistent
+// snapshots fed by the same update stream.
+func TestWorkloadReplicaIsolation(t *testing.T) {
+	f := newFixture(t, Config{OLTPWorkers: 2, OLAPWorkers: 2, PushPeriod: 10 * time.Millisecond})
+	f.load(t, 200)
+	if err := f.db.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer f.db.Close()
+
+	offline, err := f.db.AttachWorkloadReplica(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer offline.Close()
+
+	// Both classes see the bootstrap state.
+	online, _ := f.db.Query(f.totalQuery())
+	off, err := offline.Query(f.totalQuery())
+	if err != nil || off.Err != nil {
+		t.Fatal(err, off.Err)
+	}
+	if online.Values[0] != off.Values[0] {
+		t.Fatalf("classes diverge at bootstrap: %f vs %f", online.Values[0], off.Values[0])
+	}
+
+	// Fresh updates reach both classes.
+	for i := 0; i < 40; i++ {
+		if r := f.db.Exec("deposit", depositArgs(uint64(i%200)+1, 5)); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	want := 200*100 + 40*5.0
+	online, _ = f.db.Query(f.totalQuery())
+	off, _ = offline.Query(f.totalQuery())
+	if online.Values[0] != want || off.Values[0] != want {
+		t.Fatalf("freshness broken: online %f offline %f want %f", online.Values[0], off.Values[0], want)
+	}
+
+	// A deliberately slow offline query (sleep per tuple) must not block
+	// online queries: the online class completes many queries while the
+	// offline batch is still running.
+	slow := f.totalQuery()
+	slow.DriverPred = func(tup []byte) bool {
+		time.Sleep(2 * time.Millisecond)
+		return true
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	slowDone := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		offline.Query(slow)
+		close(slowDone)
+	}()
+
+	completedWhileSlow := 0
+	for i := 0; i < 10; i++ {
+		res, err := f.db.Query(f.totalQuery())
+		if err != nil || res.Err != nil {
+			t.Fatal(err, res.Err)
+		}
+		select {
+		case <-slowDone:
+		default:
+			completedWhileSlow++
+		}
+	}
+	wg.Wait()
+	if completedWhileSlow == 0 {
+		t.Fatal("online class made no progress while offline class ran a long query")
+	}
+}
