@@ -26,6 +26,7 @@ package batchdb
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"batchdb/internal/mvcc"
@@ -164,7 +165,13 @@ type DB struct {
 	order   []*Table
 	started bool
 
-	repLn *network.Listener
+	repLn  *network.Listener
+	repSrv ReplicaServerStats
+	// repMu guards repConns, the live replica connections, so Close can
+	// sever them (a closed primary must look dead to its replicas, not
+	// silently absorb their sync requests).
+	repMu    sync.Mutex
+	repConns map[*network.Conn]struct{}
 }
 
 // Open creates an empty instance. Define tables, register procedures
@@ -342,11 +349,18 @@ func (db *DB) Replica() *olap.Replica { return db.rep }
 // Engine exposes the OLTP engine for benchmark harnesses.
 func (db *DB) Engine() *oltp.Engine { return db.engine }
 
-// Close stops dispatchers and closes the log.
+// Close stops dispatchers and closes the log. Replica connections are
+// severed so remote nodes observe the shutdown (degraded mode +
+// reconnect attempts) instead of syncing against a stopped engine.
 func (db *DB) Close() error {
 	if db.repLn != nil {
 		db.repLn.Close()
 	}
+	db.repMu.Lock()
+	for conn := range db.repConns {
+		conn.Close()
+	}
+	db.repMu.Unlock()
 	if db.sched != nil {
 		db.sched.Close()
 	}

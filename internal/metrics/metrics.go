@@ -162,6 +162,21 @@ func (c *Counter) Inc() { c.n.Add(1) }
 // Load returns the current count.
 func (c *Counter) Load() uint64 { return c.n.Load() }
 
+// Gauge is a concurrent instantaneous value (e.g. the number of
+// currently connected replicas, or seconds spent degraded).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by d (d may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
 // RatePerSec computes the rate of events between two readings.
 func RatePerSec(before, after uint64, elapsed time.Duration) float64 {
 	if elapsed <= 0 {

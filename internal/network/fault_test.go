@@ -1,0 +1,302 @@
+package network
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pairOpts returns two connected Conns (client, server) with deadlines.
+func pairOpts(t *testing.T, opts Options) (*Conn, *Conn) {
+	t.Helper()
+	l, err := ListenOpts("127.0.0.1:0", nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	type res struct {
+		c   *Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := l.Accept()
+		ch <- res{c, err}
+	}()
+	cli, err := DialOpts(l.Addr(), nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { cli.Close(); r.c.Close() })
+	return cli, r.c
+}
+
+// Regression test for the rendezvous grant mismatch: N goroutines
+// concurrently sending payloads larger than EagerLimit over one Conn
+// must all complete. With the old single uncorrelated grant channel
+// (capacity 1, non-blocking send), racing grants were dropped and one
+// sender deadlocked.
+func TestConcurrentLargeSends(t *testing.T) {
+	cli, srv := pair(t)
+	// The client's reader loop delivers incoming grants to its senders.
+	go func() {
+		for {
+			if _, _, _, err := cli.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	const senders = 6
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			payload := make([]byte, EagerLimit+1+s*1024)
+			for i := range payload {
+				payload[i] = byte(s)
+			}
+			if err := cli.Send(uint8(s), payload); err != nil {
+				t.Errorf("sender %d: %v", s, err)
+			}
+		}(s)
+	}
+	got := make(map[uint8]int)
+	for i := 0; i < senders; i++ {
+		mt, payload, release, err := srv.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(payload) != EagerLimit+1+int(mt)*1024 {
+			t.Fatalf("sender %d payload %d bytes", mt, len(payload))
+		}
+		for _, b := range payload {
+			if b != byte(mt) {
+				t.Fatalf("sender %d payload corrupted", mt)
+			}
+		}
+		got[mt]++
+		release()
+	}
+	wg.Wait()
+	for s := 0; s < senders; s++ {
+		if got[uint8(s)] != 1 {
+			t.Fatalf("sender %d delivered %d messages", s, got[uint8(s)])
+		}
+	}
+	if n := cli.Stats().RendezvousMsgs.Load(); n != senders {
+		t.Fatalf("rendezvous messages = %d, want %d", n, senders)
+	}
+	if n := cli.Stats().DroppedGrants.Load(); n != 0 {
+		t.Fatalf("%d grants dropped", n)
+	}
+}
+
+// A sender blocked waiting for a rendezvous grant must be woken with an
+// error when the connection is closed, not hang forever.
+func TestSendUnblocksOnClose(t *testing.T) {
+	cli, _ := pair(t)
+	// No reader loop on either side: the grant can never arrive.
+	errCh := make(chan error, 1)
+	go func() { errCh <- cli.Send(1, make([]byte, EagerLimit+1)) }()
+	time.Sleep(20 * time.Millisecond) // let the sender reach the grant wait
+	cli.Close()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("Send succeeded with no receiver grant")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Send still blocked after Close")
+	}
+	if cli.Err() == nil {
+		t.Fatal("Err() nil after Close")
+	}
+	// Subsequent sends fail fast.
+	if err := cli.Send(1, []byte("x")); err == nil {
+		t.Fatal("Send succeeded on failed connection")
+	}
+}
+
+// A sender whose peer dies mid-handshake must be woken when the reader
+// loop observes the connection error.
+func TestSendUnblocksOnPeerDeath(t *testing.T) {
+	cli, srv := pair(t)
+	go func() {
+		for {
+			if _, _, _, err := cli.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	// The server never runs Recv, so it never grants; kill it instead.
+	errCh := make(chan error, 1)
+	go func() { errCh <- cli.Send(1, make([]byte, EagerLimit+1)) }()
+	time.Sleep(20 * time.Millisecond)
+	srv.Close()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("Send succeeded after peer death")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Send still blocked after peer death")
+	}
+}
+
+// The grant deadline bounds a rendezvous wait when the grant is lost.
+func TestGrantTimeout(t *testing.T) {
+	cli, srv := pairOpts(t, Options{GrantTimeout: 100 * time.Millisecond})
+	// Lose every grant on the client's receive side, as a flaky network
+	// would.
+	cli.SetFaultPolicy(DropKind(FaultRecv, FrameGrant))
+	go func() {
+		for {
+			if _, _, _, err := cli.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	go func() {
+		for {
+			if _, _, _, err := srv.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	start := time.Now()
+	err := cli.Send(1, make([]byte, EagerLimit+1))
+	if err == nil {
+		t.Fatal("Send succeeded with all grants dropped")
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("grant timeout took %v", d)
+	}
+	if cli.Stats().GrantTimeouts.Load() != 1 {
+		t.Fatalf("GrantTimeouts = %d", cli.Stats().GrantTimeouts.Load())
+	}
+}
+
+// An injected sever mid-stream fails the connection deterministically
+// and is distinguishable from organic errors.
+func TestSeverAfterFrames(t *testing.T) {
+	cli, srv := pair(t)
+	srv.SetFaultPolicy(SeverAfter(FaultRecv, 2))
+	go func() {
+		for i := 0; i < 3; i++ {
+			if err := cli.Send(1, []byte(fmt.Sprintf("m%d", i))); err != nil {
+				return
+			}
+		}
+	}()
+	if _, _, release, err := srv.Recv(); err != nil {
+		t.Fatalf("first frame: %v", err)
+	} else {
+		release()
+	}
+	_, _, _, err := srv.Recv()
+	if err == nil {
+		t.Fatal("second frame passed a SeverAfter(2) policy")
+	}
+	if !IsInjectedFault(err) {
+		t.Fatalf("sever error not marked injected: %v", err)
+	}
+	select {
+	case <-srv.Done():
+	default:
+		t.Fatal("Done not closed after injected sever")
+	}
+}
+
+// Dropped eager frames vanish without breaking the stream.
+func TestDropEagerFrame(t *testing.T) {
+	cli, srv := pair(t)
+	cli.SetFaultPolicy(DropKind(FaultSend, FrameEager))
+	if err := cli.Send(1, []byte("lost")); err != nil {
+		t.Fatalf("dropped send reported error: %v", err)
+	}
+	cli.SetFaultPolicy(nil)
+	want := []byte("marker")
+	go cli.Send(2, want)
+	mt, got, release, err := srv.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if mt != 2 || !bytes.Equal(got, want) {
+		t.Fatalf("received type %d payload %q; dropped frame leaked?", mt, got)
+	}
+}
+
+// DialRetry retries with backoff until the listener appears, and counts
+// the retries.
+func TestDialRetry(t *testing.T) {
+	l, err := Listen("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr()
+	l.Close() // free the port: first attempts must fail
+
+	stats := &Stats{}
+	go func() {
+		// Rebind the same address after a short outage.
+		time.Sleep(80 * time.Millisecond)
+		l2, err := ListenOpts(addr, nil, Options{})
+		if err != nil {
+			return // port raced away; the dial will exhaust attempts
+		}
+		defer l2.Close()
+		if c, err := l2.Accept(); err == nil {
+			defer c.Close()
+			for {
+				if _, _, _, err := c.Recv(); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	c, err := DialRetry(addr, stats, Options{}, RetryPolicy{
+		Attempts:  20,
+		BaseDelay: 20 * time.Millisecond,
+		MaxDelay:  50 * time.Millisecond,
+	}, nil)
+	if err != nil {
+		t.Skipf("port rebind raced: %v", err) // environment-dependent; not a code failure
+	}
+	defer c.Close()
+	if stats.Retries.Load() == 0 {
+		t.Fatal("connection succeeded with no retries despite initial outage")
+	}
+}
+
+// DialRetry honours cancellation during backoff.
+func TestDialRetryCancel(t *testing.T) {
+	cancel := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		// 127.0.0.1:1 is essentially never listening.
+		_, err := DialRetry("127.0.0.1:1", nil, Options{}, RetryPolicy{
+			Attempts:  1000,
+			BaseDelay: 50 * time.Millisecond,
+			MaxDelay:  time.Second,
+		}, cancel)
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	close(cancel)
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("canceled dial returned a connection")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("DialRetry ignored cancellation")
+	}
+}

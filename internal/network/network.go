@@ -17,6 +17,22 @@
 //     reduce allocation and registration cost, large buffers are pooled
 //     and reused — exactly the paper's buffer-pool motivation.
 //
+// The paper assumes the replication channel is always available; a TCP
+// substitute cannot, so the transport treats failure as a first-class
+// state. A connection that errors (peer death, deadline, injected
+// fault, Close) transitions to failed exactly once: the first error is
+// recorded, Done() is closed, and every sender blocked in a rendezvous
+// handshake is woken with that error instead of hanging. Rendezvous
+// grants are correlated with their senders through a FIFO waiter queue
+// (grants arrive in the order the rendezvous announcements were
+// written, because the stream is ordered), so concurrent large sends
+// never steal or drop each other's grants. Optional per-frame write
+// deadlines and a grant deadline bound how long a send can stall on a
+// sick peer, and DialRetry adds exponential backoff with jitter for
+// connection establishment. A FaultPolicy hook injects deterministic
+// drop/delay/sever faults at frame granularity so every failure mode is
+// testable without real network flakiness.
+//
 // The code path that matters to BatchDB — serialize update batches,
 // ship them, hand them to the remote replica — is identical in shape;
 // only the wire is slower. Statistics expose which path each message
@@ -26,10 +42,14 @@ package network
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"batchdb/internal/metrics"
 )
@@ -38,12 +58,14 @@ import (
 // The paper uses 1024 KB receive buffers; we keep the same value.
 const EagerLimit = 1 << 20
 
-// frame kinds on the wire (invisible to users of Conn).
+// Frame kinds on the wire. Exported so FaultPolicy implementations can
+// target specific protocol steps (e.g. drop grants to exercise the
+// sender's grant deadline).
 const (
-	frameEager      = 0x01
-	frameRendezvous = 0x02 // header only: announces a large transfer
-	frameGrant      = 0x03 // receiver's go-ahead
-	frameBulk       = 0x04 // the large payload itself
+	FrameEager      = 0x01
+	FrameRendezvous = 0x02 // header only: announces a large transfer
+	FrameGrant      = 0x03 // receiver's go-ahead
+	FrameBulk       = 0x04 // the large payload itself
 )
 
 // Stats counts transport events.
@@ -54,93 +76,330 @@ type Stats struct {
 	BytesReceived  metrics.Counter
 	BuffersReused  metrics.Counter
 	BuffersAlloced metrics.Counter
+	// Retries counts dial attempts beyond each first try (DialRetry).
+	Retries metrics.Counter
+	// DroppedGrants counts grants that arrived with no waiting sender —
+	// zero in a healthy connection; non-zero indicates a protocol bug or
+	// an injected fault.
+	DroppedGrants metrics.Counter
+	// GrantTimeouts counts rendezvous handshakes abandoned because the
+	// grant deadline expired.
+	GrantTimeouts metrics.Counter
+	// Severed counts connections that transitioned to failed (error,
+	// deadline, injected fault, or Close).
+	Severed metrics.Counter
 }
+
+// Options bounds how long a connection may stall on a sick peer. The
+// zero value disables all deadlines (trusted-loopback behaviour).
+type Options struct {
+	// SendTimeout is the write deadline applied to each frame write
+	// (including its flush). Zero means no deadline.
+	SendTimeout time.Duration
+	// GrantTimeout bounds how long a rendezvous sender waits for the
+	// receiver's grant. Zero means wait until the connection fails.
+	GrantTimeout time.Duration
+}
+
+// ErrClosed reports use of a connection after Close.
+var ErrClosed = errors.New("network: connection closed")
 
 // Conn is a message-oriented connection. Send may be called from
 // multiple goroutines; Recv must be called from a single reader
 // goroutine (the usual demultiplexer pattern).
 type Conn struct {
-	c  net.Conn
-	r  *bufio.Reader
-	wm sync.Mutex
-	w  *bufio.Writer
+	c    net.Conn
+	r    *bufio.Reader
+	wm   sync.Mutex
+	w    *bufio.Writer
+	opts Options
 
-	// grantCh delivers rendezvous grants from the reader goroutine to a
-	// blocked sender.
-	grantCh chan struct{}
+	// waiters is the FIFO of senders awaiting rendezvous grants, in the
+	// order their announcements hit the wire: the stream is ordered, so
+	// the k-th grant received answers the k-th announcement written.
+	gm      sync.Mutex
+	waiters []chan struct{}
+
+	failOnce sync.Once
+	done     chan struct{}
+	errMu    sync.Mutex
+	err      error
+
+	fault atomic.Pointer[faultHolder]
 
 	pool  *bufferPool
 	stats *Stats
 }
 
-// NewConn wraps an established net.Conn.
+// NewConn wraps an established net.Conn with no deadlines.
 func NewConn(c net.Conn, stats *Stats) *Conn {
+	return NewConnOpts(c, stats, Options{})
+}
+
+// NewConnOpts wraps an established net.Conn with the given deadlines.
+func NewConnOpts(c net.Conn, stats *Stats, opts Options) *Conn {
 	if stats == nil {
 		stats = &Stats{}
 	}
 	return &Conn{
-		c:       c,
-		r:       bufio.NewReaderSize(c, 1<<20),
-		w:       bufio.NewWriterSize(c, 1<<20),
-		grantCh: make(chan struct{}, 1),
-		pool:    newBufferPool(stats),
-		stats:   stats,
+		c:     c,
+		r:     bufio.NewReaderSize(c, 1<<20),
+		w:     bufio.NewWriterSize(c, 1<<20),
+		opts:  opts,
+		done:  make(chan struct{}),
+		pool:  newBufferPool(stats),
+		stats: stats,
 	}
 }
 
 // Dial connects to a BatchDB peer.
 func Dial(addr string, stats *Stats) (*Conn, error) {
-	c, err := net.Dial("tcp", addr)
+	return DialOpts(addr, stats, Options{})
+}
+
+// DialOpts connects to a BatchDB peer with the given deadlines.
+func DialOpts(addr string, stats *Stats, opts Options) (*Conn, error) {
+	return dialOnce(addr, stats, opts, 0)
+}
+
+func dialOnce(addr string, stats *Stats, opts Options, timeout time.Duration) (*Conn, error) {
+	var c net.Conn
+	var err error
+	if timeout > 0 {
+		c, err = net.DialTimeout("tcp", addr, timeout)
+	} else {
+		c, err = net.Dial("tcp", addr)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("network: dial %s: %w", addr, err)
 	}
 	if tc, ok := c.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	return NewConn(c, stats), nil
+	return NewConnOpts(c, stats, opts), nil
+}
+
+// RetryPolicy parameterizes DialRetry: per-attempt timeout plus
+// exponential backoff with jitter between attempts.
+type RetryPolicy struct {
+	// Attempts is the total number of dial attempts (values below 1 mean
+	// a single try).
+	Attempts int
+	// BaseDelay is the backoff before the second attempt (default 25ms);
+	// it doubles per attempt up to MaxDelay (default 1s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Jitter adds a uniformly random fraction of the current delay, in
+	// [0, Jitter]; it decorrelates reconnect storms (default 0.2).
+	Jitter float64
+	// DialTimeout bounds each individual attempt. Zero means none.
+	DialTimeout time.Duration
+}
+
+func (rp RetryPolicy) withDefaults() RetryPolicy {
+	if rp.Attempts < 1 {
+		rp.Attempts = 1
+	}
+	if rp.BaseDelay <= 0 {
+		rp.BaseDelay = 25 * time.Millisecond
+	}
+	if rp.MaxDelay <= 0 {
+		rp.MaxDelay = time.Second
+	}
+	if rp.Jitter <= 0 {
+		rp.Jitter = 0.2
+	}
+	return rp
+}
+
+// DialRetry dials with retry and exponential backoff + jitter. A nil
+// cancel channel disables cancellation; closing it aborts the next
+// backoff sleep and returns the last dial error.
+func DialRetry(addr string, stats *Stats, opts Options, rp RetryPolicy, cancel <-chan struct{}) (*Conn, error) {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	rp = rp.withDefaults()
+	delay := rp.BaseDelay
+	var lastErr error
+	for i := 0; i < rp.Attempts; i++ {
+		if i > 0 {
+			d := delay + time.Duration(rand.Float64()*rp.Jitter*float64(delay))
+			select {
+			case <-time.After(d):
+			case <-cancel:
+				return nil, fmt.Errorf("network: dial %s canceled: %w", addr, lastErr)
+			}
+			delay *= 2
+			if delay > rp.MaxDelay {
+				delay = rp.MaxDelay
+			}
+			stats.Retries.Inc()
+		}
+		c, err := dialOnce(addr, stats, opts, rp.DialTimeout)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
 }
 
 // Stats returns the connection's transport counters.
 func (c *Conn) Stats() *Stats { return c.stats }
 
-// Close tears down the connection.
-func (c *Conn) Close() error { return c.c.Close() }
+// Done is closed when the connection has failed (error or Close); Err
+// then reports the cause.
+func (c *Conn) Done() <-chan struct{} { return c.done }
+
+// Err returns the error that failed the connection, or nil while it is
+// healthy. The first failure wins; later errors are discarded.
+func (c *Conn) Err() error {
+	select {
+	case <-c.done:
+	default:
+		return nil
+	}
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.err
+}
+
+// fail transitions the connection to failed exactly once: it records
+// the cause, closes Done (waking senders blocked in rendezvous waits),
+// and tears down the socket (waking the Recv loop).
+func (c *Conn) fail(err error) {
+	c.failOnce.Do(func() {
+		c.errMu.Lock()
+		c.err = err
+		c.errMu.Unlock()
+		close(c.done)
+		c.c.Close()
+		c.stats.Severed.Inc()
+	})
+}
+
+// Close tears down the connection. Senders blocked in Send return
+// ErrClosed instead of hanging.
+func (c *Conn) Close() error {
+	c.fail(ErrClosed)
+	return nil
+}
 
 // Send transmits one message of the given application type. Payloads at
 // or below EagerLimit go out immediately; larger ones run the rendezvous
-// handshake and block until the receiver grants a buffer.
+// handshake and block until the receiver grants a buffer, the grant
+// deadline expires, or the connection fails.
 func (c *Conn) Send(msgType uint8, payload []byte) error {
+	if err := c.Err(); err != nil {
+		return err
+	}
 	if len(payload) <= EagerLimit {
-		c.wm.Lock()
-		defer c.wm.Unlock()
-		if err := c.writeFrame(frameEager, msgType, payload); err != nil {
+		switch c.faultAction(FaultSend, FrameEager, msgType, len(payload)) {
+		case FaultDrop:
+			return nil // simulated lost message
+		case FaultSever:
+			c.fail(errInjectedSever)
+			return c.Err()
+		}
+		if err := c.sendLocked(FrameEager, msgType, payload); err != nil {
 			return err
 		}
 		c.stats.EagerMsgs.Inc()
 		c.stats.BytesSent.Add(uint64(len(payload)))
-		return c.w.Flush()
+		return nil
 	}
-	// Rendezvous: announce size, wait for the grant, then bulk-send.
+
+	// Rendezvous: announce size, wait for the grant, then bulk-send. The
+	// waiter is enqueued while the write lock is held so queue order
+	// matches the wire order of announcements — that is what correlates
+	// the k-th incoming grant with the k-th waiting sender.
+	switch c.faultAction(FaultSend, FrameRendezvous, msgType, len(payload)) {
+	case FaultSever:
+		c.fail(errInjectedSever)
+		return c.Err()
+	case FaultDrop:
+		// Simulate a lost announcement: the sender still waits (and times
+		// out) as it would on a real loss, but nothing hits the wire.
+		return c.waitGrant(make(chan struct{}, 1))
+	}
 	var hdr [8]byte
 	binary.LittleEndian.PutUint64(hdr[:], uint64(len(payload)))
+	waiter := make(chan struct{}, 1)
 	c.wm.Lock()
-	if err := c.writeFrame(frameRendezvous, msgType, hdr[:]); err != nil {
-		c.wm.Unlock()
-		return err
-	}
-	if err := c.w.Flush(); err != nil {
-		c.wm.Unlock()
-		return err
-	}
+	c.gm.Lock()
+	c.waiters = append(c.waiters, waiter)
+	c.gm.Unlock()
+	err := c.writeFlushLocked(FrameRendezvous, msgType, hdr[:])
 	c.wm.Unlock()
-	<-c.grantCh // receiver registered a buffer
-	c.wm.Lock()
-	defer c.wm.Unlock()
-	if err := c.writeFrame(frameBulk, msgType, payload); err != nil {
+	if err != nil {
+		c.fail(err)
+		return c.Err()
+	}
+	if err := c.waitGrant(waiter); err != nil {
+		return err
+	}
+	switch c.faultAction(FaultSend, FrameBulk, msgType, len(payload)) {
+	case FaultDrop:
+		return nil
+	case FaultSever:
+		c.fail(errInjectedSever)
+		return c.Err()
+	}
+	if err := c.sendLocked(FrameBulk, msgType, payload); err != nil {
 		return err
 	}
 	c.stats.RendezvousMsgs.Inc()
 	c.stats.BytesSent.Add(uint64(len(payload)))
+	return nil
+}
+
+// waitGrant blocks until the receiver's grant arrives, the grant
+// deadline expires, or the connection fails.
+func (c *Conn) waitGrant(waiter chan struct{}) error {
+	var timeoutCh <-chan time.Time
+	if c.opts.GrantTimeout > 0 {
+		t := time.NewTimer(c.opts.GrantTimeout)
+		defer t.Stop()
+		timeoutCh = t.C
+	}
+	select {
+	case <-waiter:
+		return nil
+	case <-c.done:
+		return fmt.Errorf("network: connection failed awaiting rendezvous grant: %w", c.Err())
+	case <-timeoutCh:
+		c.stats.GrantTimeouts.Inc()
+		// The protocol state is undefined now (the receiver may still
+		// send the grant later), so the connection cannot be reused.
+		c.fail(fmt.Errorf("network: rendezvous grant timeout after %v", c.opts.GrantTimeout))
+		return c.Err()
+	}
+}
+
+// sendLocked writes and flushes one frame under the write lock, failing
+// the connection on error.
+func (c *Conn) sendLocked(kind, msgType uint8, payload []byte) error {
+	c.wm.Lock()
+	err := c.writeFlushLocked(kind, msgType, payload)
+	c.wm.Unlock()
+	if err != nil {
+		c.fail(err)
+		return c.Err()
+	}
+	return nil
+}
+
+// writeFlushLocked writes one frame and flushes, applying the write
+// deadline. Caller holds wm.
+func (c *Conn) writeFlushLocked(kind, msgType uint8, payload []byte) error {
+	if c.opts.SendTimeout > 0 {
+		c.c.SetWriteDeadline(time.Now().Add(c.opts.SendTimeout))
+		defer c.c.SetWriteDeadline(time.Time{})
+	}
+	if err := c.writeFrame(kind, msgType, payload); err != nil {
+		return err
+	}
 	return c.w.Flush()
 }
 
@@ -159,49 +418,79 @@ func (c *Conn) writeFrame(kind, msgType uint8, payload []byte) error {
 // Recv returns the next application message. The returned payload is
 // drawn from the receive-buffer pool; call release when done with it to
 // recycle the buffer (releasing is optional but keeps the pool
-// effective). Recv transparently services rendezvous handshakes.
+// effective). Recv transparently services rendezvous handshakes. When
+// Recv returns an error the connection has failed: Done is closed and
+// blocked senders have been woken.
 func (c *Conn) Recv() (msgType uint8, payload []byte, release func(), err error) {
 	for {
 		var hdr [6]byte
 		if _, err = io.ReadFull(c.r, hdr[:]); err != nil {
-			return 0, nil, nil, err
+			c.fail(err)
+			return 0, nil, nil, c.Err()
 		}
 		kind, mt := hdr[0], hdr[1]
 		n := int(binary.LittleEndian.Uint32(hdr[2:]))
 		switch kind {
-		case frameEager, frameBulk:
+		case FrameEager, FrameBulk:
 			buf := c.pool.get(n)
 			if _, err = io.ReadFull(c.r, buf); err != nil {
-				return 0, nil, nil, err
+				c.fail(err)
+				return 0, nil, nil, c.Err()
+			}
+			switch c.faultAction(FaultRecv, kind, mt, n) {
+			case FaultDrop:
+				c.pool.put(buf)
+				continue
+			case FaultSever:
+				c.fail(errInjectedSever)
+				return 0, nil, nil, c.Err()
 			}
 			c.stats.BytesReceived.Add(uint64(n))
 			return mt, buf, func() { c.pool.put(buf) }, nil
-		case frameRendezvous:
+		case FrameRendezvous:
 			// Pre-register a large buffer, then grant. The bulk frame
 			// follows on the same ordered stream.
 			var szb [8]byte
 			if _, err = io.ReadFull(c.r, szb[:]); err != nil {
-				return 0, nil, nil, err
+				c.fail(err)
+				return 0, nil, nil, c.Err()
 			}
 			sz := int(binary.LittleEndian.Uint64(szb[:]))
+			switch c.faultAction(FaultRecv, FrameRendezvous, mt, sz) {
+			case FaultDrop:
+				continue // never grant: the sender observes a loss
+			case FaultSever:
+				c.fail(errInjectedSever)
+				return 0, nil, nil, c.Err()
+			}
 			c.pool.reserve(sz)
-			c.wm.Lock()
-			if err = c.writeFrame(frameGrant, 0, nil); err != nil {
-				c.wm.Unlock()
+			if err := c.sendLocked(FrameGrant, 0, nil); err != nil {
 				return 0, nil, nil, err
 			}
-			err = c.w.Flush()
-			c.wm.Unlock()
-			if err != nil {
-				return 0, nil, nil, err
+		case FrameGrant:
+			switch c.faultAction(FaultRecv, FrameGrant, mt, n) {
+			case FaultDrop:
+				continue
+			case FaultSever:
+				c.fail(errInjectedSever)
+				return 0, nil, nil, c.Err()
 			}
-		case frameGrant:
-			select {
-			case c.grantCh <- struct{}{}:
-			default:
+			var wtr chan struct{}
+			c.gm.Lock()
+			if len(c.waiters) > 0 {
+				wtr = c.waiters[0]
+				c.waiters = c.waiters[1:]
+			}
+			c.gm.Unlock()
+			if wtr != nil {
+				wtr <- struct{}{} // cap 1: never blocks
+			} else {
+				c.stats.DroppedGrants.Inc()
 			}
 		default:
-			return 0, nil, nil, fmt.Errorf("network: unknown frame kind 0x%02x", kind)
+			err = fmt.Errorf("network: unknown frame kind 0x%02x", kind)
+			c.fail(err)
+			return 0, nil, nil, c.Err()
 		}
 	}
 }
@@ -210,10 +499,16 @@ func (c *Conn) Recv() (msgType uint8, payload []byte, release func(), err error)
 type Listener struct {
 	l     net.Listener
 	stats *Stats
+	opts  Options
 }
 
-// Listen binds a TCP listener.
+// Listen binds a TCP listener with no deadlines on accepted conns.
 func Listen(addr string, stats *Stats) (*Listener, error) {
+	return ListenOpts(addr, stats, Options{})
+}
+
+// ListenOpts binds a TCP listener; accepted connections carry opts.
+func ListenOpts(addr string, stats *Stats, opts Options) (*Listener, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("network: listen %s: %w", addr, err)
@@ -221,7 +516,7 @@ func Listen(addr string, stats *Stats) (*Listener, error) {
 	if stats == nil {
 		stats = &Stats{}
 	}
-	return &Listener{l: l, stats: stats}, nil
+	return &Listener{l: l, stats: stats, opts: opts}, nil
 }
 
 // Addr returns the bound address.
@@ -236,7 +531,7 @@ func (l *Listener) Accept() (*Conn, error) {
 	if tc, ok := c.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	return NewConn(c, l.stats), nil
+	return NewConnOpts(c, l.stats, l.opts), nil
 }
 
 // Close stops the listener.

@@ -22,6 +22,9 @@ type ApplyStats struct {
 	Target uint64
 	// Entries counts applied update entries.
 	Entries int
+	// Reloaded reports that a staged resync snapshot replaced the
+	// replica's contents at the start of this round.
+	Reloaded bool
 	// Step1 orders per-worker update sets by VID; Step2 routes them to
 	// partitions by hash(RowID); Step3 applies them through the RowID
 	// hash index. Step3 is CPU time summed over parallel partition
@@ -38,6 +41,22 @@ type ApplyStats struct {
 // the Scheduler guarantees that.
 func (r *Replica) ApplyPending(target uint64) (ApplyStats, error) {
 	stats := ApplyStats{Target: target, PerTable: make(map[storage.TableID]*TableApplyStats)}
+	// A staged resync snapshot (reconnect after connection loss)
+	// installs first: it raises the floor so stale queued updates the
+	// snapshot already contains are discarded below.
+	r.mu.Lock()
+	rl := r.pendingReload
+	r.pendingReload = nil
+	r.mu.Unlock()
+	if rl != nil {
+		if err := r.applyReload(rl); err != nil {
+			r.mu.Lock()
+			r.applyErr = err
+			r.mu.Unlock()
+			return stats, fmt.Errorf("olap: resync reload: %w", err)
+		}
+		stats.Reloaded = true
+	}
 	batches := r.takePending()
 	r.mu.Lock()
 	floor := r.floor
@@ -138,13 +157,16 @@ func (r *Replica) ApplyPending(target uint64) (ApplyStats, error) {
 		}
 		wg.Wait()
 		stats.Step3 += ts.Step3
-		t.version++
 		if firstErr != nil {
 			r.mu.Lock()
 			r.applyErr = firstErr
 			r.mu.Unlock()
+			// Leave the version untouched: a failed round must not report
+			// a clean bump (cached build sides are invalidated by the
+			// replica's error state, not by a phantom version change).
 			return stats, fmt.Errorf("olap: apply to table %s: %w", t.Schema.Name, firstErr)
 		}
+		t.version++
 	}
 	r.setApplied(target)
 	return stats, nil

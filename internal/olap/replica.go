@@ -15,6 +15,11 @@ type Table struct {
 	Schema     *storage.Schema
 	Partitions []*Partition
 
+	// capHint (per partition) and pkHint are retained so a resync reload
+	// can rebuild partitions and the PK index with the original sizing.
+	capHint int
+	pkHint  int
+
 	// version counts data-changing events (loads and applied update
 	// rounds). The shared-execution engine uses it to cache join build
 	// sides for tables that did not change — static dimension tables
@@ -40,6 +45,7 @@ func (t *Table) Version() uint64 { return t.version }
 // primary replica's rows are keyed the same way).
 func (t *Table) SetPK(fn func(tup []byte) uint64, capacityHint int) {
 	t.pkFn = fn
+	t.pkHint = capacityHint
 	t.pkIdx = index.NewHash[uint64](capacityHint)
 }
 
@@ -102,6 +108,11 @@ type Replica struct {
 	applied  uint64 // snapshot VID the stored data corresponds to
 	floor    uint64 // updates at or below this VID are already in the data
 	applyErr error
+
+	// pendingReload is a staged resync snapshot awaiting atomic
+	// installation by the next ApplyPending (which runs with query
+	// execution quiesced).
+	pendingReload *Reload
 }
 
 // NewReplica creates a replica whose tables are split into parts
@@ -115,10 +126,9 @@ func NewReplica(parts int) *Replica {
 
 // CreateTable registers a replicated relation. All DDL must precede use.
 func (r *Replica) CreateTable(schema *storage.Schema, capacityHint int) *Table {
-	t := &Table{Schema: schema}
-	per := capacityHint / r.parts
+	t := &Table{Schema: schema, capHint: capacityHint / r.parts}
 	for i := 0; i < r.parts; i++ {
-		t.Partitions = append(t.Partitions, NewPartition(schema, per))
+		t.Partitions = append(t.Partitions, NewPartition(schema, t.capHint))
 	}
 	r.tables[schema.ID] = t
 	r.order = append(r.order, t)
@@ -209,4 +219,83 @@ func (r *Replica) setApplied(v uint64) {
 		r.applied = v
 	}
 	r.mu.Unlock()
+}
+
+// Reload is a staged replacement snapshot for every table of the
+// replica, used to resync after a dropped replication connection: the
+// re-bootstrap accumulates rows here while queries keep running against
+// the old (stale but consistent) data, and the next ApplyPending — which
+// runs with query execution quiesced — installs it atomically and raises
+// the VID floor to the snapshot's VID.
+type Reload struct {
+	r    *Replica
+	rows map[storage.TableID][]reloadRow
+	vid  uint64
+}
+
+type reloadRow struct {
+	rowID uint64
+	tup   []byte
+}
+
+// NewReload starts staging a replacement snapshot.
+func (r *Replica) NewReload() *Reload {
+	return &Reload{r: r, rows: make(map[storage.TableID][]reloadRow)}
+}
+
+// LoadTuple stages one snapshot tuple. The caller owns tup; pass a copy
+// if the backing buffer is recycled.
+func (rl *Reload) LoadTuple(id storage.TableID, rowID uint64, tup []byte) error {
+	if rl.r.tables[id] == nil {
+		return fmt.Errorf("olap: reload of unknown table %d", id)
+	}
+	rl.rows[id] = append(rl.rows[id], reloadRow{rowID: rowID, tup: tup})
+	return nil
+}
+
+// Rows returns the number of staged tuples.
+func (rl *Reload) Rows() int {
+	n := 0
+	for _, rows := range rl.rows {
+		n += len(rows)
+	}
+	return n
+}
+
+// InstallReload queues rl for atomic installation by the next
+// ApplyPending. snapVID is the snapshot's VID; it becomes the replica's
+// new floor, so queued updates the snapshot already contains are
+// discarded instead of double-applied. A later InstallReload before the
+// next apply round supersedes an earlier one.
+func (r *Replica) InstallReload(rl *Reload, snapVID uint64) {
+	rl.vid = snapVID
+	r.mu.Lock()
+	r.pendingReload = rl
+	r.mu.Unlock()
+}
+
+// applyReload replaces every table's contents with the staged snapshot.
+// Must run with query execution quiesced (ApplyPending's window). Tables
+// absent from the snapshot become empty — the primary shipped no rows
+// for them.
+func (r *Replica) applyReload(rl *Reload) error {
+	for _, t := range r.order {
+		parts := make([]*Partition, len(t.Partitions))
+		for i := range parts {
+			parts[i] = NewPartition(t.Schema, t.capHint)
+		}
+		t.Partitions = parts
+		if t.pkIdx != nil {
+			t.pkIdx = index.NewHash[uint64](t.pkHint)
+		}
+		t.version++
+		for _, row := range rl.rows[t.Schema.ID] {
+			if err := t.partitionOf(row.rowID).Insert(row.rowID, row.tup); err != nil {
+				return err
+			}
+			t.pkInsert(row.tup, row.rowID)
+		}
+	}
+	r.SetFloor(rl.vid)
+	return nil
 }

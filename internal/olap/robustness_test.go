@@ -1,0 +1,167 @@
+package olap
+
+import (
+	"sync"
+	"testing"
+
+	"batchdb/internal/proplog"
+)
+
+// Close must be idempotent: a second Close waits for the same shutdown
+// instead of panicking on a double channel close.
+func TestSchedulerCloseIdempotent(t *testing.T) {
+	r := NewReplica(1)
+	r.CreateTable(kvSchema(), 16)
+	s := NewScheduler(r, StaticPrimary(0), func(qs []int, _ uint64) []int {
+		return make([]int, len(qs))
+	})
+	s.Start()
+	s.Close()
+	s.Close() // must not panic
+	if _, err := s.Query(1); err != ErrSchedulerClosed {
+		t.Fatalf("Query after Close = %v, want ErrSchedulerClosed", err)
+	}
+}
+
+// LastApply may be read by benchmark reporters while the dispatcher
+// loop writes it between batches; run both concurrently under -race.
+func TestLastApplyConcurrentRead(t *testing.T) {
+	s := kvSchema()
+	r := NewReplica(2)
+	r.CreateTable(s, 64)
+	sched := NewScheduler(r, StaticPrimary(0), func(qs []int, _ uint64) []int {
+		return make([]int, len(qs))
+	})
+	sched.Start()
+	defer sched.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = sched.LastApply()
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if _, err := sched.Query(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// A failed apply round must not bump table versions: the shared
+// execution engine would otherwise treat a half-applied table as a
+// clean new version and cache builds over diverged data.
+func TestApplyErrorKeepsVersion(t *testing.T) {
+	s := kvSchema()
+	r := NewReplica(2)
+	tbl := r.CreateTable(s, 16)
+	good := proplog.Batch{Worker: 0, Tables: []proplog.TableBatch{{Table: 1, Entries: []proplog.Entry{
+		mkEntry(1, proplog.Insert, 1, 0, tuple(s, 1, 10)),
+	}}}}
+	r.ApplyUpdates([]proplog.Batch{good}, 1)
+	if _, err := r.ApplyPending(1); err != nil {
+		t.Fatal(err)
+	}
+	before := tbl.Version()
+
+	bad := proplog.Batch{Worker: 0, Tables: []proplog.TableBatch{{Table: 1, Entries: []proplog.Entry{
+		mkEntry(2, proplog.Update, 999, 0, u64le(1)), // unknown RowID
+	}}}}
+	r.ApplyUpdates([]proplog.Batch{bad}, 2)
+	if _, err := r.ApplyPending(2); err == nil {
+		t.Fatal("apply of unknown RowID succeeded")
+	}
+	if got := tbl.Version(); got != before {
+		t.Fatalf("version bumped on failed round: %d -> %d", before, got)
+	}
+}
+
+// A staged Reload replaces the replica's contents atomically at the
+// next apply round and raises the VID floor, so queued updates the
+// snapshot already contains are discarded while later ones still apply.
+func TestReloadInstall(t *testing.T) {
+	s := kvSchema()
+	r := NewReplica(2)
+	tbl := r.CreateTable(s, 16)
+	for i := int64(1); i <= 5; i++ {
+		if err := r.LoadTuple(1, uint64(i), tuple(s, i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rl := r.NewReload()
+	for i := int64(100); i <= 102; i++ {
+		if err := rl.LoadTuple(1, uint64(i), tuple(s, i, i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rl.Rows() != 3 {
+		t.Fatalf("staged rows = %d", rl.Rows())
+	}
+	r.InstallReload(rl, 10)
+
+	// VID 7 is covered by the snapshot (<= floor 10) and must be
+	// discarded; VID 12 is newer and must apply on top of the reload.
+	r.ApplyUpdates([]proplog.Batch{{Worker: 0, Tables: []proplog.TableBatch{{Table: 1, Entries: []proplog.Entry{
+		mkEntry(7, proplog.Insert, 100, 0, tuple(s, 100, 1000)), // would collide if not dropped
+		mkEntry(12, proplog.Insert, 200, 0, tuple(s, 200, 2000)),
+	}}}}}, 12)
+	st, err := r.ApplyPending(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Reloaded {
+		t.Fatal("ApplyStats.Reloaded not set")
+	}
+	if got := tbl.Live(); got != 4 {
+		t.Fatalf("rows after reload = %d, want 4 (3 snapshot + 1 live)", got)
+	}
+	if _, ok := tbl.partitionOf(1).Get(1); ok {
+		t.Fatal("pre-reload row survived the reload")
+	}
+	if r.AppliedVID() != 12 {
+		t.Fatalf("applied VID = %d", r.AppliedVID())
+	}
+
+	// An unknown table is rejected at staging time.
+	if err := r.NewReload().LoadTuple(99, 1, tuple(s, 1, 1)); err == nil {
+		t.Fatal("reload into unknown table accepted")
+	}
+}
+
+// Reload rebuilds the PK index with the staged rows: old keys vanish,
+// staged keys resolve.
+func TestReloadRebuildsPKIndex(t *testing.T) {
+	s := kvSchema()
+	r := NewReplica(2)
+	tbl := r.CreateTable(s, 16)
+	tbl.SetPK(func(tup []byte) uint64 { return uint64(s.GetInt64(tup, 0)) }, 16)
+	if err := r.LoadTuple(1, 1, tuple(s, 7, 70)); err != nil {
+		t.Fatal(err)
+	}
+	rl := r.NewReload()
+	if err := rl.LoadTuple(1, 2, tuple(s, 8, 80)); err != nil {
+		t.Fatal(err)
+	}
+	r.InstallReload(rl, 5)
+	if _, err := r.ApplyPending(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tbl.GetByPK(7); ok {
+		t.Fatal("stale PK entry survived reload")
+	}
+	tup, ok := tbl.GetByPK(8)
+	if !ok || s.GetInt64(tup, 1) != 80 {
+		t.Fatalf("staged PK lookup = %v,%v", tup, ok)
+	}
+}

@@ -2,6 +2,7 @@ package olap
 
 import (
 	"errors"
+	"sync"
 	"time"
 
 	"batchdb/internal/metrics"
@@ -55,15 +56,18 @@ type Scheduler[Q, R any] struct {
 	primary Primary
 	run     RunBatchFunc[Q, R]
 
-	queue    chan schedReq[Q, R]
-	closing  chan struct{}
-	closed   chan struct{}
-	maxBatch int
+	queue     chan schedReq[Q, R]
+	closing   chan struct{}
+	closed    chan struct{}
+	closeOnce sync.Once
+	maxBatch  int
 
 	stats SchedulerStats
 
 	// lastApply records the most recent apply round's stats for
-	// inspection by benchmarks (Table 1).
+	// inspection by benchmarks (Table 1). Written by the dispatcher
+	// loop, read by LastApply; applyMu makes the snapshot consistent.
+	applyMu   sync.Mutex
 	lastApply ApplyStats
 }
 
@@ -92,14 +96,19 @@ func (s *Scheduler[Q, R]) Stats() *SchedulerStats { return &s.stats }
 
 // LastApply returns the statistics of the most recent update-application
 // round.
-func (s *Scheduler[Q, R]) LastApply() ApplyStats { return s.lastApply }
+func (s *Scheduler[Q, R]) LastApply() ApplyStats {
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	return s.lastApply
+}
 
 // Start launches the dispatcher loop.
 func (s *Scheduler[Q, R]) Start() { go s.loop() }
 
-// Close stops the dispatcher after the current batch.
+// Close stops the dispatcher after the current batch. It is idempotent:
+// extra calls wait for the same shutdown instead of panicking.
 func (s *Scheduler[Q, R]) Close() {
-	close(s.closing)
+	s.closeOnce.Do(func() { close(s.closing) })
 	<-s.closed
 }
 
@@ -153,7 +162,9 @@ func (s *Scheduler[Q, R]) loop() {
 		target := s.primary.SyncUpdates()
 		st, err := s.replica.ApplyPending(target)
 		s.stats.ApplyTime.RecordSince(t0)
+		s.applyMu.Lock()
 		s.lastApply = st
+		s.applyMu.Unlock()
 		s.stats.AppliedEntries.Add(uint64(st.Entries))
 		if err != nil {
 			// Replica divergence is unrecoverable; surface loudly.

@@ -220,6 +220,44 @@ func (e *Engine) AddSink(s UpdateSink) {
 	}
 }
 
+// RemoveSink detaches a sink attached with SetSink or AddSink — how a
+// dead replica's forwarder is dropped so the dispatcher stops encoding
+// pushes for it. Removing a sink that is not attached is a no-op.
+func (e *Engine) RemoveSink(s UpdateSink) {
+	for {
+		old := e.sink.Load()
+		if old == nil {
+			return
+		}
+		var holder *sinkHolder
+		if m, ok := old.s.(multiSink); ok {
+			next := make(multiSink, 0, len(m))
+			for _, x := range m {
+				if x != s {
+					next = append(next, x)
+				}
+			}
+			switch len(next) {
+			case len(m):
+				return // not attached
+			case 0:
+				holder = nil
+			case 1:
+				holder = &sinkHolder{s: next[0]}
+			default:
+				holder = &sinkHolder{s: next}
+			}
+		} else if old.s == s {
+			holder = nil
+		} else {
+			return // not attached
+		}
+		if e.sink.CompareAndSwap(old, holder) {
+			return
+		}
+	}
+}
+
 // Start launches the dispatcher and workers.
 func (e *Engine) Start() {
 	e.started = true

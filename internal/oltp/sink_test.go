@@ -1,0 +1,84 @@
+package oltp
+
+import (
+	"testing"
+	"time"
+
+	"batchdb/internal/proplog"
+)
+
+// countSink counts the pushes it receives.
+type countSink struct{ pushes int }
+
+func (c *countSink) ApplyUpdates(_ []proplog.Batch, _ uint64) { c.pushes++ }
+
+func (e *Engine) sinkFor(t *testing.T) UpdateSink {
+	t.Helper()
+	h := e.sink.Load()
+	if h == nil {
+		return nil
+	}
+	return h.s
+}
+
+func TestRemoveSink(t *testing.T) {
+	e, _ := newKVEngine(t, Config{Workers: 1, PushPeriod: time.Hour})
+	defer e.Close()
+	a, b, c := &countSink{}, &countSink{}, &countSink{}
+
+	// Removing from an empty sink set is a no-op.
+	e.RemoveSink(a)
+
+	e.SetSink(a)
+	e.AddSink(b)
+	e.AddSink(c)
+	e.RemoveSink(b)
+	m, ok := e.sinkFor(t).(multiSink)
+	if !ok || len(m) != 2 || m[0] != UpdateSink(a) || m[1] != UpdateSink(c) {
+		t.Fatalf("after removing middle sink: %#v", e.sinkFor(t))
+	}
+	// Removing a sink that is not attached is a no-op.
+	e.RemoveSink(b)
+	if m := e.sinkFor(t).(multiSink); len(m) != 2 {
+		t.Fatalf("double remove changed the set: %#v", m)
+	}
+
+	e.RemoveSink(a)
+	if got := e.sinkFor(t); got != UpdateSink(c) {
+		t.Fatalf("after collapsing to one sink: %#v", got)
+	}
+	e.RemoveSink(c)
+	if got := e.sinkFor(t); got != nil {
+		t.Fatalf("after removing last sink: %#v", got)
+	}
+}
+
+// Removed sinks stop receiving pushes; remaining sinks keep receiving.
+func TestRemoveSinkStopsPushes(t *testing.T) {
+	e, _ := newKVEngine(t, Config{Workers: 1, PushPeriod: time.Hour})
+	a, b := &countSink{}, &countSink{}
+	e.AddSink(a)
+	e.AddSink(b)
+	e.Start()
+	defer e.Close()
+
+	if r := e.Exec("put", kvArgs(1, 1)); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	e.SyncUpdates()
+	if a.pushes == 0 || b.pushes == 0 {
+		t.Fatalf("pushes before removal: a=%d b=%d", a.pushes, b.pushes)
+	}
+	e.RemoveSink(a)
+	before := a.pushes
+	if r := e.Exec("put", kvArgs(2, 2)); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	e.SyncUpdates()
+	if a.pushes != before {
+		t.Fatalf("removed sink still receives pushes: %d -> %d", before, a.pushes)
+	}
+	if b.pushes < 2 {
+		t.Fatalf("remaining sink starved: %d pushes", b.pushes)
+	}
+}

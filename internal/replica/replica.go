@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"batchdb/internal/mvcc"
 	"batchdb/internal/network"
@@ -55,28 +56,79 @@ func (m MultiSink) ApplyUpdates(batches []proplog.Batch, upTo uint64) {
 
 // --- primary side ------------------------------------------------------
 
-// Publisher runs on the primary node: its Forwarder ships update pushes
-// to one remote replica, and its Serve loop answers that replica's sync
-// requests.
+// DefaultPublisherQueue bounds the pushes a Publisher buffers for one
+// replica. A replica that falls further behind (or is disconnected) is
+// severed rather than silently skipped: dropping an update push would
+// violate the coverage invariant (a sync reply promises every update it
+// covers was delivered), so the only safe degradation is to cut the
+// connection and let the replica reconnect and resync from a fresh
+// snapshot.
+const DefaultPublisherQueue = 256
+
+// outMsg is one queued transmission (an update push or a sync reply).
+type outMsg struct {
+	mt  uint8
+	buf []byte
+}
+
+// Publisher runs on the primary node: it ships update pushes to one
+// remote replica through a bounded send queue, and its Serve loop
+// answers that replica's sync requests. The queue decouples the OLTP
+// dispatcher from the replica's network: a slow or dead replica can
+// never wedge transaction processing — it is severed when the queue
+// overflows.
 type Publisher struct {
 	conn   *network.Conn
 	engine *oltp.Engine
-	enc    []byte
-	mu     sync.Mutex
+	out    chan outMsg
+	lagged atomic.Bool
 }
 
-// NewPublisher wraps an established connection to a replica node.
+// NewPublisher wraps an established connection to a replica node and
+// starts its send loop (which exits when the connection fails).
 func NewPublisher(conn *network.Conn, engine *oltp.Engine) *Publisher {
-	return &Publisher{conn: conn, engine: engine}
+	p := &Publisher{conn: conn, engine: engine, out: make(chan outMsg, DefaultPublisherQueue)}
+	go p.sendLoop()
+	return p
 }
 
-// ApplyUpdates implements oltp.UpdateSink by shipping the push over the
-// network. It is called from the OLTP dispatcher at batch boundaries.
+func (p *Publisher) sendLoop() {
+	for {
+		select {
+		case m := <-p.out:
+			if err := p.conn.Send(m.mt, m.buf); err != nil {
+				return
+			}
+		case <-p.conn.Done():
+			return
+		}
+	}
+}
+
+// enqueue queues one message for the send loop. Overflow means the
+// replica cannot keep up: the connection is severed so the replica
+// reconnects and resyncs (see DefaultPublisherQueue).
+func (p *Publisher) enqueue(mt uint8, buf []byte) {
+	select {
+	case p.out <- outMsg{mt: mt, buf: buf}:
+	default:
+		p.lagged.Store(true)
+		p.conn.Close()
+	}
+}
+
+// Lagged reports whether this publisher severed its connection because
+// the replica fell behind the bounded send queue.
+func (p *Publisher) Lagged() bool { return p.lagged.Load() }
+
+// ApplyUpdates implements oltp.UpdateSink by queueing the push for the
+// send loop. It is called from the OLTP dispatcher at batch boundaries
+// and never blocks: a dead replica must not wedge the primary.
 func (p *Publisher) ApplyUpdates(batches []proplog.Batch, upTo uint64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	buf := p.enc[:0]
-	buf = binary.LittleEndian.AppendUint64(buf, upTo)
+	if p.conn.Err() != nil {
+		return // dead feed; the serve loop is tearing down
+	}
+	buf := binary.LittleEndian.AppendUint64(nil, upTo)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(batches)))
 	for i := range batches {
 		lenPos := len(buf)
@@ -84,9 +136,7 @@ func (p *Publisher) ApplyUpdates(batches []proplog.Batch, upTo uint64) {
 		buf = proplog.AppendEncode(buf, &batches[i])
 		binary.LittleEndian.PutUint32(buf[lenPos:], uint32(len(buf)-lenPos-4))
 	}
-	p.enc = buf
-	// Best effort: a dead replica must not wedge the primary.
-	_ = p.conn.Send(msgUpdates, buf)
+	p.enqueue(msgUpdates, buf)
 }
 
 // Serve answers sync requests until the connection closes.
@@ -97,20 +147,24 @@ func (p *Publisher) ApplyUpdates(batches []proplog.Batch, upTo uint64) {
 // that only this connection's Recv loop can deliver. Handling syncs on
 // a separate goroutine keeps the reader free to service grants, which
 // breaks that cycle.
+//
+// Sync replies travel through the same FIFO queue as update pushes, so
+// a reply is always ordered after the updates it covers — the coverage
+// invariant the replica's sync round trip relies on.
 func (p *Publisher) Serve() error {
+	// Whatever ends this loop, fail the connection so the send loop and
+	// any queued senders unwind too.
+	defer p.conn.Close()
 	syncs := make(chan struct{}, 64)
 	defer close(syncs)
 	go func() {
 		for range syncs {
 			// SyncUpdates pushes through our ApplyUpdates (among the
-			// engine's sinks) before returning, so the reply is ordered
-			// after the updates it covers.
+			// engine's sinks) before returning, so enqueueing the reply
+			// here orders it after the updates it covers.
 			covered := p.engine.SyncUpdates()
-			var b [8]byte
-			binary.LittleEndian.PutUint64(b[:], covered)
-			if err := p.conn.Send(msgSyncReply, b[:]); err != nil {
-				return
-			}
+			b := binary.LittleEndian.AppendUint64(nil, covered)
+			p.enqueue(msgSyncReply, b)
 		}
 	}()
 	for {
@@ -242,6 +296,12 @@ type Client struct {
 	conn    *network.Conn
 	replica *olap.Replica
 
+	// staged, when non-nil, redirects bootstrap rows into a Reload that
+	// is installed atomically on bootDone instead of loading tuples
+	// directly — the resync path for reconnecting replicas whose old
+	// data is still serving queries.
+	staged *olap.Reload
+
 	syncMu    sync.Mutex // serializes sync round trips
 	syncReply chan uint64
 
@@ -255,6 +315,8 @@ type Client struct {
 }
 
 // NewClient wraps an established connection to the primary node.
+// Bootstrap rows load directly into the replica, so the replica must
+// not be serving queries yet (first connection).
 func NewClient(conn *network.Conn, replica *olap.Replica) *Client {
 	return &Client{
 		conn:      conn,
@@ -263,6 +325,17 @@ func NewClient(conn *network.Conn, replica *olap.Replica) *Client {
 		bootDone:  make(chan uint64, 1),
 		done:      make(chan struct{}),
 	}
+}
+
+// NewResyncClient wraps a re-established connection to the primary
+// node. Bootstrap rows are staged into an olap.Reload while queries
+// keep running against the replica's old data; the completed snapshot
+// is installed atomically (and the VID floor raised) by the next
+// quiesced apply round.
+func NewResyncClient(conn *network.Conn, replica *olap.Replica) *Client {
+	c := NewClient(conn, replica)
+	c.staged = replica.NewReload()
+	return c
 }
 
 // Serve demultiplexes messages from the primary until the connection
@@ -290,7 +363,11 @@ func (c *Client) Serve() error {
 		case msgBootDone:
 			if len(payload) >= 8 {
 				vid := binary.LittleEndian.Uint64(payload)
-				c.replica.SetFloor(vid)
+				if c.staged != nil {
+					c.replica.InstallReload(c.staged, vid)
+				} else {
+					c.replica.SetFloor(vid)
+				}
 				c.bootOnce.Do(func() { c.bootDone <- vid })
 			}
 		default:
@@ -360,7 +437,11 @@ func (c *Client) handleBootRows(payload []byte) error {
 		}
 		tup := append([]byte(nil), payload[pos:pos+l]...)
 		pos += l
-		if err := c.replica.LoadTuple(id, rowID, tup); err != nil {
+		if c.staged != nil {
+			if err := c.staged.LoadTuple(id, rowID, tup); err != nil {
+				return err
+			}
+		} else if err := c.replica.LoadTuple(id, rowID, tup); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,229 @@
+package replica
+
+import (
+	"testing"
+	"time"
+
+	"batchdb/internal/mvcc"
+	"batchdb/internal/network"
+	"batchdb/internal/olap"
+	"batchdb/internal/oltp"
+	"batchdb/internal/storage"
+)
+
+// servedCluster mirrors the root API's ServeReplicas accept loop: every
+// connection gets a Publisher attached as an engine sink, a bootstrap
+// snapshot shipped, and the sink detached when the connection ends — so
+// a Supervisor can kill its connection, reconnect, and resync against
+// it, exactly like a remote replica node against a live primary.
+type servedCluster struct {
+	engine *oltp.Engine
+	schema *storage.Schema
+	addr   string
+}
+
+func newServedCluster(t *testing.T) *servedCluster {
+	t.Helper()
+	schema := storage.NewSchema(1, "kv", []storage.Column{
+		{Name: "k", Type: storage.Int64},
+		{Name: "v", Type: storage.Int64},
+	}, []int{0})
+	store := mvcc.NewStore()
+	tbl := store.CreateTable(schema, func(tup []byte) uint64 {
+		return uint64(schema.GetInt64(tup, 0))
+	}, 1024)
+	engine, err := oltp.New(store, oltp.Config{Workers: 2, PushPeriod: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Register("put", func(tx *mvcc.Txn, args []byte) ([]byte, error) {
+		tup := schema.NewTuple()
+		schema.PutInt64(tup, 0, int64(leU64(args)))
+		schema.PutInt64(tup, 1, int64(leU64(args[8:])))
+		_, err := tx.Insert(tbl, tup)
+		return nil, err
+	})
+	l, err := network.Listen("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			pub := NewPublisher(conn, engine)
+			engine.AddSink(pub)
+			go func() {
+				pub.Serve()
+				engine.RemoveSink(pub)
+			}()
+			go func() {
+				if _, err := ShipSnapshot(conn, engine.Store(), []storage.TableID{1}, 64); err != nil {
+					conn.Close()
+				}
+			}()
+		}
+	}()
+	engine.Start()
+	t.Cleanup(func() {
+		l.Close()
+		engine.Close()
+	})
+	return &servedCluster{engine: engine, schema: schema, addr: l.Addr()}
+}
+
+func leU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func (sc *servedCluster) put(t *testing.T, from, to int64) {
+	t.Helper()
+	for i := from; i <= to; i++ {
+		if r := sc.engine.Exec("put", args2(i, i)); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+}
+
+func newTestSupervisor(sc *servedCluster) (*Supervisor, *olap.Replica) {
+	rep := olap.NewReplica(2)
+	rep.CreateTable(sc.schema, 1024)
+	sup := NewSupervisor(sc.addr, rep, SupervisorConfig{
+		Retry:          network.RetryPolicy{Attempts: 20, BaseDelay: 5 * time.Millisecond},
+		ReconnectPause: 10 * time.Millisecond,
+	})
+	sup.Start()
+	return sup, rep
+}
+
+// converge drives sync + apply rounds (what the OLAP scheduler does
+// between query batches) until the replica's applied VID reaches the
+// primary's committed watermark.
+func converge(t *testing.T, sup *Supervisor, rep *olap.Replica, sc *servedCluster) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		covered := sup.SyncUpdates()
+		if _, err := rep.ApplyPending(covered); err != nil {
+			t.Fatal(err)
+		}
+		if rep.AppliedVID() >= sc.engine.LatestVID() && sup.Status().Connected {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica did not converge: applied %d, primary %d, connected %v",
+				rep.AppliedVID(), sc.engine.LatestVID(), sup.Status().Connected)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// A replica whose connection is killed must reconnect, resync from a
+// fresh snapshot (VID floor raised, nothing lost or double-applied),
+// and catch up to the primary's commit watermark.
+func TestSupervisorKillReconnectResync(t *testing.T) {
+	sc := newServedCluster(t)
+	sup, rep := newTestSupervisor(sc)
+	defer sup.Close()
+	if _, err := sup.WaitBootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	sc.put(t, 1, 50)
+	converge(t, sup, rep, sc)
+	if got := rep.Table(1).Live(); got != 50 {
+		t.Fatalf("pre-kill rows = %d, want 50", got)
+	}
+
+	sup.KillConnection()
+	sc.put(t, 51, 100) // committed while the replica is disconnected
+	converge(t, sup, rep, sc)
+
+	if got := rep.Table(1).Live(); got != 100 {
+		t.Fatalf("post-reconnect rows = %d, want 100", got)
+	}
+	st := sup.Status()
+	if st.Reconnects < 1 {
+		t.Fatalf("reconnects = %d, want >= 1", st.Reconnects)
+	}
+	if st.Resyncs < 1 {
+		t.Fatalf("resyncs = %d, want >= 1", st.Resyncs)
+	}
+	if !st.Connected {
+		t.Fatal("not connected after recovery")
+	}
+	if st.Degraded <= 0 {
+		t.Fatal("degraded time not accounted")
+	}
+}
+
+// An injected sever mid-batch (after N received frames) must trigger
+// the same reconnect + VID-floor resync, and the injected error must be
+// identifiable.
+func TestSupervisorSeverMidBatch(t *testing.T) {
+	sc := newServedCluster(t)
+	sup, rep := newTestSupervisor(sc)
+	defer sup.Close()
+	if _, err := sup.WaitBootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	sc.put(t, 1, 20)
+	converge(t, sup, rep, sc)
+
+	// Sever on the next frame the replica receives: the cut lands on
+	// the update push carrying the new rows, mid-stream.
+	sup.InjectFault(network.SeverAfter(network.FaultRecv, 1))
+	sc.put(t, 21, 120)
+	converge(t, sup, rep, sc)
+
+	if got := rep.Table(1).Live(); got != 120 {
+		t.Fatalf("rows after severed batch = %d, want 120", got)
+	}
+	st := sup.Status()
+	if st.Reconnects < 1 {
+		t.Fatalf("reconnects = %d, want >= 1", st.Reconnects)
+	}
+	if !network.IsInjectedFault(st.LastError) {
+		t.Fatalf("LastError = %v, want injected fault", st.LastError)
+	}
+}
+
+// The first connection is strict: an unreachable primary fails
+// WaitBootstrap instead of retrying forever.
+func TestSupervisorBootstrapFailFast(t *testing.T) {
+	rep := olap.NewReplica(1)
+	sup := NewSupervisor("127.0.0.1:1", rep, SupervisorConfig{
+		Retry: network.RetryPolicy{Attempts: 2, BaseDelay: time.Millisecond},
+	})
+	sup.Start()
+	defer sup.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := sup.WaitBootstrap()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("bootstrap succeeded against a dead address")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("WaitBootstrap hung on unreachable primary")
+	}
+}
+
+// Close is idempotent and leaves no goroutine blocked.
+func TestSupervisorCloseIdempotent(t *testing.T) {
+	sc := newServedCluster(t)
+	sup, _ := newTestSupervisor(sc)
+	if _, err := sup.WaitBootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	sup.Close()
+	sup.Close()
+	if sup.Status().Connected {
+		t.Fatal("still connected after Close")
+	}
+}

@@ -2,13 +2,25 @@ package batchdb
 
 import (
 	"errors"
-	"fmt"
+	"time"
 
+	"batchdb/internal/metrics"
 	"batchdb/internal/network"
 	"batchdb/internal/olap"
 	"batchdb/internal/olap/exec"
 	"batchdb/internal/replica"
 )
+
+// ReplicaServerStats counts the primary's replica-serving activity.
+type ReplicaServerStats struct {
+	// Active is the number of currently connected replica nodes.
+	Active metrics.Gauge
+	// Served counts replica connections accepted since ServeReplicas.
+	Served metrics.Counter
+	// Disconnects counts replica connections that ended (including
+	// replicas severed for lagging behind the publisher queue).
+	Disconnects metrics.Counter
+}
 
 // ServeReplicas makes the primary accept remote OLAP replica nodes on
 // addr (use "127.0.0.1:0" to pick a free port; the bound address is
@@ -16,7 +28,10 @@ import (
 // update forwarder, ships a bootstrap snapshot of all analytical
 // tables, and then keeps feeding pushed updates — the paper's
 // elasticity mechanism (§3.2, §6): modern networks let one primary feed
-// multiple secondaries.
+// multiple secondaries. When a replica's connection ends (death, lag
+// sever, network fault), its forwarder is detached from the engine so
+// the dispatcher stops encoding pushes for it; the replica is expected
+// to reconnect and resync (see ConnectReplica).
 func (db *DB) ServeReplicas(addr string) (string, error) {
 	if !db.started {
 		return "", errors.New("batchdb: ServeReplicas before Start")
@@ -26,6 +41,11 @@ func (db *DB) ServeReplicas(addr string) (string, error) {
 		return "", err
 	}
 	db.repLn = ln
+	db.repMu.Lock()
+	if db.repConns == nil {
+		db.repConns = make(map[*network.Conn]struct{})
+	}
+	db.repMu.Unlock()
 	var analytical []TableID
 	for _, t := range db.order {
 		if t.opts.Analytical {
@@ -42,7 +62,22 @@ func (db *DB) ServeReplicas(addr string) (string, error) {
 			// Attach the feed before snapshotting so the replica's VID
 			// floor covers the gap (no loss, no double apply).
 			db.engine.AddSink(pub)
-			go pub.Serve()
+			db.repMu.Lock()
+			db.repConns[conn] = struct{}{}
+			db.repMu.Unlock()
+			db.repSrv.Active.Add(1)
+			db.repSrv.Served.Inc()
+			go func() {
+				pub.Serve()
+				// The connection is gone: detach the forwarder so pushes
+				// stop being encoded for a dead replica.
+				db.engine.RemoveSink(pub)
+				db.repMu.Lock()
+				delete(db.repConns, conn)
+				db.repMu.Unlock()
+				db.repSrv.Active.Add(-1)
+				db.repSrv.Disconnects.Inc()
+			}()
 			go func() {
 				if _, err := replica.ShipSnapshot(conn, db.store, analytical, 4096); err != nil {
 					conn.Close()
@@ -52,6 +87,9 @@ func (db *DB) ServeReplicas(addr string) (string, error) {
 	}()
 	return ln.Addr(), nil
 }
+
+// ReplicaServerStats returns the primary's replica-serving counters.
+func (db *DB) ReplicaServerStats() *ReplicaServerStats { return &db.repSrv }
 
 // WorkloadReplica is an additional co-located analytical replica with
 // its own dispatcher — the paper's §7 extension ("separate replica for
@@ -122,18 +160,37 @@ type ReplicaNodeConfig struct {
 	Partitions int
 	// Workers bounds scan/build parallelism (default 4).
 	Workers int
+	// Retry governs dialing (and, after a connection loss, redialing)
+	// the primary; the zero value gives 5 attempts from a 25ms base
+	// delay with exponential backoff and jitter.
+	Retry network.RetryPolicy
+	// Transport sets per-connection deadlines. Zero Send/Grant timeouts
+	// default to 10s each, so a wedged primary or lost rendezvous grant
+	// surfaces as a connection failure (and a reconnect) instead of a
+	// silent hang.
+	Transport network.Options
+	// ReconnectPause is the pause between failed reconnect rounds
+	// (default 100ms).
+	ReconnectPause time.Duration
+	// Fault, when non-nil, is installed on every connection the node
+	// establishes — deterministic fault injection for tests and drills.
+	Fault network.FaultPolicy
 }
 
 // ReplicaNode is a remote analytical replica: it bootstraps from a
 // primary over the network, receives pushed updates, and answers
 // analytical queries with the same batch-at-a-time semantics as the
 // primary-local replica (paper §6, "Distributed (RDMA) Replicas").
+//
+// The node's connection is supervised: if it drops, the node keeps
+// serving queries from its last consistent snapshot (degraded mode,
+// visible via Status) while reconnecting with backoff and resyncing
+// from a fresh snapshot.
 type ReplicaNode struct {
-	conn   *network.Conn
-	rep    *olap.Replica
-	client *replica.Client
-	execE  *exec.Engine
-	sched  *olap.Scheduler[*Query, Result]
+	sup   *replica.Supervisor
+	rep   *olap.Replica
+	execE *exec.Engine
+	sched *olap.Scheduler[*Query, Result]
 }
 
 // ConnectReplica dials a primary's replication address, bootstraps, and
@@ -145,6 +202,12 @@ func ConnectReplica(primaryAddr string, cfg ReplicaNodeConfig, tables []ReplicaT
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
 	}
+	if cfg.Transport.SendTimeout <= 0 {
+		cfg.Transport.SendTimeout = 10 * time.Second
+	}
+	if cfg.Transport.GrantTimeout <= 0 {
+		cfg.Transport.GrantTimeout = 10 * time.Second
+	}
 	rep := olap.NewReplica(cfg.Partitions)
 	for _, t := range tables {
 		hint := t.CapacityHint
@@ -153,18 +216,20 @@ func ConnectReplica(primaryAddr string, cfg ReplicaNodeConfig, tables []ReplicaT
 		}
 		rep.CreateTable(t.Schema, hint)
 	}
-	conn, err := network.Dial(primaryAddr, nil)
-	if err != nil {
+	sup := replica.NewSupervisor(primaryAddr, rep, replica.SupervisorConfig{
+		Retry:          cfg.Retry,
+		Transport:      cfg.Transport,
+		ReconnectPause: cfg.ReconnectPause,
+		Fault:          cfg.Fault,
+	})
+	sup.Start()
+	if _, err := sup.WaitBootstrap(); err != nil {
+		sup.Close()
 		return nil, err
 	}
-	n := &ReplicaNode{conn: conn, rep: rep, client: replica.NewClient(conn, rep)}
-	go n.client.Serve()
-	if _, err := n.client.WaitBootstrap(); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("batchdb: replica bootstrap: %w", err)
-	}
+	n := &ReplicaNode{sup: sup, rep: rep}
 	n.execE = exec.NewEngine(rep, cfg.Workers)
-	n.sched = olap.NewScheduler[*Query, Result](rep, n.client, n.execE.RunBatch)
+	n.sched = olap.NewScheduler[*Query, Result](rep, sup, n.execE.RunBatch)
 	n.sched.Start()
 	return n, nil
 }
@@ -178,12 +243,30 @@ func (n *ReplicaNode) Stats() *olap.SchedulerStats { return n.sched.Stats() }
 // Replica exposes the node's local replica state.
 func (n *ReplicaNode) Replica() *olap.Replica { return n.rep }
 
-// TransportStats returns the node's network counters (eager vs
-// rendezvous messages, buffer reuse).
-func (n *ReplicaNode) TransportStats() *network.Stats { return n.conn.Stats() }
+// TransportStats returns the node's network counters accumulated across
+// every connection it established (eager vs rendezvous messages, buffer
+// reuse, retries, severed connections).
+func (n *ReplicaNode) TransportStats() *network.Stats { return n.sup.NetStats() }
+
+// ReplicaStats returns the node's robustness counters (reconnects,
+// resyncs, degraded time).
+func (n *ReplicaNode) ReplicaStats() *replica.Stats { return n.sup.Stats() }
+
+// Status reports the replication channel's health: whether the node is
+// connected or serving degraded (stale but consistent) data, how often
+// it reconnected and resynced, and the cumulative degraded time.
+func (n *ReplicaNode) Status() replica.Status { return n.sup.Status() }
+
+// KillConnection severs the node's current connection to the primary —
+// a fault hook for tests and operational drills. The node reconnects
+// and resyncs automatically.
+func (n *ReplicaNode) KillConnection() { n.sup.KillConnection() }
+
+// InjectFault installs a fault policy on the node's current connection.
+func (n *ReplicaNode) InjectFault(p network.FaultPolicy) { n.sup.InjectFault(p) }
 
 // Close disconnects and stops the node.
 func (n *ReplicaNode) Close() {
 	n.sched.Close()
-	n.conn.Close()
+	n.sup.Close()
 }
