@@ -169,9 +169,12 @@ type DB struct {
 	repSrv ReplicaServerStats
 	// repMu guards repConns, the live replica connections, so Close can
 	// sever them (a closed primary must look dead to its replicas, not
-	// silently absorb their sync requests).
-	repMu    sync.Mutex
-	repConns map[*network.Conn]struct{}
+	// silently absorb their sync requests). repClosed marks the map
+	// drained: connections the accept loop races in after that are
+	// severed instead of registered.
+	repMu     sync.Mutex
+	repConns  map[*network.Conn]struct{}
+	repClosed bool
 }
 
 // Open creates an empty instance. Define tables, register procedures
@@ -357,6 +360,7 @@ func (db *DB) Close() error {
 		db.repLn.Close()
 	}
 	db.repMu.Lock()
+	db.repClosed = true
 	for conn := range db.repConns {
 		conn.Close()
 	}

@@ -181,6 +181,16 @@ func TestGrantTimeout(t *testing.T) {
 	if cli.Stats().GrantTimeouts.Load() != 1 {
 		t.Fatalf("GrantTimeouts = %d", cli.Stats().GrantTimeouts.Load())
 	}
+	// The timed-out sender must have removed itself from the grant
+	// queue: the FIFO invariant (position k == k-th outstanding
+	// announcement) holds on its own, not just because the connection
+	// happens to be failed.
+	cli.gm.Lock()
+	left := len(cli.waiters)
+	cli.gm.Unlock()
+	if left != 0 {
+		t.Fatalf("waiter queue not cleaned after grant timeout: %d left", left)
+	}
 }
 
 // An injected sever mid-stream fails the connection deterministically

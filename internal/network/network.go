@@ -355,7 +355,10 @@ func (c *Conn) Send(msgType uint8, payload []byte) error {
 }
 
 // waitGrant blocks until the receiver's grant arrives, the grant
-// deadline expires, or the connection fails.
+// deadline expires, or the connection fails. On the no-grant exits the
+// sender's waiter is removed from the queue, keeping the FIFO invariant
+// (queue position k == k-th outstanding announcement) self-contained
+// rather than relying on the connection being failed right after.
 func (c *Conn) waitGrant(waiter chan struct{}) error {
 	var timeoutCh <-chan time.Time
 	if c.opts.GrantTimeout > 0 {
@@ -367,14 +370,30 @@ func (c *Conn) waitGrant(waiter chan struct{}) error {
 	case <-waiter:
 		return nil
 	case <-c.done:
+		c.removeWaiter(waiter)
 		return fmt.Errorf("network: connection failed awaiting rendezvous grant: %w", c.Err())
 	case <-timeoutCh:
 		c.stats.GrantTimeouts.Inc()
+		c.removeWaiter(waiter)
 		// The protocol state is undefined now (the receiver may still
 		// send the grant later), so the connection cannot be reused.
 		c.fail(fmt.Errorf("network: rendezvous grant timeout after %v", c.opts.GrantTimeout))
 		return c.Err()
 	}
+}
+
+// removeWaiter takes one sender's waiter out of the grant queue (no-op
+// when a concurrent grant already popped it, or when the waiter was
+// never enqueued — the simulated-loss path).
+func (c *Conn) removeWaiter(waiter chan struct{}) {
+	c.gm.Lock()
+	for i, w := range c.waiters {
+		if w == waiter {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			break
+		}
+	}
+	c.gm.Unlock()
 }
 
 // sendLocked writes and flushes one frame under the write lock, failing

@@ -41,14 +41,15 @@ type ApplyStats struct {
 // the Scheduler guarantees that.
 func (r *Replica) ApplyPending(target uint64) (ApplyStats, error) {
 	stats := ApplyStats{Target: target, PerTable: make(map[storage.TableID]*TableApplyStats)}
-	// A staged resync snapshot (reconnect after connection loss)
-	// installs first: it raises the floor so stale queued updates the
-	// snapshot already contains are discarded below.
-	r.mu.Lock()
-	rl := r.pendingReload
-	r.pendingReload = nil
-	r.mu.Unlock()
+	// Take the staged resync snapshot (reconnect after connection loss),
+	// the queued batches and the floor in one atomic step: batches that
+	// were spliced in together with a reload must never be drained
+	// without it (they would land on stale pre-reconnect data and then
+	// be wiped by the reload, unrecoverable below its floor).
+	rl, batches, floor := r.takeWork()
 	if rl != nil {
+		// The reload installs first: it raises the floor so stale queued
+		// updates the snapshot already contains are discarded below.
 		if err := r.applyReload(rl); err != nil {
 			r.mu.Lock()
 			r.applyErr = err
@@ -56,11 +57,10 @@ func (r *Replica) ApplyPending(target uint64) (ApplyStats, error) {
 			return stats, fmt.Errorf("olap: resync reload: %w", err)
 		}
 		stats.Reloaded = true
+		if rl.vid > floor {
+			floor = rl.vid
+		}
 	}
-	batches := r.takePending()
-	r.mu.Lock()
-	floor := r.floor
-	r.mu.Unlock()
 	if len(batches) == 0 {
 		r.setApplied(target)
 		return stats, nil

@@ -186,14 +186,19 @@ func (r *Replica) AppliedVID() uint64 {
 	return r.applied
 }
 
-// takePending removes and returns the queued batches (called by the
-// apply step with query execution quiesced).
-func (r *Replica) takePending() []proplog.Batch {
+// takeWork atomically removes the staged reload (if any) together with
+// the queued batches and the current floor. One critical section, so an
+// InstallReload that spliced its buffered resync-era batches into the
+// queue is either seen whole (reload + batches) or not at all — a round
+// can never drain batches that depend on a reload it has not taken.
+func (r *Replica) takeWork() (*Reload, []proplog.Batch, uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	rl := r.pendingReload
+	r.pendingReload = nil
 	b := r.pending
 	r.pending = nil
-	return b
+	return rl, b, r.floor
 }
 
 // SetFloor declares that the replica's data already reflects every
@@ -231,6 +236,17 @@ type Reload struct {
 	r    *Replica
 	rows map[storage.TableID][]reloadRow
 	vid  uint64
+
+	// batches buffers update pushes that arrive while the snapshot is
+	// still being staged. They must not enter the replica's live pending
+	// queue yet: an apply round would lay them over the stale
+	// pre-reconnect data (which is missing the outage gap) and, once
+	// drained, the reload would wipe their effect while the raised floor
+	// can never get them back — silent divergence. Instead they ride
+	// along and are spliced into the pending queue atomically with the
+	// reload's installation.
+	batches []proplog.Batch
+	covered uint64
 }
 
 type reloadRow struct {
@@ -253,6 +269,18 @@ func (rl *Reload) LoadTuple(id storage.TableID, rowID uint64, tup []byte) error 
 	return nil
 }
 
+// ApplyUpdates buffers an update push received while the snapshot is
+// being staged (same signature as the replica's sink method, so the
+// connection handler can route pushes here during a resync). The
+// batches are installed atomically with the reload; ones the snapshot
+// already contains are then discarded by the raised VID floor.
+func (rl *Reload) ApplyUpdates(batches []proplog.Batch, upTo uint64) {
+	rl.batches = append(rl.batches, batches...)
+	if upTo > rl.covered {
+		rl.covered = upTo
+	}
+}
+
 // Rows returns the number of staged tuples.
 func (rl *Reload) Rows() int {
 	n := 0
@@ -265,13 +293,26 @@ func (rl *Reload) Rows() int {
 // InstallReload queues rl for atomic installation by the next
 // ApplyPending. snapVID is the snapshot's VID; it becomes the replica's
 // new floor, so queued updates the snapshot already contains are
-// discarded instead of double-applied. A later InstallReload before the
-// next apply round supersedes an earlier one.
+// discarded instead of double-applied. Update pushes buffered in rl
+// while it was being staged are spliced into the pending queue in the
+// same critical section, so an apply round sees the reload and its
+// trailing updates together or not at all. A later InstallReload before
+// the next apply round supersedes an earlier one (the earlier one's
+// spliced batches are then below the later snapshot's floor and are
+// discarded).
 func (r *Replica) InstallReload(rl *Reload, snapVID uint64) {
 	rl.vid = snapVID
 	r.mu.Lock()
 	r.pendingReload = rl
+	// The connection is ordered and handled by one goroutine, so every
+	// batch already in the live queue predates rl's buffered ones:
+	// appending preserves per-worker push order.
+	r.pending = append(r.pending, rl.batches...)
+	if rl.covered > r.covered {
+		r.covered = rl.covered
+	}
 	r.mu.Unlock()
+	rl.batches = nil
 }
 
 // applyReload replaces every table's contents with the staged snapshot.

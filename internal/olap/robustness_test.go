@@ -139,6 +139,72 @@ func TestReloadInstall(t *testing.T) {
 	}
 }
 
+// Update pushes that arrive while a resync snapshot is being staged
+// must be buffered in the Reload, not fed to the live pending queue: an
+// apply round before the install would lay them over stale data missing
+// the outage gap, and the reload would then wipe them while the raised
+// floor can never recover them (silent divergence).
+func TestReloadBuffersResyncUpdates(t *testing.T) {
+	s := kvSchema()
+	r := NewReplica(2)
+	tbl := r.CreateTable(s, 16)
+	// Pre-outage state: rows 1..3 at floor 5.
+	for i := int64(1); i <= 3; i++ {
+		if err := r.LoadTuple(1, uint64(i), tuple(s, i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.SetFloor(5)
+
+	// Resync in flight: the snapshot (taken at VID 10) stages row 100
+	// while two live pushes arrive — VID 8 is already contained in the
+	// snapshot (must be floor-dropped), VID 12 is past it (must survive
+	// the install).
+	rl := r.NewReload()
+	if err := rl.LoadTuple(1, 100, tuple(s, 100, 100)); err != nil {
+		t.Fatal(err)
+	}
+	rl.ApplyUpdates([]proplog.Batch{{Worker: 0, Tables: []proplog.TableBatch{{Table: 1, Entries: []proplog.Entry{
+		mkEntry(8, proplog.Insert, 100, 0, tuple(s, 100, 100)), // would collide if not dropped
+		mkEntry(12, proplog.Insert, 200, 0, tuple(s, 200, 200)),
+	}}}}}, 12)
+
+	// An apply round before the install must see neither the buffered
+	// pushes nor their covered watermark.
+	if got := r.Covered(); got != 0 {
+		t.Fatalf("covered leaked from staged reload: %d", got)
+	}
+	if _, err := r.ApplyPending(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Live(); got != 3 {
+		t.Fatalf("buffered resync updates applied onto stale data: live = %d, want 3", got)
+	}
+
+	r.InstallReload(rl, 10)
+	if got := r.Covered(); got != 12 {
+		t.Fatalf("covered after install = %d, want 12", got)
+	}
+	st, err := r.ApplyPending(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Reloaded {
+		t.Fatal("ApplyStats.Reloaded not set")
+	}
+	// Snapshot row 100 plus the VID-12 insert; the VID-8 push and every
+	// pre-outage row are gone.
+	if got := tbl.Live(); got != 2 {
+		t.Fatalf("rows after install = %d, want 2", got)
+	}
+	if _, ok := tbl.partitionOf(200).Get(200); !ok {
+		t.Fatal("post-snapshot buffered update lost across the reload")
+	}
+	if _, ok := tbl.partitionOf(1).Get(1); ok {
+		t.Fatal("pre-reload row survived the reload")
+	}
+}
+
 // Reload rebuilds the PK index with the staged rows: old keys vanish,
 // staged keys resolve.
 func TestReloadRebuildsPKIndex(t *testing.T) {

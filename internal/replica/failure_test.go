@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"batchdb/internal/network"
 	"batchdb/internal/storage"
 )
 
@@ -103,6 +104,101 @@ func TestFloorPreventsDoubleApply(t *testing.T) {
 	}
 	if got := c.replica.Table(1).Live(); got != 25 {
 		t.Fatalf("rows after live updates = %d, want 25", got)
+	}
+}
+
+// Updates pushed while a resync snapshot is in flight must not leak
+// into the replica's live pending queue: an apply round running
+// mid-resync (the OLAP dispatcher does not stop for a reconnect) would
+// lay them over stale data that is missing the outage gap, and the
+// installed snapshot would then wipe their effect for good.
+func TestResyncBuffersLiveUpdates(t *testing.T) {
+	c := newCluster(t)
+	c.engine.Start()
+	// Baseline: rows 1..10 applied on the replica.
+	for i := int64(1); i <= 10; i++ {
+		if r := c.engine.Exec("put", args2(i, i)); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if _, err := c.replica.ApplyPending(c.client.SyncUpdates()); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.replica.Table(1).Live(); got != 10 {
+		t.Fatalf("baseline rows = %d, want 10", got)
+	}
+
+	// Outage: the connection dies and rows 11..20 commit unseen — the
+	// gap only a fresh snapshot can close.
+	c.pub.conn.Close()
+	for i := int64(11); i <= 20; i++ {
+		if r := c.engine.Exec("put", args2(i, i)); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+
+	// Reconnect with a resync client; the stale data keeps serving.
+	l, err := network.Listen("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	connCh := make(chan *network.Conn, 1)
+	go func() {
+		if sc, err := l.Accept(); err == nil {
+			connCh <- sc
+		}
+	}()
+	cliConn, err := network.Dial(l.Addr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvConn := <-connCh
+	l.Close()
+	t.Cleanup(func() { cliConn.Close(); srvConn.Close() })
+	pub := NewPublisher(srvConn, c.engine)
+	c.engine.SetSink(pub)
+	cli := NewResyncClient(cliConn, c.replica)
+	go pub.Serve()
+	go cli.Serve()
+
+	// Rows 21..25 commit and are pushed before the snapshot has even
+	// started shipping. The sync round trip is the ordering barrier: once
+	// it returns, the client has consumed the pushes.
+	for i := int64(21); i <= 25; i++ {
+		if r := c.engine.Exec("put", args2(i, i)); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	cli.SyncUpdates()
+
+	// A mid-resync apply round (the dispatcher's degraded path targets
+	// the highest covered VID) must see none of that traffic.
+	if _, err := c.replica.ApplyPending(c.replica.Covered()); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.replica.Table(1).Live(); got != 10 {
+		t.Fatalf("resync-era updates leaked onto stale data: live = %d, want 10", got)
+	}
+
+	// Ship the snapshot and let the client install it; with post-boot
+	// traffic on top, the replica must converge with nothing lost and
+	// nothing double-applied.
+	if _, err := ShipSnapshot(srvConn, c.engine.Store(), tableIDs1(), 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.WaitBootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(26); i <= 30; i++ {
+		if r := c.engine.Exec("put", args2(i, i)); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if _, err := c.replica.ApplyPending(cli.SyncUpdates()); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.replica.Table(1).Live(); got != 30 {
+		t.Fatalf("rows after resync = %d, want 30", got)
 	}
 }
 

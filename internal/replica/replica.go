@@ -296,10 +296,11 @@ type Client struct {
 	conn    *network.Conn
 	replica *olap.Replica
 
-	// staged, when non-nil, redirects bootstrap rows into a Reload that
-	// is installed atomically on bootDone instead of loading tuples
-	// directly — the resync path for reconnecting replicas whose old
-	// data is still serving queries.
+	// staged, when non-nil, redirects bootstrap rows AND live update
+	// pushes into a Reload that is installed atomically on bootDone
+	// instead of touching the replica directly — the resync path for
+	// reconnecting replicas whose old data is still serving queries.
+	// Only the Serve goroutine touches it.
 	staged *olap.Reload
 
 	syncMu    sync.Mutex // serializes sync round trips
@@ -328,10 +329,11 @@ func NewClient(conn *network.Conn, replica *olap.Replica) *Client {
 }
 
 // NewResyncClient wraps a re-established connection to the primary
-// node. Bootstrap rows are staged into an olap.Reload while queries
+// node. Bootstrap rows — and any update pushes that arrive while the
+// snapshot is in flight — are staged into an olap.Reload while queries
 // keep running against the replica's old data; the completed snapshot
 // is installed atomically (and the VID floor raised) by the next
-// quiesced apply round.
+// quiesced apply round, with the staged pushes queued right behind it.
 func NewResyncClient(conn *network.Conn, replica *olap.Replica) *Client {
 	c := NewClient(conn, replica)
 	c.staged = replica.NewReload()
@@ -365,6 +367,10 @@ func (c *Client) Serve() error {
 				vid := binary.LittleEndian.Uint64(payload)
 				if c.staged != nil {
 					c.replica.InstallReload(c.staged, vid)
+					// Later pushes belong to the live queue: the reload
+					// (and the pushes buffered inside it) is already
+					// queued ahead of them for the next apply round.
+					c.staged = nil
 				} else {
 					c.replica.SetFloor(vid)
 				}
@@ -413,6 +419,16 @@ func (c *Client) handleUpdates(payload []byte) error {
 			return err
 		}
 		batches = append(batches, b)
+	}
+	if c.staged != nil {
+		// Resync in flight: the replica's data predates the outage, so
+		// these pushes must not reach its live pending queue (an apply
+		// round would lay them over data missing the outage gap, and the
+		// reload would then wipe them for good). Buffer them in the
+		// staged Reload; InstallReload splices them into the queue
+		// atomically with the snapshot.
+		c.staged.ApplyUpdates(batches, upTo)
+		return nil
 	}
 	c.replica.ApplyUpdates(batches, upTo)
 	return nil

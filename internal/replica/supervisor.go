@@ -1,6 +1,7 @@
 package replica
 
 import (
+	"errors"
 	"sync"
 	"time"
 
@@ -216,8 +217,21 @@ func (s *Supervisor) noteError(err error) {
 	s.mu.Unlock()
 }
 
+// ErrSupervisorClosed reports a Close that arrived before the first
+// bootstrap completed.
+var ErrSupervisorClosed = errors.New("replica: supervisor closed before bootstrap")
+
 func (s *Supervisor) run() {
 	defer close(s.closed)
+	// Whatever path exits the loop, never leave WaitBootstrap callers
+	// hanging: if the first bootstrap neither succeeded nor recorded its
+	// own error (e.g. Close raced the dial), fail it explicitly.
+	defer s.bootOnce.Do(func() {
+		if s.firstErr == nil {
+			s.firstErr = ErrSupervisorClosed
+		}
+		close(s.firstBoot)
+	})
 	first := true
 	for {
 		select {
@@ -243,6 +257,25 @@ func (s *Supervisor) run() {
 		if s.cfg.Fault != nil {
 			conn.SetFaultPolicy(s.cfg.Fault)
 		}
+		// Record the connection before (re)bootstrapping so Close and
+		// KillConnection can sever it while the snapshot is still in
+		// flight — a primary that wedges mid-ship must not make Close
+		// block forever, and the kill drill must work during a resync.
+		// s.cur stays nil until the bootstrap succeeds (Status reports
+		// Connected only for a live, bootstrapped channel).
+		s.mu.Lock()
+		s.curConn = conn
+		s.mu.Unlock()
+		select {
+		case <-s.closing:
+			// Close ran before it could see curConn; sever here.
+			conn.Close()
+			s.mu.Lock()
+			s.curConn = nil
+			s.mu.Unlock()
+			return
+		default:
+		}
 		var cli *Client
 		if first {
 			cli = NewClient(conn, s.rep)
@@ -255,6 +288,9 @@ func (s *Supervisor) run() {
 		if berr != nil {
 			conn.Close()
 			<-serveDone
+			s.mu.Lock()
+			s.curConn = nil
+			s.mu.Unlock()
 			s.noteError(berr)
 			if first {
 				s.firstErr = berr

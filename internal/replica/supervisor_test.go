@@ -214,6 +214,54 @@ func TestSupervisorBootstrapFailFast(t *testing.T) {
 	}
 }
 
+// Close must sever a connection that is still mid-bootstrap: the
+// supervisor records the dialing connection before WaitBootstrap
+// succeeds, so a primary that wedges while shipping the snapshot cannot
+// make Close (or the KillConnection drill) block forever.
+func TestSupervisorCloseDuringWedgedBootstrap(t *testing.T) {
+	l, err := network.Listen("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// A primary that accepts and then wedges: no snapshot, no bootDone.
+	conns := make(chan *network.Conn, 4)
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			conns <- c
+		}
+	}()
+
+	sup := NewSupervisor(l.Addr(), olap.NewReplica(1), SupervisorConfig{
+		Retry: network.RetryPolicy{Attempts: 2, BaseDelay: time.Millisecond},
+	})
+	sup.Start()
+	// Wait until the wedged primary holds the supervisor's connection
+	// (the client is now blocked waiting for a bootstrap that never
+	// arrives).
+	select {
+	case c := <-conns:
+		defer c.Close()
+	case <-time.After(5 * time.Second):
+		t.Fatal("supervisor never dialed")
+	}
+
+	done := make(chan struct{})
+	go func() { sup.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung while the primary wedged mid-bootstrap")
+	}
+	if _, err := sup.WaitBootstrap(); err == nil {
+		t.Fatal("WaitBootstrap reported success against a wedged primary")
+	}
+}
+
 // Close is idempotent and leaves no goroutine blocked.
 func TestSupervisorCloseIdempotent(t *testing.T) {
 	sc := newServedCluster(t)

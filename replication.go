@@ -58,13 +58,21 @@ func (db *DB) ServeReplicas(addr string) (string, error) {
 			if err != nil {
 				return // listener closed
 			}
+			// Register before attaching anything: a connection racing in
+			// while Close drains the map must be severed, never left as a
+			// live replica feed on a stopped engine.
+			db.repMu.Lock()
+			if db.repClosed {
+				db.repMu.Unlock()
+				conn.Close()
+				continue
+			}
+			db.repConns[conn] = struct{}{}
+			db.repMu.Unlock()
 			pub := replica.NewPublisher(conn, db.engine)
 			// Attach the feed before snapshotting so the replica's VID
 			// floor covers the gap (no loss, no double apply).
 			db.engine.AddSink(pub)
-			db.repMu.Lock()
-			db.repConns[conn] = struct{}{}
-			db.repMu.Unlock()
 			db.repSrv.Active.Add(1)
 			db.repSrv.Served.Inc()
 			go func() {
