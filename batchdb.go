@@ -29,6 +29,8 @@ import (
 	"sync"
 	"time"
 
+	"batchdb/internal/checkpoint"
+	"batchdb/internal/metrics"
 	"batchdb/internal/mvcc"
 	"batchdb/internal/network"
 	"batchdb/internal/olap"
@@ -63,6 +65,8 @@ type (
 	AggSpec = exec.AggSpec
 	// Result is a Query's outcome.
 	Result = exec.Result
+	// DurabilityStats aggregates checkpoint/WAL/recovery counters.
+	DurabilityStats = metrics.DurabilityStats
 )
 
 // Column type constants.
@@ -110,10 +114,26 @@ type Config struct {
 	// FieldSpecificUpdates propagates sub-tuple patches instead of
 	// whole-tuple images (default true; paper Fig. 6 favours it).
 	FieldSpecificUpdates *bool
-	// WALPath enables durable command logging when non-empty.
+	// WALPath enables durable command logging into a single log file
+	// when non-empty (no checkpoints; recovery replays everything).
+	// Mutually exclusive with DataDir.
 	WALPath string
 	// WALSync forces fsync per group commit.
 	WALSync bool
+	// DataDir enables the full durability subsystem when non-empty:
+	// segmented WAL with rotation, background checkpoints, and
+	// bounded-time crash recovery via RecoverDataDir. Mutually
+	// exclusive with WALPath.
+	DataDir string
+	// CheckpointEveryVIDs checkpoints after this many commits (DataDir
+	// mode; default 50000, negative disables the trigger).
+	CheckpointEveryVIDs int64
+	// CheckpointEveryWALBytes checkpoints after this many logged bytes
+	// (DataDir mode; default 64 MiB, negative disables the trigger).
+	CheckpointEveryWALBytes int64
+	// WALSegmentBytes is the WAL segment rotation threshold (DataDir
+	// mode; default 16 MiB).
+	WALSegmentBytes int64
 	// DisableReplication runs the primary alone (the paper's NoRep
 	// configuration); Query returns an error.
 	DisableReplication bool
@@ -165,6 +185,11 @@ type DB struct {
 	order   []*Table
 	started bool
 
+	// dur is the booted durability state (DataDir mode): WAL segment
+	// manager + checkpointer. Set by RecoverDataDir, or by Start for a
+	// fresh directory.
+	dur *checkpoint.State
+
 	repLn  *network.Listener
 	repSrv ReplicaServerStats
 	// repMu guards repConns, the live replica connections, so Close can
@@ -191,6 +216,18 @@ func Open(cfg Config) (*DB, error) {
 	}
 	if cfg.PushPeriod <= 0 {
 		cfg.PushPeriod = 200 * time.Millisecond
+	}
+	if cfg.DataDir != "" && cfg.WALPath != "" {
+		return nil, errors.New("batchdb: WALPath and DataDir are mutually exclusive")
+	}
+	if cfg.CheckpointEveryVIDs == 0 {
+		cfg.CheckpointEveryVIDs = 50000
+	}
+	if cfg.CheckpointEveryWALBytes == 0 {
+		cfg.CheckpointEveryWALBytes = 64 << 20
+	}
+	if cfg.WALSegmentBytes <= 0 {
+		cfg.WALSegmentBytes = 16 << 20
 	}
 	db := &DB{cfg: cfg, store: mvcc.NewStore(), tables: make(map[TableID]*Table)}
 	return db, nil
@@ -264,8 +301,9 @@ func (db *DB) buildEngine() error {
 	return nil
 }
 
-// Recover replays a command log written by a previous instance. Call
-// after loading the identical initial data, before Start.
+// Recover replays a single-file command log written by a previous
+// instance (legacy WALPath mode). Call after loading the identical
+// initial data, before Start. DataDir instances use RecoverDataDir.
 func (db *DB) Recover(walPath string) (int, error) {
 	if db.started {
 		return 0, errors.New("batchdb: Recover after Start")
@@ -278,6 +316,91 @@ func (db *DB) Recover(walPath string) (int, error) {
 	return oltp.RecoverEngine(db.engine, walPath)
 }
 
+// RecoveryInfo describes what a DataDir recovery did.
+type RecoveryInfo struct {
+	// CheckpointVID is the restored checkpoint (0 = recovered from the
+	// seed + full log).
+	CheckpointVID uint64
+	// FellBack is true when the newest checkpoint failed verification
+	// and an older recovery point was used.
+	FellBack bool
+	// Replayed counts WAL commands re-executed (only those with VID
+	// above CheckpointVID — recovery cost is bounded by the WAL tail).
+	Replayed int
+	// ReplayTime is the wall time spent replaying.
+	ReplayTime time.Duration
+}
+
+// NeedsSeed reports whether a DataDir instance must have its initial
+// (VID 0) data loaded by the caller before recovery: true for a fresh
+// directory or one without checkpoints (the log replays on top of the
+// seed), false once a checkpoint exists (the checkpoint replaces the
+// seed — loading it again is an error).
+func (db *DB) NeedsSeed() (bool, error) {
+	if db.cfg.DataDir == "" {
+		return true, nil
+	}
+	has, err := checkpoint.DirHasCheckpoint(db.cfg.DataDir)
+	return !has, err
+}
+
+// RecoverDataDir restores the newest valid checkpoint (if any) and
+// replays the WAL tail above it. Call after CreateTable/Register (and
+// after seed loading iff NeedsSeed), before Start.
+func (db *DB) RecoverDataDir() (RecoveryInfo, error) {
+	if db.started {
+		return RecoveryInfo{}, errors.New("batchdb: RecoverDataDir after Start")
+	}
+	if db.cfg.DataDir == "" {
+		return RecoveryInfo{}, errors.New("batchdb: RecoverDataDir requires Config.DataDir")
+	}
+	if db.dur != nil {
+		return RecoveryInfo{}, errors.New("batchdb: RecoverDataDir called twice")
+	}
+	if db.engine == nil {
+		if err := db.buildEngine(); err != nil {
+			return RecoveryInfo{}, err
+		}
+	}
+	st, info, err := checkpoint.Boot(db.engine, checkpoint.BootConfig{
+		Dir:          db.cfg.DataDir,
+		SegmentBytes: db.cfg.WALSegmentBytes,
+		Sync:         db.cfg.WALSync,
+	})
+	if err != nil {
+		return RecoveryInfo{}, err
+	}
+	db.dur = st
+	return RecoveryInfo{
+		CheckpointVID: info.CheckpointVID,
+		FellBack:      info.FellBack,
+		Replayed:      info.Replayed,
+		ReplayTime:    info.ReplayTime,
+	}, nil
+}
+
+// Checkpoint forces a checkpoint now (DataDir mode, after Start) and
+// returns its VID.
+func (db *DB) Checkpoint() (uint64, error) {
+	if db.dur == nil || !db.started {
+		return 0, errors.New("batchdb: Checkpoint requires a started DataDir instance")
+	}
+	info, err := db.dur.Checkpoint(db.engine)
+	if err != nil {
+		return 0, err
+	}
+	return info.VID, nil
+}
+
+// DurabilityStats returns checkpoint/WAL/recovery counters (nil without
+// DataDir).
+func (db *DB) DurabilityStats() *DurabilityStats {
+	if db.dur == nil {
+		return nil
+	}
+	return db.dur.Stats()
+}
+
 // Start bootstraps the OLAP replica from the loaded data and launches
 // both dispatchers.
 func (db *DB) Start() error {
@@ -288,6 +411,27 @@ func (db *DB) Start() error {
 		if err := db.buildEngine(); err != nil {
 			return err
 		}
+	}
+	if db.cfg.DataDir != "" && db.dur == nil {
+		// Fresh directories boot inline (recording the seed
+		// fingerprint); existing state must go through RecoverDataDir
+		// so the caller knows recovery happened.
+		initialized, err := checkpoint.DirInitialized(db.cfg.DataDir)
+		if err != nil {
+			return err
+		}
+		if initialized {
+			return errors.New("batchdb: DataDir holds existing state; call RecoverDataDir before Start")
+		}
+		st, _, err := checkpoint.Boot(db.engine, checkpoint.BootConfig{
+			Dir:          db.cfg.DataDir,
+			SegmentBytes: db.cfg.WALSegmentBytes,
+			Sync:         db.cfg.WALSync,
+		})
+		if err != nil {
+			return err
+		}
+		db.dur = st
 	}
 	if !db.cfg.DisableReplication {
 		db.rep = olap.NewReplica(db.cfg.Partitions)
@@ -307,6 +451,16 @@ func (db *DB) Start() error {
 		db.sched.Start()
 	}
 	db.engine.Start()
+	if db.dur != nil {
+		pol := checkpoint.Policy{}
+		if db.cfg.CheckpointEveryVIDs > 0 {
+			pol.EveryVIDs = uint64(db.cfg.CheckpointEveryVIDs)
+		}
+		if db.cfg.CheckpointEveryWALBytes > 0 {
+			pol.EveryWALBytes = db.cfg.CheckpointEveryWALBytes
+		}
+		db.dur.StartRunner(db.engine, pol)
+	}
 	db.started = true
 	return nil
 }
@@ -367,6 +521,11 @@ func (db *DB) Close() error {
 	db.repMu.Unlock()
 	if db.sched != nil {
 		db.sched.Close()
+	}
+	if db.dur != nil {
+		// Stop the checkpointer before the engine: a checkpoint in
+		// flight rendezvouses with the dispatcher.
+		db.dur.StopRunner()
 	}
 	if db.engine != nil {
 		return db.engine.Close()

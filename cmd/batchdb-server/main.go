@@ -11,6 +11,7 @@
 //	PAYMENT <w> <d> <amount>      run a Payment by customer id
 //	DELIVERY <w>                  run a Delivery
 //	QUERY <Q2|Q3|...|Q20>         run one CH analytical query
+//	CHECKPOINT                    force a checkpoint (data-dir mode)
 //	STATS                         engine counters
 //	QUIT
 package main
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"batchdb/internal/chbench"
+	"batchdb/internal/checkpoint"
 	"batchdb/internal/mvcc"
 	"batchdb/internal/olap"
 	"batchdb/internal/olap/exec"
@@ -39,25 +41,57 @@ func main() {
 	var (
 		listen     = flag.String("listen", "127.0.0.1:7070", "address to serve")
 		warehouses = flag.Int("warehouses", 2, "warehouse count (bench scale)")
-		walPath    = flag.String("wal", "", "command-log path (empty = no durability)")
+		dataDir    = flag.String("data-dir", "", "durable data directory: segmented WAL + checkpoints + crash recovery (empty = no durability)")
+		walSync    = flag.Bool("wal-sync", false, "fsync the WAL on every group commit")
+		ckptVIDs   = flag.Uint64("checkpoint-vids", 50000, "checkpoint every N committed transactions")
+		segBytes   = flag.Int64("wal-segment-bytes", 16<<20, "WAL segment rotation threshold")
 	)
 	flag.Parse()
 
-	log.Printf("loading TPC-C (%d warehouses)...", *warehouses)
 	db := tpcc.NewDB(tpcc.BenchScale(*warehouses))
-	if err := tpcc.Generate(db, 1); err != nil {
-		log.Fatal(err)
+	seed := true
+	if *dataDir != "" {
+		has, err := checkpoint.DirHasCheckpoint(*dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// A checkpoint replaces the seed: recovery restores it instead
+		// of regenerating TPC-C rows.
+		seed = !has
+	}
+	if seed {
+		log.Printf("loading TPC-C (%d warehouses)...", *warehouses)
+		if err := tpcc.Generate(db, 1); err != nil {
+			log.Fatal(err)
+		}
 	}
 	engine, err := oltp.New(db.Store, oltp.Config{
 		Workers:       4,
 		Replicated:    tpcc.ReplicatedTables(),
 		FieldSpecific: true,
-		WALPath:       *walPath,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	tpcc.RegisterProcs(engine, db, false)
+	var dur *checkpoint.State
+	if *dataDir != "" {
+		st, info, err := checkpoint.Boot(engine, checkpoint.BootConfig{
+			Dir:          *dataDir,
+			Sync:         *walSync,
+			SegmentBytes: *segBytes,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dur = st
+		if info.Fresh {
+			log.Printf("data-dir %s initialized", *dataDir)
+		} else {
+			log.Printf("recovered: checkpoint vid=%d, replayed %d commands in %v (fellback=%v), watermark=%d",
+				info.CheckpointVID, info.Replayed, info.ReplayTime, info.FellBack, info.WatermarkVID)
+		}
+	}
 	rep, err := chbench.NewReplica(db, 8)
 	if err != nil {
 		log.Fatal(err)
@@ -67,6 +101,9 @@ func main() {
 	sched := olap.NewScheduler(rep, engine, ex.RunBatch)
 	sched.Start()
 	engine.Start()
+	if dur != nil {
+		dur.StartRunner(engine, checkpoint.Policy{EveryVIDs: *ckptVIDs})
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -78,17 +115,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		go serve(conn, db, engine, sched)
+		go serve(conn, db, engine, sched, dur)
 	}
 }
 
 func serve(conn net.Conn, db *tpcc.DB, engine *oltp.Engine,
-	sched *olap.Scheduler[*exec.Query, exec.Result]) {
+	sched *olap.Scheduler[*exec.Query, exec.Result], dur *checkpoint.State) {
 	defer conn.Close()
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	gen := chbench.NewGen(db.Schemas, rng.Int63())
-	drv := tpcc.NewDriver(db.Scale, rng.Int63())
-	_ = drv
 	sc := bufio.NewScanner(conn)
 	out := bufio.NewWriter(conn)
 	defer out.Flush()
@@ -124,6 +159,21 @@ func serve(conn net.Conn, db *tpcc.DB, engine *oltp.Engine,
 		case "DELIVERY":
 			a := &tpcc.DeliveryArgs{WID: argN(fields, 1, 1), CarrierID: 1 + rng.Int63n(10), Date: time.Now().UnixNano()}
 			reply(out, engine.Exec(tpcc.ProcDelivery, a.Encode()))
+		case "CHECKPOINT":
+			if dur == nil {
+				fmt.Fprintln(out, "ERR\tno -data-dir configured")
+				break
+			}
+			info, err := dur.Checkpoint(engine)
+			switch {
+			case errors.Is(err, checkpoint.ErrNoProgress):
+				fmt.Fprintln(out, "OK\tno progress since last checkpoint")
+			case err != nil:
+				fmt.Fprintf(out, "ERR\t%v\n", err)
+			default:
+				fmt.Fprintf(out, "OK\tvid=%d rows=%d bytes=%d elapsed=%v\n",
+					info.VID, info.Rows, info.Bytes, info.Elapsed)
+			}
 		case "QUERY":
 			name := "Q10"
 			if len(fields) > 1 {

@@ -1,0 +1,87 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"batchdb/internal/crash"
+)
+
+const manifestName = "MANIFEST"
+
+// Entry records one checkpoint in the manifest.
+type Entry struct {
+	VID   uint64 `json:"vid"`
+	File  string `json:"file"` // basename inside the checkpoints/ dir
+	Bytes int64  `json:"bytes"`
+}
+
+// Manifest is the data directory's source of truth: the seed fingerprint
+// recovery must match when no checkpoint exists, and the checkpoints
+// recovery may restore from. It is replaced atomically (temp + fsync +
+// rename + dir fsync), so readers see either the old or the new version.
+type Manifest struct {
+	Version     int        `json:"version"`
+	Seed        []TableSum `json:"seed"`
+	Checkpoints []Entry    `json:"checkpoints"` // ascending VID; last is newest
+}
+
+// loadManifest reads dir's manifest; (nil, nil) when none exists.
+func loadManifest(dir string) (*Manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("checkpoint: manifest corrupt: %w", err)
+	}
+	return &m, nil
+}
+
+// store atomically replaces dir's manifest.
+func (m *Manifest) store(dir string, inj *crash.Injector) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: manifest temp: %w", err)
+	}
+	k, err := inj.HitWrite(crash.ManifestWrite, len(b))
+	if err != nil {
+		if k > 0 {
+			f.Write(b[:k])
+		}
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := inj.Hit(crash.ManifestRename); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("checkpoint: manifest rename: %w", err)
+	}
+	if err := inj.Hit(crash.ManifestDirSync); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}

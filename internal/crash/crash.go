@@ -1,0 +1,155 @@
+// Package crash provides deterministic crash-point injection for
+// BatchDB's durability layer (WAL segments, checkpoints, manifest
+// updates).
+//
+// The durability code consults an Injector at named points ("after temp
+// write", "before rename", "mid WAL append", ...). A test arms the
+// injector with a Plan; when the armed point is reached the injector
+// fires: the in-flight operation stops exactly as if the process had
+// died there (optionally after a configurable prefix of the pending
+// buffer reached the file, modelling a torn write), and every subsequent
+// durability call fails with ErrCrashed so nothing else reaches disk.
+// The recovery harness then reopens the same directory in a fresh
+// instance, exactly like a restart after a real crash — the bytes on
+// disk are precisely the bytes a dying process would have left behind.
+//
+// A nil *Injector is inert: every hook is safe to call on a nil receiver
+// and never fires, so production paths need no conditional wiring.
+package crash
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrCrashed is returned by every durability hook once the injector has
+// fired: the simulated process is dead and must not touch disk again.
+var ErrCrashed = errors.New("crash: injected crash")
+
+// Point names one crash site in the durability I/O layer.
+type Point string
+
+// Crash sites, in rough temporal order of a running instance. Write
+// points (WALFlush, CkptWrite, ManifestWrite) honour Plan.TearFrac: a
+// prefix of the pending buffer reaches the file before the crash.
+const (
+	WALFlush    Point = "wal.flush"    // writing a group-commit batch into the segment
+	WALSync     Point = "wal.sync"     // batch written, before segment fsync
+	WALRotate   Point = "wal.rotate"   // new segment created+synced, before dir fsync
+	WALTruncate Point = "wal.truncate" // before unlinking a superseded segment
+
+	CkptWrite   Point = "checkpoint.write"    // writing snapshot frames into the temp file
+	CkptSync    Point = "checkpoint.sync"     // temp written, before temp fsync
+	CkptRename  Point = "checkpoint.rename"   // temp durable, before atomic rename
+	CkptDirSync Point = "checkpoint.dir-sync" // renamed, before parent dir fsync
+
+	ManifestWrite   Point = "manifest.write"    // writing the manifest temp file
+	ManifestRename  Point = "manifest.rename"   // manifest temp durable, before rename
+	ManifestDirSync Point = "manifest.dir-sync" // renamed, before parent dir fsync
+)
+
+// Points lists every crash site; the recovery harness iterates it to
+// build its injection matrix.
+var Points = []Point{
+	WALFlush, WALSync, WALRotate, WALTruncate,
+	CkptWrite, CkptSync, CkptRename, CkptDirSync,
+	ManifestWrite, ManifestRename, ManifestDirSync,
+}
+
+// Plan says when and how to crash.
+type Plan struct {
+	// Point is the crash site to fire at.
+	Point Point
+	// Countdown fires on the Nth hit of Point (0 and 1 both mean the
+	// first hit).
+	Countdown int
+	// TearFrac applies at write points: the fraction of the in-flight
+	// buffer that reaches the file before the crash (0 = nothing, 0.5 =
+	// a half-written torn tail). Ignored at non-write points.
+	TearFrac float64
+}
+
+// Injector is a concurrency-safe crash hook shared by every durability
+// writer of one instance (WAL manager, checkpointer, manifest updates).
+type Injector struct {
+	mu      sync.Mutex
+	plan    Plan
+	armed   bool
+	crashed bool
+}
+
+// Arm schedules a crash. Re-arming replaces any previous plan; arming a
+// crashed injector has no effect (the process is already dead).
+func (in *Injector) Arm(p Plan) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if p.Countdown < 1 {
+		p.Countdown = 1
+	}
+	in.plan = p
+	in.armed = true
+}
+
+// Crashed reports whether the injector has fired.
+func (in *Injector) Crashed() bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// Hit is called at non-write crash points. It returns ErrCrashed when
+// the injector fires here (or already fired earlier), nil otherwise.
+func (in *Injector) Hit(p Point) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return ErrCrashed
+	}
+	if in.armed && in.plan.Point == p {
+		in.plan.Countdown--
+		if in.plan.Countdown <= 0 {
+			in.crashed = true
+			in.armed = false
+			return ErrCrashed
+		}
+	}
+	return nil
+}
+
+// HitWrite is called at write points before writing an n-byte buffer.
+// Normally it returns (n, nil): write everything. When the injector
+// fires it returns (k, ErrCrashed) with k = TearFrac*n: the caller must
+// write exactly the first k bytes (the torn prefix a dying process left
+// behind) and then stop.
+func (in *Injector) HitWrite(p Point, n int) (int, error) {
+	if in == nil {
+		return n, nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return 0, ErrCrashed
+	}
+	if in.armed && in.plan.Point == p {
+		in.plan.Countdown--
+		if in.plan.Countdown <= 0 {
+			in.crashed = true
+			in.armed = false
+			k := int(in.plan.TearFrac * float64(n))
+			if k < 0 {
+				k = 0
+			}
+			if k > n {
+				k = n
+			}
+			return k, ErrCrashed
+		}
+	}
+	return n, nil
+}

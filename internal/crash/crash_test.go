@@ -1,0 +1,65 @@
+package crash
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Hit(WALFlush); err != nil {
+		t.Fatal(err)
+	}
+	if k, err := in.HitWrite(WALFlush, 100); err != nil || k != 100 {
+		t.Fatalf("HitWrite = (%d, %v)", k, err)
+	}
+	if in.Crashed() {
+		t.Fatal("nil injector crashed")
+	}
+}
+
+func TestFireOncePermanent(t *testing.T) {
+	in := &Injector{}
+	in.Arm(Plan{Point: CkptRename})
+	if err := in.Hit(CkptSync); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+	if !errors.Is(in.Hit(CkptRename), ErrCrashed) {
+		t.Fatal("armed point did not fire")
+	}
+	if !in.Crashed() {
+		t.Fatal("not crashed after firing")
+	}
+	// Every later hit on any point fails: the process is dead.
+	if !errors.Is(in.Hit(WALFlush), ErrCrashed) {
+		t.Fatal("post-crash hit succeeded")
+	}
+	if k, err := in.HitWrite(WALFlush, 10); !errors.Is(err, ErrCrashed) || k != 0 {
+		t.Fatalf("post-crash write = (%d, %v)", k, err)
+	}
+}
+
+func TestCountdown(t *testing.T) {
+	in := &Injector{}
+	in.Arm(Plan{Point: WALFlush, Countdown: 3})
+	for i := 0; i < 2; i++ {
+		if _, err := in.HitWrite(WALFlush, 8); err != nil {
+			t.Fatalf("hit %d fired early: %v", i, err)
+		}
+	}
+	if _, err := in.HitWrite(WALFlush, 8); !errors.Is(err, ErrCrashed) {
+		t.Fatal("third hit did not fire")
+	}
+}
+
+func TestTornWritePrefix(t *testing.T) {
+	in := &Injector{}
+	in.Arm(Plan{Point: WALFlush, TearFrac: 0.5})
+	k, err := in.HitWrite(WALFlush, 100)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatal("did not fire")
+	}
+	if k != 50 {
+		t.Fatalf("torn prefix = %d, want 50", k)
+	}
+}

@@ -177,6 +177,33 @@ func (g *Gauge) Add(d int64) { g.v.Add(d) }
 // Load returns the current value.
 func (g *Gauge) Load() int64 { return g.v.Load() }
 
+// DurabilityStats aggregates the durability subsystem's counters:
+// checkpointing progress, WAL segment usage, and recovery cost. One
+// instance is shared by the WAL segment manager, the checkpointer, and
+// the recovery path of a data-dir instance.
+type DurabilityStats struct {
+	// Checkpoints counts completed checkpoints; CheckpointFailures
+	// counts attempts that did not produce a manifest-referenced file.
+	Checkpoints        Counter
+	CheckpointFailures Counter
+	// LastCheckpoint* describe the most recent completed checkpoint.
+	LastCheckpointVID   Gauge
+	LastCheckpointNanos Gauge
+	LastCheckpointBytes Gauge
+	// WALAppendedBytes counts bytes group-committed into segments since
+	// open; WALSegments is the live segment count; SegmentsTruncated
+	// counts segments unlinked because a checkpoint superseded them.
+	WALAppendedBytes  Counter
+	WALSegments       Gauge
+	SegmentsTruncated Counter
+	// Recovery* describe the last recovery: commands replayed from the
+	// WAL tail, time spent replaying, and how often the newest
+	// checkpoint failed verification and an older one was used.
+	RecoveryReplayed  Counter
+	RecoveryNanos     Gauge
+	RecoveryFallbacks Counter
+}
+
 // RatePerSec computes the rate of events between two readings.
 func RatePerSec(before, after uint64, elapsed time.Duration) float64 {
 	if elapsed <= 0 {

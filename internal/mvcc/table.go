@@ -119,6 +119,30 @@ func (t *Table) LoadRow(tup []byte) (uint64, error) {
 	return rec.RowID, nil
 }
 
+// LoadRowWithID installs a tuple at VID 0 under an explicit RowID — the
+// checkpoint-restore counterpart of LoadRow. RowIDs are the OLAP
+// replica's row identity, so a restored store must reproduce them
+// exactly; the allocator is bumped past the largest restored RowID so
+// later inserts cannot collide.
+func (t *Table) LoadRowWithID(rowID uint64, tup []byte) error {
+	key := t.KeyFn(tup)
+	c := t.getOrCreateChain(key)
+	if c.Head() != nil {
+		return ErrDuplicateKey
+	}
+	rec := newRecord(rowID, 0, tup, nil)
+	if !c.head.CompareAndSwap(nil, rec) {
+		return ErrDuplicateKey
+	}
+	t.indexInto(c, tup)
+	for {
+		cur := t.nextRowID.Load()
+		if cur >= rowID || t.nextRowID.CompareAndSwap(cur, rowID) {
+			return nil
+		}
+	}
+}
+
 // ScanChains visits every chain in the table (all versions, all states);
 // callers apply snapshot visibility via Chain.VisibleAt.
 func (t *Table) ScanChains(fn func(*Chain) bool) { t.chains.forEach(fn) }

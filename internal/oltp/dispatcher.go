@@ -1,12 +1,20 @@
 package oltp
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 	"time"
 
 	"batchdb/internal/proplog"
 	"batchdb/internal/wal"
 )
+
+// ErrNotDurable reports a commit whose group-commit flush failed: the
+// transaction committed in memory, but its log record may not have
+// reached stable storage, so its outcome after a crash is unknown. The
+// client must treat it as unacknowledged.
+var ErrNotDurable = errors.New("oltp: commit not durable")
 
 // dispatch is the OLTP dispatcher loop (paper Fig. 1, §4 "Scheduling"):
 // it runs one batch of requests at a time, performs group commit of the
@@ -24,12 +32,14 @@ func (e *Engine) dispatch() {
 		// Gather the next batch: drain whatever has queued up, blocking
 		// only when there is nothing to do.
 		pending = pending[:0]
-		var syncWaiters []chan uint64
+		var syncWaiters, ckptWaiters []chan uint64
 		select {
 		case r := <-e.queue:
 			pending = append(pending, r)
 		case s := <-e.syncReq:
 			syncWaiters = append(syncWaiters, s)
+		case c := <-e.ckptReq:
+			ckptWaiters = append(ckptWaiters, c)
 		case <-timer.C:
 		case <-e.closing:
 			e.drainAndStop(pending)
@@ -42,6 +52,8 @@ func (e *Engine) dispatch() {
 				pending = append(pending, r)
 			case s := <-e.syncReq:
 				syncWaiters = append(syncWaiters, s)
+			case c := <-e.ckptReq:
+				ckptWaiters = append(ckptWaiters, c)
 			default:
 				break drain
 			}
@@ -55,8 +67,15 @@ func (e *Engine) dispatch() {
 			}
 		}
 
-		// Batch boundary: push updates if asked for, or if the push
-		// period elapsed (paper §3.2).
+		// Batch boundary: all workers idle, the log group-committed
+		// through the current watermark. This is the consistent cut
+		// CheckpointVID promises (no transaction spans it).
+		for _, c := range ckptWaiters {
+			c <- e.store.VIDs.Watermark()
+		}
+
+		// Push updates if asked for, or if the push period elapsed
+		// (paper §3.2).
 		if len(syncWaiters) > 0 || time.Since(lastPush) >= e.cfg.PushPeriod {
 			covered := e.pushUpdates()
 			lastPush = time.Now()
@@ -75,7 +94,10 @@ func (e *Engine) dispatch() {
 }
 
 // runBatch distributes requests round-robin over the workers, waits for
-// completion, and group-commits the durable log.
+// completion, group-commits the durable log, and only then acknowledges
+// logged write commits — a commit must not be reported to the client
+// before its log record is durable, or a crash could lose an
+// acknowledged transaction.
 func (e *Engine) runBatch(batch []request) {
 	n := len(e.workers)
 	shares := make([][]request, n)
@@ -94,23 +116,38 @@ func (e *Engine) runBatch(batch []request) {
 		}
 	}
 	var recs []walRec
+	var acks []pendingAck
 	for i, w := range e.workers {
 		if len(shares[i]) > 0 {
 			res := <-w.out
 			recs = append(recs, res.walRecs...)
+			acks = append(acks, res.acks...)
 		}
 	}
 	e.stats.Batches.Inc()
+	var logErr error
 	if e.log != nil && len(recs) > 0 {
 		// Log in commit-VID order so replay is deterministic; committed
 		// VIDs are dense, which recovery asserts.
 		sort.Slice(recs, func(i, j int) bool { return recs[i].commitVID < recs[j].commitVID })
 		for _, r := range recs {
-			e.log.Append(wal.Record{
+			if logErr = e.log.Append(wal.Record{
 				CommitVID: r.commitVID, ReadVID: r.readVID, Proc: r.proc, Args: r.args,
-			})
+			}); logErr != nil {
+				break
+			}
 		}
-		e.log.Commit() // group commit for the whole batch
+		if logErr == nil {
+			logErr = e.log.Commit() // group commit for the whole batch
+		}
+	}
+	for _, a := range acks {
+		if logErr != nil {
+			a.reply <- Response{Err: fmt.Errorf("%w: %v", ErrNotDurable, logErr)}
+			continue
+		}
+		e.stats.Latency.RecordSince(a.arrived)
+		a.reply <- a.resp
 	}
 }
 
@@ -154,6 +191,8 @@ func (e *Engine) drainAndStop(pending []request) {
 			r.reply <- Response{Err: ErrClosed}
 		case s := <-e.syncReq:
 			s <- e.store.VIDs.Watermark()
+		case c := <-e.ckptReq:
+			c <- e.store.VIDs.Watermark()
 		default:
 			return
 		}

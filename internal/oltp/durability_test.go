@@ -1,0 +1,174 @@
+package oltp
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"batchdb/internal/wal"
+)
+
+// failingLog is a CommandLog whose group commit can be made to fail,
+// modelling a dead disk or an injected crash.
+type failingLog struct {
+	mu       sync.Mutex
+	appended []wal.Record
+	commits  int
+	fail     bool
+}
+
+func (f *failingLog) Append(r wal.Record) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.appended = append(f.appended, r)
+	return nil
+}
+
+func (f *failingLog) Commit() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail {
+		return errors.New("disk on fire")
+	}
+	f.commits++
+	return nil
+}
+
+func (f *failingLog) Close() error { return nil }
+
+func (f *failingLog) setFail(v bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fail = v
+}
+
+// A write commit must not be acknowledged before its batch's group
+// commit succeeds; when the flush fails the client gets ErrNotDurable
+// instead of a success it could act on.
+func TestAckAfterGroupCommit(t *testing.T) {
+	e, _ := newKVEngine(t, Config{Workers: 2})
+	fl := &failingLog{}
+	e.SetLog(fl)
+	e.Start()
+	defer e.Close()
+
+	if r := e.Exec("put", kvArgs(1, 10)); r.Err != nil {
+		t.Fatalf("put: %v", r.Err)
+	}
+	fl.mu.Lock()
+	okCommits := fl.commits
+	fl.mu.Unlock()
+	if okCommits == 0 {
+		t.Fatal("success acknowledged before any group commit")
+	}
+
+	fl.setFail(true)
+	r := e.Exec("put", kvArgs(2, 20))
+	if !errors.Is(r.Err, ErrNotDurable) {
+		t.Fatalf("failed flush acked as success: %v", r.Err)
+	}
+
+	// Recovery semantics: the transaction still committed in memory (its
+	// log record may or may not have survived), the client just must not
+	// assume either way. Reads see it.
+	fl.setFail(false)
+	if g := e.Exec("get", kvArgs(2, 0)); g.Err != nil {
+		t.Fatalf("in-memory commit invisible after flush failure: %v", g.Err)
+	}
+}
+
+// Read-only procedures bypass the log entirely and are acknowledged
+// without waiting for any flush.
+func TestReadOnlyNotLogged(t *testing.T) {
+	e, _ := newKVEngine(t, Config{Workers: 2})
+	fl := &failingLog{}
+	e.SetLog(fl)
+	e.Start()
+	defer e.Close()
+
+	e.Exec("put", kvArgs(1, 10))
+	fl.setFail(true) // a dead log must not affect reads
+	if r := e.Exec("get", kvArgs(1, 0)); r.Err != nil {
+		t.Fatalf("get: %v", r.Err)
+	}
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	for _, rec := range fl.appended {
+		if rec.Proc == "get" {
+			t.Fatal("read-only procedure reached the command log")
+		}
+	}
+}
+
+// CheckpointVID is a consistent cut: every commit at or below it is
+// durable and no transaction spans it.
+func TestCheckpointVIDIsBatchBoundary(t *testing.T) {
+	e, _ := newKVEngine(t, Config{Workers: 4})
+	fl := &failingLog{}
+	e.SetLog(fl)
+	e.Start()
+	defer e.Close()
+
+	const writes = 25
+	for i := int64(0); i < writes; i++ {
+		if r := e.Exec("put", kvArgs(i+1, i)); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	w := e.CheckpointVID()
+	if w != writes {
+		t.Fatalf("CheckpointVID = %d, want %d (engine idle)", w, writes)
+	}
+	// Every record up to the cut must already be in the log.
+	fl.mu.Lock()
+	logged := uint64(0)
+	for _, rec := range fl.appended {
+		if rec.CommitVID > logged {
+			logged = rec.CommitVID
+		}
+	}
+	fl.mu.Unlock()
+	if logged < w {
+		t.Fatalf("cut %d ahead of logged prefix %d", w, logged)
+	}
+}
+
+func TestCheckpointVIDOnClosedEngine(t *testing.T) {
+	e, _ := newKVEngine(t, Config{Workers: 1})
+	e.Start()
+	e.Exec("put", kvArgs(1, 1))
+	e.Close()
+	// Must not hang or panic after close.
+	if w := e.CheckpointVID(); w != 1 {
+		t.Fatalf("CheckpointVID after close = %d", w)
+	}
+}
+
+// Records are logged in dense commit-VID order within and across
+// batches, which recovery asserts during replay.
+func TestLogOrderIsDense(t *testing.T) {
+	e, _ := newKVEngine(t, Config{Workers: 4})
+	fl := &failingLog{}
+	e.SetLog(fl)
+	e.Start()
+	defer e.Close()
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for i := int64(0); i < 20; i++ {
+				e.Exec("put", kvArgs(base*100+i, i))
+			}
+		}(int64(c) + 1)
+	}
+	wg.Wait()
+	e.CheckpointVID() // barrier: all batches logged
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	for i, rec := range fl.appended {
+		if rec.CommitVID != uint64(i+1) {
+			t.Fatalf("log position %d holds VID %d (not dense)", i, rec.CommitVID)
+		}
+	}
+}

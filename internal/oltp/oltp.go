@@ -30,6 +30,15 @@ import (
 // returned payload is delivered to the client verbatim.
 type Procedure func(tx *mvcc.Txn, args []byte) ([]byte, error)
 
+// CommandLog is the durable command log the dispatcher group-commits at
+// batch boundaries: either the single-file wal.Log (WALPath mode) or
+// the segmented wal.Manager installed by the data-dir boot path.
+type CommandLog interface {
+	Append(wal.Record) error
+	Commit() error
+	Close() error
+}
+
 // UpdateSink receives pushed update batches. It is implemented by the
 // local OLAP replica and by the network forwarder for remote replicas.
 // upTo is the commit watermark covered: after the call, the sink holds
@@ -123,11 +132,12 @@ type Engine struct {
 
 	queue   chan request
 	syncReq chan chan uint64
+	ckptReq chan chan uint64
 	closing chan struct{}
 	closed  chan struct{}
 
 	workers []*worker
-	log     *wal.Log
+	log     CommandLog
 	started bool
 
 	stats Stats
@@ -143,6 +153,7 @@ func New(store *mvcc.Store, cfg Config) (*Engine, error) {
 		procs:   make(map[string]Procedure),
 		queue:   make(chan request, cfg.MaxBatch*2),
 		syncReq: make(chan chan uint64, 16),
+		ckptReq: make(chan chan uint64, 16),
 		closing: make(chan struct{}),
 		closed:  make(chan struct{}),
 	}
@@ -161,6 +172,12 @@ func New(store *mvcc.Store, cfg Config) (*Engine, error) {
 
 // Store returns the underlying MVCC store.
 func (e *Engine) Store() *mvcc.Store { return e.store }
+
+// SetLog installs the command log. The data-dir boot path opens the
+// segmented log itself — after recovery has decided where logging
+// resumes — and hands it over here. Must be called before Start;
+// replaces any WALPath-configured log.
+func (e *Engine) SetLog(l CommandLog) { e.log = l }
 
 // Stats returns the engine's counters.
 func (e *Engine) Stats() *Stats { return &e.stats }
@@ -311,6 +328,30 @@ func (e *Engine) Exec(proc string, args []byte) Response {
 
 // LatestVID returns the current committed snapshot watermark.
 func (e *Engine) LatestVID() uint64 { return e.store.VIDs.Watermark() }
+
+// CheckpointVID returns a commit watermark captured at a batch
+// boundary: every transaction with VID <= the returned value has fully
+// committed and been group-committed to the log, and every later
+// transaction both reads and commits strictly above it (workers only
+// begin transactions inside later batches). A checkpoint taken at this
+// VID is therefore a consistent cut: replaying the log records above it
+// re-executes exactly the missing suffix, each at a ReadVID >= the cut,
+// so replay-from-checkpoint observes the same data the original
+// execution did.
+func (e *Engine) CheckpointVID() uint64 {
+	reply := make(chan uint64, 1)
+	select {
+	case e.ckptReq <- reply:
+	case <-e.closing:
+		return e.LatestVID()
+	}
+	select {
+	case v := <-reply:
+		return v
+	case <-e.closed:
+		return e.LatestVID()
+	}
+}
 
 // SyncUpdates asks the dispatcher for an immediate push of the physical
 // update log and blocks until the sink has received every update up to

@@ -27,9 +27,12 @@ type worker struct {
 }
 
 // workerResult reports a finished batch share: the WAL records of the
-// transactions this worker committed, in commit-VID order.
+// transactions this worker committed, in commit-VID order, plus the
+// client acknowledgments the dispatcher must deliver after group commit
+// (logged commits are acknowledged durability-last).
 type workerResult struct {
 	walRecs []walRec
+	acks    []pendingAck
 }
 
 type walRec struct {
@@ -37,6 +40,14 @@ type walRec struct {
 	readVID   uint64
 	proc      string
 	args      []byte
+}
+
+// pendingAck is a successful logged commit whose reply is withheld until
+// the batch's group commit succeeds.
+type pendingAck struct {
+	reply   chan Response
+	resp    Response
+	arrived time.Time
 }
 
 func newWorker(id int, e *Engine) *worker {
@@ -96,6 +107,16 @@ func (w *worker) execOne(req request, res *workerResult) {
 			res.walRecs = append(res.walRecs, walRec{
 				commitVID: cv, readVID: readVID, proc: req.proc, args: req.args,
 			})
+			// Withhold the acknowledgment until the dispatcher's group
+			// commit makes the record durable; latency is recorded at
+			// ack time so it covers durability.
+			e.stats.Committed.Inc()
+			res.acks = append(res.acks, pendingAck{
+				reply:   req.reply,
+				resp:    Response{Payload: payload, CommitVID: cv},
+				arrived: req.arrived,
+			})
+			return
 		}
 	}
 	e.stats.Committed.Inc()

@@ -71,6 +71,21 @@ func (a *Allocator) Publish(v uint64) {
 	a.mu.Unlock()
 }
 
+// StartAt repositions the allocator at base: the watermark becomes base
+// and the next Allocate returns base+1. It exists for checkpoint
+// restore, which rebuilds the store's state as-of the checkpoint VID and
+// must resume the dense VID sequence there. Must not race any
+// transaction — call before the engine starts.
+func (a *Allocator) StartAt(base uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.next.Store(base)
+	a.watermark.Store(base)
+	for v := range a.published {
+		delete(a.published, v)
+	}
+}
+
 // Watermark returns the highest VID v such that all transactions with
 // VIDs <= v are fully published. Reading at this VID yields a consistent
 // snapshot.

@@ -1,0 +1,349 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func rec(vid uint64) Record {
+	return Record{CommitVID: vid, ReadVID: vid - 1, Proc: "p", Args: []byte("0123456789abcdef")}
+}
+
+func TestCreateRefusesNonEmpty(t *testing.T) {
+	path := tmpLog(t)
+	l, err := Create(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(rec(1))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Create(path, Options{}); !errors.Is(err, ErrExists) {
+		t.Fatalf("Create over a non-empty log: err = %v, want ErrExists", err)
+	}
+	// The records must still be there (no silent truncation).
+	n := 0
+	if err := Replay(path, func(Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("log lost records: replayed %d, want 1", n)
+	}
+}
+
+func TestOpenAppendResume(t *testing.T) {
+	path := tmpLog(t)
+	l, err := Create(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(1); v <= 3; v++ {
+		l.Append(rec(v))
+	}
+	l.Close()
+
+	l2, lastVID, n, err := OpenAppend(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastVID != 3 || n != 3 {
+		t.Fatalf("resume: lastVID=%d n=%d, want 3/3", lastVID, n)
+	}
+	l2.Append(rec(4))
+	l2.Close()
+
+	var got []uint64
+	if err := Replay(path, func(r Record) error { got = append(got, r.CommitVID); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[3] != 4 {
+		t.Fatalf("after resume+append: %v", got)
+	}
+}
+
+func TestOpenAppendTruncatesTornTail(t *testing.T) {
+	path := tmpLog(t)
+	l, _ := Create(path, Options{})
+	for v := uint64(1); v <= 3; v++ {
+		l.Append(rec(v))
+	}
+	l.Close()
+	fi, _ := os.Stat(path)
+	if err := os.Truncate(path, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, lastVID, n, err := OpenAppend(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastVID != 2 || n != 2 {
+		t.Fatalf("torn resume: lastVID=%d n=%d, want 2/2", lastVID, n)
+	}
+	l2.Append(rec(3))
+	l2.Close()
+	var got []uint64
+	if err := Replay(path, func(r Record) error { got = append(got, r.CommitVID); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("after torn resume: %v", got)
+	}
+}
+
+// Satellite property test: a log truncated at EVERY byte offset (the
+// full space of torn tails a crash can leave) must always replay as an
+// intact record prefix — never ErrCorrupt, never a partial record — and
+// OpenAppend must agree with Replay on where the prefix ends.
+func TestTornTailEveryOffset(t *testing.T) {
+	master := filepath.Join(t.TempDir(), "master.log")
+	l, err := Create(master, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sizes []int64 // file size after each record, sizes[0] = header only
+	sizes = append(sizes, int64(len(magic)))
+	const records = 6
+	for v := uint64(1); v <= records; v++ {
+		r := Record{CommitVID: v, ReadVID: v - 1, Proc: "proc", Args: []byte("payload-bytes")}
+		l.Append(r)
+		if err := l.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, sizes[len(sizes)-1]+int64(frameSize(r)))
+	}
+	l.Close()
+	full, err := os.ReadFile(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(full)) != sizes[records] {
+		t.Fatalf("frameSize accounting: file is %d bytes, computed %d", len(full), sizes[records])
+	}
+
+	// intactBelow(sz) = how many whole records fit in the first sz bytes.
+	intactBelow := func(sz int64) int {
+		n := 0
+		for n < records && sizes[n+1] <= sz {
+			n++
+		}
+		return n
+	}
+
+	dir := t.TempDir()
+	for cut := int64(0); cut <= int64(len(full)); cut++ {
+		path := filepath.Join(dir, "cut.log")
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		want := intactBelow(cut)
+
+		got := 0
+		lastVID := uint64(0)
+		if err := Replay(path, func(r Record) error {
+			got++
+			if r.CommitVID != lastVID+1 {
+				t.Fatalf("cut=%d: VID gap (%d after %d)", cut, r.CommitVID, lastVID)
+			}
+			lastVID = r.CommitVID
+			return nil
+		}); err != nil {
+			t.Fatalf("cut=%d: Replay must tolerate any torn tail, got %v", cut, err)
+		}
+		if got != want {
+			t.Fatalf("cut=%d: replayed %d records, want intact prefix %d", cut, got, want)
+		}
+
+		validLen, scanVID, scanN, err := scanValidPrefix(path)
+		if err != nil {
+			t.Fatalf("cut=%d: scanValidPrefix: %v", cut, err)
+		}
+		if scanN != want || scanVID != uint64(want) {
+			t.Fatalf("cut=%d: scan found %d records (last VID %d), want %d", cut, scanN, scanVID, want)
+		}
+		wantLen := sizes[want]
+		if cut < wantLen {
+			wantLen = 0 // torn inside the header: whole file invalid
+		}
+		if validLen != wantLen && !(cut < int64(len(magic)) && validLen == 0) {
+			t.Fatalf("cut=%d: validLen=%d, want %d", cut, validLen, wantLen)
+		}
+		os.Remove(path)
+	}
+}
+
+func openTestDir(t *testing.T, dir string, o DirOptions) *Manager {
+	t.Helper()
+	m, err := OpenDir(dir, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	m := openTestDir(t, dir, DirOptions{SegmentBytes: 128, StartVID: 1})
+	// Each record is ~46 bytes; with a 128-byte threshold the manager
+	// rotates every few commits.
+	for v := uint64(1); v <= 20; v++ {
+		m.Append(rec(v))
+		if err := m.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %d", len(segs))
+	}
+	if segs[0].first != 1 {
+		t.Fatalf("first segment named %d, want 1", segs[0].first)
+	}
+	// Segment names must match their first contained VID: replay each
+	// sealed segment and check its first record.
+	for i, s := range segs {
+		first := uint64(0)
+		replayFile(s.path, i == len(segs)-1, func(r Record) error {
+			if first == 0 {
+				first = r.CommitVID
+			}
+			return nil
+		})
+		if first != 0 && first != s.first {
+			t.Fatalf("segment %s starts at VID %d", filepath.Base(s.path), first)
+		}
+	}
+	var got []uint64
+	n, err := ReplayDir(dir, 0, func(r Record) error { got = append(got, r.CommitVID); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 20 || len(got) != 20 {
+		t.Fatalf("full replay got %d records", n)
+	}
+	for i, v := range got {
+		if v != uint64(i+1) {
+			t.Fatalf("replay out of order at %d: %v", i, got)
+		}
+	}
+}
+
+func TestReplayDirSkipsCoveredSegments(t *testing.T) {
+	dir := t.TempDir()
+	m := openTestDir(t, dir, DirOptions{SegmentBytes: 128, StartVID: 1})
+	for v := uint64(1); v <= 20; v++ {
+		m.Append(rec(v))
+		m.Commit()
+	}
+	m.Close()
+	for after := uint64(0); after <= 20; after++ {
+		var got []uint64
+		n, err := ReplayDir(dir, after, func(r Record) error { got = append(got, r.CommitVID); return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int(20-after) {
+			t.Fatalf("after=%d: replayed %d, want %d", after, n, 20-after)
+		}
+		if n > 0 && (got[0] != after+1 || got[n-1] != 20) {
+			t.Fatalf("after=%d: got range [%d,%d]", after, got[0], got[n-1])
+		}
+	}
+}
+
+func TestTruncateTo(t *testing.T) {
+	dir := t.TempDir()
+	m := openTestDir(t, dir, DirOptions{SegmentBytes: 128, StartVID: 1})
+	for v := uint64(1); v <= 20; v++ {
+		m.Append(rec(v))
+		m.Commit()
+	}
+	before := m.Segments()
+	if before < 3 {
+		t.Fatalf("need several segments, got %d", before)
+	}
+	if err := m.TruncateTo(10); err != nil {
+		t.Fatal(err)
+	}
+	if m.Segments() >= before {
+		t.Fatalf("TruncateTo removed nothing (%d -> %d segments)", before, m.Segments())
+	}
+	// Everything above the cover must still replay.
+	var got []uint64
+	if _, err := ReplayDir(dir, 10, func(r Record) error { got = append(got, r.CommitVID); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 || got[0] != 11 || got[9] != 20 {
+		t.Fatalf("post-truncate replay: %v", got)
+	}
+	// Truncating everything still keeps the live append segment.
+	if err := m.TruncateTo(20); err != nil {
+		t.Fatal(err)
+	}
+	if m.Segments() != 1 {
+		t.Fatalf("truncate-all kept %d segments, want 1 (append target)", m.Segments())
+	}
+	m.Close()
+}
+
+func TestOpenDirResumesAfterTornTail(t *testing.T) {
+	dir := t.TempDir()
+	m := openTestDir(t, dir, DirOptions{SegmentBytes: 1 << 20, StartVID: 1})
+	for v := uint64(1); v <= 5; v++ {
+		m.Append(rec(v))
+		m.Commit()
+	}
+	m.Close()
+	segs, _ := listSegments(dir)
+	if len(segs) != 1 {
+		t.Fatalf("segments = %d", len(segs))
+	}
+	fi, _ := os.Stat(segs[0].path)
+	if err := os.Truncate(segs[0].path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery replays the intact prefix...
+	n, err := ReplayDir(dir, 0, func(Record) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("replayed %d, want 4", n)
+	}
+	// ...and reopening truncates the torn bytes and appends after them.
+	m2 := openTestDir(t, dir, DirOptions{SegmentBytes: 1 << 20})
+	m2.Append(rec(5))
+	if err := m2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	m2.Close()
+	var got []uint64
+	ReplayDir(dir, 0, func(r Record) error { got = append(got, r.CommitVID); return nil })
+	if len(got) != 5 || got[4] != 5 {
+		t.Fatalf("after torn resume: %v", got)
+	}
+}
+
+func TestReplayDirEmptyAndMissing(t *testing.T) {
+	n, err := ReplayDir(filepath.Join(t.TempDir(), "nope"), 0, func(Record) error { return nil })
+	if err != nil || n != 0 {
+		t.Fatalf("missing dir: n=%d err=%v", n, err)
+	}
+	dir := t.TempDir()
+	m := openTestDir(t, dir, DirOptions{})
+	m.Close()
+	n, err = ReplayDir(dir, 0, func(Record) error { return nil })
+	if err != nil || n != 0 {
+		t.Fatalf("empty dir: n=%d err=%v", n, err)
+	}
+}

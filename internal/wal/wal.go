@@ -9,6 +9,11 @@
 // OLTP dispatcher appends all records of a batch and then issues a
 // single Commit (flush + optional fsync), amortizing I/O latency across
 // the batch — the group commit of [12].
+//
+// Two log shapes share one file format (magic + CRC-framed records):
+// the single-file Log below, and the segmented Manager (segment.go)
+// used by the checkpointing data-dir mode, which rotates segments at a
+// size threshold and truncates those superseded by a checkpoint.
 package wal
 
 import (
@@ -19,6 +24,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // Record is one logged command.
@@ -40,7 +46,11 @@ var (
 	// ErrCorrupt reports a record that fails its checksum; replay stops
 	// at the last intact prefix, mirroring torn-tail handling.
 	ErrCorrupt = errors.New("wal: corrupt record")
-	crcTable   = crc32.MakeTable(crc32.Castagnoli)
+	// ErrExists reports a Create against an existing non-empty log.
+	// Silently truncating a command log is data loss; OpenAppend is the
+	// resume path.
+	ErrExists = errors.New("wal: log exists and is non-empty (use OpenAppend to resume)")
+	crcTable  = crc32.MakeTable(crc32.Castagnoli)
 )
 
 // Log is an append-only command log. Append buffers; Commit makes the
@@ -61,33 +71,100 @@ type Options struct {
 	Sync bool
 }
 
-// Create creates (or truncates) a log file and writes its header.
+// Create creates a log file and writes its header. It refuses to
+// overwrite an existing non-empty log (ErrExists). The header and the
+// parent directory are fsynced so a crash right after startup cannot
+// lose the file itself.
 func Create(path string, opts Options) (*Log, error) {
-	f, err := os.Create(path)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: create: %w", err)
 	}
-	l := &Log{f: f, w: bufio.NewWriterSize(f, 1<<20), sync: opts.Sync}
-	if _, err := l.w.WriteString(magic); err != nil {
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: create: %w", err)
+	}
+	if st.Size() > 0 {
+		f.Close()
+		return nil, fmt.Errorf("wal: create %s: %w", path, ErrExists)
+	}
+	if _, err := f.WriteString(magic); err != nil {
 		f.Close()
 		return nil, err
 	}
-	return l, nil
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{f: f, w: bufio.NewWriterSize(f, 1<<20), sync: opts.Sync}, nil
+}
+
+// OpenAppend resumes an existing log after a crash or clean shutdown: it
+// scans the intact record prefix, truncates any torn tail left by a
+// crash mid-append, and positions the log to append. It returns the log,
+// the last intact CommitVID (0 if none), and the intact record count.
+func OpenAppend(path string, opts Options) (*Log, uint64, int, error) {
+	validLen, lastVID, n, err := scanValidPrefix(path)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("wal: open append: %w", err)
+	}
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, 0, 0, fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	if validLen == 0 {
+		// Even the header was torn; rewrite it.
+		if _, err := f.WriteString(magic); err != nil {
+			f.Close()
+			return nil, 0, 0, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, 0, 0, err
+		}
+	} else if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, 0, 0, err
+	}
+	return &Log{f: f, w: bufio.NewWriterSize(f, 1<<20), sync: opts.Sync}, lastVID, n, nil
+}
+
+// encodeBody appends r's body (the checksummed payload, without the
+// frame header) to dst.
+func encodeBody(dst []byte, r Record) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, r.CommitVID)
+	dst = binary.LittleEndian.AppendUint64(dst, r.ReadVID)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.Proc)))
+	dst = append(dst, r.Proc...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Args)))
+	dst = append(dst, r.Args...)
+	return dst
+}
+
+// frameSize returns the on-disk size of r's frame (header + body).
+func frameSize(r Record) int {
+	return 8 + 8 + 8 + 2 + len(r.Proc) + 4 + len(r.Args)
+}
+
+// appendFrame appends [len u32][crc u32][body] to dst.
+func appendFrame(dst, body []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(body)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(body, crcTable))
+	return append(dst, body...)
 }
 
 // Append buffers one record. It becomes durable at the next Commit.
 func (l *Log) Append(r Record) error {
-	need := 8 + 8 + 2 + len(r.Proc) + 4 + len(r.Args)
-	l.buf = l.buf[:0]
-	l.buf = binary.LittleEndian.AppendUint64(l.buf, r.CommitVID)
-	l.buf = binary.LittleEndian.AppendUint64(l.buf, r.ReadVID)
-	l.buf = binary.LittleEndian.AppendUint16(l.buf, uint16(len(r.Proc)))
-	l.buf = append(l.buf, r.Proc...)
-	l.buf = binary.LittleEndian.AppendUint32(l.buf, uint32(len(r.Args)))
-	l.buf = append(l.buf, r.Args...)
-	if len(l.buf) != need {
-		return fmt.Errorf("wal: internal encoding length mismatch")
-	}
+	l.buf = encodeBody(l.buf[:0], r)
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(l.buf)))
 	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(l.buf, crcTable))
@@ -125,6 +202,14 @@ func (l *Log) Close() error {
 // corresponding transactions never acknowledged); corruption in the
 // middle of the file returns ErrCorrupt.
 func Replay(path string, fn func(Record) error) error {
+	return replayFile(path, true, fn)
+}
+
+// replayFile replays one log file. allowTorn tolerates a torn tail (a
+// crash mid-append) as a clean end; with allowTorn false any torn tail
+// is ErrCorrupt — the right policy for non-final WAL segments, which
+// were sealed by a rotation and must be fully intact.
+func replayFile(path string, allowTorn bool, fn func(Record) error) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("wal: open: %w", err)
@@ -132,16 +217,27 @@ func Replay(path string, fn func(Record) error) error {
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 1<<20)
 	hdr := make([]byte, len(magic))
-	if _, err := io.ReadFull(r, hdr); err != nil || string(hdr) != magic {
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		// Shorter than the header: a crash before the header reached
+		// disk. No record was ever acknowledged from this file.
+		if allowTorn && (err == io.EOF || err == io.ErrUnexpectedEOF) {
+			return nil
+		}
+		return fmt.Errorf("wal: bad header: %w", ErrCorrupt)
+	}
+	if string(hdr) != magic {
 		return fmt.Errorf("wal: bad header: %w", ErrCorrupt)
 	}
 	var lenCRC [8]byte
 	for {
 		if _, err := io.ReadFull(r, lenCRC[:]); err != nil {
 			if err == io.EOF {
-				return nil
+				return nil // clean end
 			}
-			return nil // torn header at tail
+			if allowTorn {
+				return nil // torn frame header at tail
+			}
+			return ErrCorrupt
 		}
 		n := binary.LittleEndian.Uint32(lenCRC[0:])
 		want := binary.LittleEndian.Uint32(lenCRC[4:])
@@ -150,11 +246,14 @@ func Replay(path string, fn func(Record) error) error {
 		}
 		body := make([]byte, n)
 		if _, err := io.ReadFull(r, body); err != nil {
-			return nil // torn body at tail
+			if allowTorn {
+				return nil // torn body at tail
+			}
+			return ErrCorrupt
 		}
 		if crc32.Checksum(body, crcTable) != want {
 			// Distinguish torn tail (nothing after) from mid-file rot.
-			if _, err := r.Peek(1); err == io.EOF {
+			if _, err := r.Peek(1); err == io.EOF && allowTorn {
 				return nil
 			}
 			return ErrCorrupt
@@ -166,6 +265,55 @@ func Replay(path string, fn func(Record) error) error {
 		if err := fn(rec); err != nil {
 			return err
 		}
+	}
+}
+
+// scanValidPrefix walks a log file and returns the byte length of its
+// intact record prefix, the last intact CommitVID, and the intact record
+// count. Torn tails (including a torn file header) shorten the prefix;
+// corruption that is provably mid-file returns ErrCorrupt.
+func scanValidPrefix(path string) (validLen int64, lastVID uint64, n int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("wal: open: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	hdr := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, 0, 0, nil // torn header: empty prefix
+	}
+	if string(hdr) != magic {
+		return 0, 0, 0, fmt.Errorf("wal: bad header: %w", ErrCorrupt)
+	}
+	validLen = int64(len(magic))
+	var lenCRC [8]byte
+	for {
+		if _, err := io.ReadFull(r, lenCRC[:]); err != nil {
+			return validLen, lastVID, n, nil
+		}
+		sz := binary.LittleEndian.Uint32(lenCRC[0:])
+		want := binary.LittleEndian.Uint32(lenCRC[4:])
+		if sz > 64<<20 {
+			return 0, 0, 0, ErrCorrupt
+		}
+		body := make([]byte, sz)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return validLen, lastVID, n, nil
+		}
+		if crc32.Checksum(body, crcTable) != want {
+			if _, err := r.Peek(1); err == io.EOF {
+				return validLen, lastVID, n, nil
+			}
+			return 0, 0, 0, ErrCorrupt
+		}
+		rec, err := decode(body)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		lastVID = rec.CommitVID
+		n++
+		validLen += int64(8 + len(body))
 	}
 }
 
@@ -187,4 +335,15 @@ func decode(b []byte) (Record, error) {
 	}
 	r.Args = append([]byte(nil), b[18+pn+4:]...)
 	return r, nil
+}
+
+// syncDir fsyncs a directory so that entry operations (create, rename,
+// unlink) inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
