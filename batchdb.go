@@ -105,6 +105,9 @@ type Config struct {
 	OLTPWorkers int
 	// OLAPWorkers bounds analytical scan/build parallelism (default 4).
 	OLAPWorkers int
+	// MorselTuples is the slot-range size the executor carves partition
+	// scans into for work-stealing dispatch (default 16384).
+	MorselTuples int
 	// Partitions is the OLAP replica's partition count per table
 	// (default OLAPWorkers).
 	Partitions int
@@ -446,8 +449,13 @@ func (db *DB) Start() error {
 			return err
 		}
 		db.engine.SetSink(db.rep)
+		db.rep.SetApplyWorkers(db.cfg.OLAPWorkers)
 		db.execE = exec.NewEngine(db.rep, db.cfg.OLAPWorkers)
+		if db.cfg.MorselTuples > 0 {
+			db.execE.MorselTuples = db.cfg.MorselTuples
+		}
 		db.sched = olap.NewScheduler[*Query, Result](db.rep, db.engine, db.execE.RunBatch)
+		db.execE.AttachStats(db.sched.Stats())
 		db.sched.Start()
 	}
 	db.engine.Start()

@@ -9,6 +9,7 @@
 //	batchdb-bench -exp fig7       # hybrid workload isolation (7a-7e)
 //	batchdb-bench -exp fig8       # comparison vs shared-engine baselines
 //	batchdb-bench -exp fig9       # implicit resource sharing
+//	batchdb-bench -exp olapscale  # scan/build/apply scaling vs OLAP workers
 //	batchdb-bench -exp all
 //
 // Numbers marked "projected" combine host measurements with the
@@ -18,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,7 +33,8 @@ import (
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment: fig5a|fig5b|fig6|table1|fig7|fig8|fig9|all")
+	expFlag   = flag.String("exp", "all", "experiment: fig5a|fig5b|fig6|table1|fig7|fig8|fig9|olapscale|all")
+	jsonFlag  = flag.String("json", "", "write the olapscale summary as JSON to this file (e.g. BENCH_OLAP.json)")
 	durFlag   = flag.Duration("duration", 2*time.Second, "measurement window per cell")
 	warmFlag  = flag.Duration("warmup", 500*time.Millisecond, "warmup per cell")
 	quickFlag = flag.Bool("quick", false, "tiny cells for smoke runs")
@@ -46,16 +49,17 @@ func main() {
 		*warmFlag = 100 * time.Millisecond
 	}
 	exps := map[string]func(){
-		"fig5a":  fig5a,
-		"fig5b":  fig5b,
-		"fig6":   fig6,
-		"table1": table1,
-		"fig7":   fig7,
-		"fig8":   fig8,
-		"fig9":   fig9,
+		"fig5a":     fig5a,
+		"fig5b":     fig5b,
+		"fig6":      fig6,
+		"table1":    table1,
+		"fig7":      fig7,
+		"fig8":      fig8,
+		"fig9":      fig9,
+		"olapscale": olapscale,
 	}
 	if *expFlag == "all" {
-		for _, name := range []string{"fig5a", "fig5b", "fig6", "table1", "fig7", "fig8", "fig9"} {
+		for _, name := range []string{"fig5a", "fig5b", "fig6", "table1", "fig7", "fig8", "fig9", "olapscale"} {
 			exps[name]()
 		}
 		return
@@ -539,6 +543,62 @@ func fig9() {
 		fmt.Printf("%-66s %10.0f txn/s\n", r.name, r.tps)
 	}
 	fmt.Println("paper shape: co-located scan halves OLTP throughput; remote-NUMA scan has no effect")
+}
+
+// olapscale: scan/build/apply throughput vs OLAP worker count (morsel
+// scheduling, sharded build construction, parallel apply pipeline).
+// With -json the summary is also written to a file (BENCH_OLAP.json
+// tracks the trajectory across PRs).
+func olapscale() {
+	header("OLAP scaling: scan / build / apply vs workers (skewed layout)")
+	opts := benchkit.OLAPScaleOpts{
+		ApplyScale:    scale(*wFlag),
+		ApplyDuration: *durFlag,
+		Seed:          *seedFlag,
+	}
+	if *quickFlag {
+		opts.Tuples = 40_000
+		opts.BuildRows = 20_000
+		opts.Reps = 1
+	}
+	sum, err := benchkit.RunOLAPScale(opts)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("host: GOMAXPROCS=%d NumCPU=%d; skew=%.0f%% of %d tuples in one of %d partitions\n",
+		sum.GOMAXPROCS, sum.NumCPU, 100*sum.SkewFrac, sum.Tuples, sum.Partitions)
+	printScalePoints := func(name string, pts []benchkit.OLAPScalePoint) {
+		fmt.Printf("\n%s:\n%-8s %12s %14s %10s %12s %12s\n", name,
+			"workers", "wall(ms)", "items/s", "speedup", "projected", "old-bound")
+		for _, p := range pts {
+			fmt.Printf("%-8d %12.2f %14.0f %10.2f %12.2f %12.2f\n",
+				p.Workers, float64(p.WallNS)/1e6, p.ItemsPerSec,
+				p.MeasuredSpeedup, p.ProjectedSpeedup, p.PartitionDispatchBound)
+		}
+	}
+	printScalePoints("shared scan (driver, skewed)", sum.Scan)
+	printScalePoints("cold build construction (sharded)", sum.Build)
+	fmt.Printf("\napply (identical TPC-C stream per cell):\n%-8s %12s %10s %14s %14s\n",
+		"workers", "wall(ms)", "entries", "entries/s", "projected/s")
+	for _, p := range sum.Apply {
+		fmt.Printf("%-8d %12.2f %10d %14.0f %14.0f\n",
+			p.Workers, float64(p.WallNS)/1e6, p.Entries, p.EntriesPerSec, p.ProjectedEntriesPerSec)
+	}
+	fmt.Printf("\napply buffer reuse: cold=%.0f ns/entry, warm=%.0f ns/entry\n",
+		sum.ApplyColdNSPerEntry, sum.ApplyWarmNSPerEntry)
+	fmt.Println("speedup columns: measured = this host's wall clock (capped by NumCPU);")
+	fmt.Println("projected = resmodel Amdahl on the 1-worker measurement; old-bound = the")
+	fmt.Println("partition-granular dispatch ceiling (largest partition) this PR removes")
+	if *jsonFlag != "" {
+		data, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*jsonFlag, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonFlag)
+	}
 }
 
 func fail(err error) {

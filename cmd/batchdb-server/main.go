@@ -45,6 +45,8 @@ func main() {
 		walSync    = flag.Bool("wal-sync", false, "fsync the WAL on every group commit")
 		ckptVIDs   = flag.Uint64("checkpoint-vids", 50000, "checkpoint every N committed transactions")
 		segBytes   = flag.Int64("wal-segment-bytes", 16<<20, "WAL segment rotation threshold")
+		olapW      = flag.Int("olap-workers", 4, "analytical scan/build/apply worker count")
+		morsel     = flag.Int("morsel-tuples", 0, "scan morsel size in tuples (0 = default)")
 	)
 	flag.Parse()
 
@@ -97,8 +99,13 @@ func main() {
 		log.Fatal(err)
 	}
 	engine.SetSink(rep)
-	ex := exec.NewEngine(rep, 4)
+	rep.SetApplyWorkers(*olapW)
+	ex := exec.NewEngine(rep, *olapW)
+	if *morsel > 0 {
+		ex.MorselTuples = *morsel
+	}
 	sched := olap.NewScheduler(rep, engine, ex.RunBatch)
+	ex.AttachStats(sched.Stats())
 	sched.Start()
 	engine.Start()
 	if dur != nil {
@@ -139,8 +146,11 @@ func serve(conn net.Conn, db *tpcc.DB, engine *oltp.Engine,
 			return
 		case "STATS":
 			st := engine.Stats()
-			fmt.Fprintf(out, "OK\tcommitted=%d aborted=%d conflicts=%d vid=%d\n",
-				st.Committed.Load(), st.Aborted.Load(), st.Conflicts.Load(), engine.LatestVID())
+			ss := sched.Stats()
+			fmt.Fprintf(out, "OK\tcommitted=%d aborted=%d conflicts=%d vid=%d"+
+				" exec_build=[%s] exec_scan=[%s] exec_merge=[%s]\n",
+				st.Committed.Load(), st.Aborted.Load(), st.Conflicts.Load(), engine.LatestVID(),
+				ss.ExecBuildPrepare.Summary(), ss.ExecScan.Summary(), ss.ExecMerge.Summary())
 		case "NEWORDER":
 			w, d, c := argN(fields, 1, 1), argN(fields, 2, 1), argN(fields, 3, 1)
 			a := &tpcc.NewOrderArgs{WID: w, DID: d, CID: c, EntryD: time.Now().UnixNano()}

@@ -157,3 +157,53 @@ func TestRunInterferenceSmoke(t *testing.T) {
 		t.Fatalf("projected remote must not degrade: %+v", res)
 	}
 }
+
+func TestRunOLAPScaleSmoke(t *testing.T) {
+	sum, err := RunOLAPScale(OLAPScaleOpts{
+		Tuples: 10_000, BuildRows: 5_000, Partitions: 4,
+		Workers: []int{1, 2}, Reps: 1,
+		ApplyScale: tpcc.SmallScale(1), ApplyWorkers: 2, ApplyClients: 2,
+		ApplyDuration: 150 * time.Millisecond, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Scan) != 2 || len(sum.Build) != 2 || len(sum.Apply) != 2 {
+		t.Fatalf("missing sweep points: %+v", sum)
+	}
+	for _, p := range sum.Scan {
+		if p.ItemsPerSec <= 0 {
+			t.Fatalf("scan cell w=%d made no progress", p.Workers)
+		}
+	}
+	// The projection model, not the host, carries the scaling claim: at
+	// 8 workers morsel dispatch projects 8x while partition-granular
+	// dispatch is bounded by the skewed partition at 1/SkewFrac = 2x.
+	p8 := scalePoint(8, time.Millisecond, 1000, new(float64), sum.SkewFrac)
+	if p8.ProjectedSpeedup < 2*p8.PartitionDispatchBound {
+		t.Fatalf("morsel projection %0.1fx not ahead of partition bound %0.1fx",
+			p8.ProjectedSpeedup, p8.PartitionDispatchBound)
+	}
+	if sum.Apply[0].Entries == 0 || sum.Apply[0].Entries != sum.Apply[1].Entries {
+		t.Fatalf("apply cells must share one stream: %+v", sum.Apply)
+	}
+	if sum.ApplyColdNSPerEntry <= 0 || sum.ApplyWarmNSPerEntry <= 0 {
+		t.Fatalf("cold/warm apply not measured: %+v", sum)
+	}
+}
+
+// BenchmarkOLAPScale gives CI a one-iteration smoke over the scan /
+// build / apply scaling sweep ("-bench . -benchtime 1x"); real numbers
+// come from cmd/batchdb-bench -exp olapscale.
+func BenchmarkOLAPScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunOLAPScale(OLAPScaleOpts{
+			Tuples: 10_000, BuildRows: 5_000, Partitions: 4,
+			Workers: []int{1, 2}, Reps: 1,
+			ApplyScale: tpcc.SmallScale(1), ApplyWorkers: 2, ApplyClients: 2,
+			ApplyDuration: 100 * time.Millisecond, Seed: 8,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

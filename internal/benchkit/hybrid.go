@@ -128,9 +128,11 @@ func RunHybrid(o HybridOpts) (HybridResult, error) {
 			if _, err := client.WaitBootstrap(); err != nil {
 				return HybridResult{}, err
 			}
+			rep.SetApplyWorkers(o.OLAPWorkers)
 			ex := exec.NewEngine(rep, o.OLAPWorkers)
 			ex.QueryAtATime = o.QueryAtATime
 			sched = olap.NewScheduler[*exec.Query, exec.Result](rep, client, ex.RunBatch)
+			ex.AttachStats(sched.Stats())
 			cleanup = func() { cliConn.Close(); srvConn.Close() }
 		} else {
 			rep, err := chbench.NewReplica(db, o.Partitions)
@@ -138,9 +140,11 @@ func RunHybrid(o HybridOpts) (HybridResult, error) {
 				return HybridResult{}, err
 			}
 			engine.SetSink(rep)
+			rep.SetApplyWorkers(o.OLAPWorkers)
 			ex := exec.NewEngine(rep, o.OLAPWorkers)
 			ex.QueryAtATime = o.QueryAtATime
 			sched = olap.NewScheduler[*exec.Query, exec.Result](rep, engine, ex.RunBatch)
+			ex.AttachStats(sched.Stats())
 		}
 		sched.Start()
 		schedStats = sched.Stats()

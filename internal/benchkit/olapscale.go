@@ -1,0 +1,515 @@
+package benchkit
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"batchdb/internal/chbench"
+	"batchdb/internal/olap"
+	"batchdb/internal/olap/exec"
+	"batchdb/internal/proplog"
+	"batchdb/internal/resmodel"
+	"batchdb/internal/storage"
+	"batchdb/internal/tpcc"
+)
+
+// OLAPScaleOpts parameterizes the OLAP-path scaling benchmark: how
+// morsel-driven scans, sharded build construction, and the parallel
+// apply pipeline respond to the worker count. The scan layout is
+// deliberately skewed (SkewFrac of the tuples in one partition) because
+// that is exactly the case partition-granular dispatch cannot balance
+// and morsel dispatch can.
+type OLAPScaleOpts struct {
+	// Tuples is the driver-table size of the scan experiment.
+	Tuples int
+	// BuildRows is the build-side table size of the build experiment.
+	BuildRows int
+	// Partitions is the replica partition count.
+	Partitions int
+	// SkewFrac is the fraction of driver tuples routed to partition 0
+	// (default 0.5 — one partition holds half the data).
+	SkewFrac float64
+	// Workers lists the worker counts to sweep; defaults to powers of
+	// two from 1 to max(8, NumCPU).
+	Workers []int
+	// MorselTuples overrides the engine's morsel size (0 = default).
+	MorselTuples int
+	// Reps is the number of timed repetitions per cell (best-of).
+	Reps int
+	// ApplyScale/ApplyWorkers/ApplyClients/ApplyDuration drive the
+	// TPC-C update stream of the apply experiment.
+	ApplyScale    tpcc.Scale
+	ApplyWorkers  int
+	ApplyClients  int
+	ApplyDuration time.Duration
+	Seed          int64
+}
+
+// OLAPScalePoint is one (worker count) cell of a scan or build sweep.
+// Measured numbers are wall clock on this host; Projected* numbers come
+// from the documented resource model (internal/resmodel) and are only
+// meaningful where the host has fewer cores than Workers.
+type OLAPScalePoint struct {
+	Workers int `json:"workers"`
+	// WallNS is the best-of-reps wall time of one pass.
+	WallNS int64 `json:"wall_ns"`
+	// ItemsPerSec is tuples (scan) or build rows (build) per wall second.
+	ItemsPerSec float64 `json:"items_per_sec"`
+	// MeasuredSpeedup is WallNS(workers=1) / WallNS(this cell).
+	MeasuredSpeedup float64 `json:"measured_speedup"`
+	// ProjectedSpeedup applies the Amdahl model to the 1-worker
+	// measurement: morsel dispatch has no serial fraction, so the
+	// projection is linear in workers.
+	ProjectedSpeedup float64 `json:"projected_speedup"`
+	// PartitionDispatchBound is the speedup ceiling of the old
+	// partition-granular dispatch on this layout: the scan cannot finish
+	// before its largest partition, capping speedup at 1/SkewFrac.
+	PartitionDispatchBound float64 `json:"partition_dispatch_bound"`
+}
+
+// OLAPApplyPoint is one (worker count) cell of the ApplyPending sweep,
+// all cells applying the identical captured TPC-C update stream.
+type OLAPApplyPoint struct {
+	Workers int   `json:"workers"`
+	WallNS  int64 `json:"wall_ns"`
+	Entries int   `json:"entries"`
+	// Step1/2/3NS are the round's per-step CPU times.
+	Step1NS int64 `json:"step1_ns"`
+	Step2NS int64 `json:"step2_ns"`
+	Step3NS int64 `json:"step3_ns"`
+	// EntriesPerSec is entries / wall second (measured).
+	EntriesPerSec float64 `json:"entries_per_sec"`
+	// ProjectedEntriesPerSec projects the 1-worker step times onto this
+	// worker count (step 1 serial, steps 2-3 parallel; resmodel).
+	ProjectedEntriesPerSec float64 `json:"projected_entries_per_sec"`
+}
+
+// OLAPScaleSummary is the JSON record written to BENCH_OLAP.json.
+type OLAPScaleSummary struct {
+	// Host facts: with NumCPU < max(Workers), measured speedups are
+	// bounded by the host, and the Projected* fields carry the scaling
+	// claim (see Note).
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Note       string `json:"note"`
+
+	Tuples       int     `json:"tuples"`
+	BuildRows    int     `json:"build_rows"`
+	Partitions   int     `json:"partitions"`
+	SkewFrac     float64 `json:"skew_frac"`
+	MorselTuples int     `json:"morsel_tuples"`
+
+	// Scan sweeps a shared scan-only query over the skewed layout.
+	Scan []OLAPScalePoint `json:"scan"`
+	// Build sweeps cold shared-build construction (sharded, two-phase).
+	Build []OLAPScalePoint `json:"build"`
+	// Apply sweeps ApplyPending over one captured TPC-C update stream.
+	Apply []OLAPApplyPoint `json:"apply"`
+	// ApplyColdNSPerEntry / ApplyWarmNSPerEntry compare the first apply
+	// round on a fresh replica (cold: routing buffers allocated) against
+	// a later round reusing per-table scratch — the measurable win of
+	// buffer reuse at equal worker count.
+	ApplyColdNSPerEntry float64 `json:"apply_cold_ns_per_entry"`
+	ApplyWarmNSPerEntry float64 `json:"apply_warm_ns_per_entry"`
+}
+
+// defaultWorkerSweep is 1..max(8, NumCPU) in powers of two.
+func defaultWorkerSweep() []int {
+	top := runtime.NumCPU()
+	if top < 8 {
+		top = 8
+	}
+	var ws []int
+	for w := 1; w <= top; w *= 2 {
+		ws = append(ws, w)
+	}
+	if ws[len(ws)-1] != top {
+		ws = append(ws, top)
+	}
+	return ws
+}
+
+// RunOLAPScale measures scan, build-construction, and update-apply
+// scaling over the worker sweep and returns the summary recorded in
+// BENCH_OLAP.json.
+func RunOLAPScale(o OLAPScaleOpts) (*OLAPScaleSummary, error) {
+	if o.Tuples <= 0 {
+		o.Tuples = 400_000
+	}
+	if o.BuildRows <= 0 {
+		o.BuildRows = 200_000
+	}
+	if o.Partitions <= 0 {
+		o.Partitions = 8
+	}
+	if o.SkewFrac <= 0 {
+		o.SkewFrac = 0.5
+	}
+	if len(o.Workers) == 0 {
+		o.Workers = defaultWorkerSweep()
+	}
+	if o.Reps <= 0 {
+		o.Reps = 3
+	}
+	if o.ApplyWorkers <= 0 {
+		o.ApplyWorkers = 4
+	}
+	if o.ApplyClients <= 0 {
+		o.ApplyClients = 8
+	}
+	if o.ApplyDuration <= 0 {
+		o.ApplyDuration = time.Second
+	}
+	if o.ApplyScale.Warehouses == 0 {
+		o.ApplyScale = tpcc.BenchScale(2)
+	}
+
+	sum := &OLAPScaleSummary{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Note: "measured_* fields are wall clock on this host (bounded by num_cpu); " +
+			"projected_* fields apply internal/resmodel's documented Amdahl model to the " +
+			"1-worker measurement and are the scaling claim when num_cpu < workers",
+		Tuples:       o.Tuples,
+		BuildRows:    o.BuildRows,
+		Partitions:   o.Partitions,
+		SkewFrac:     o.SkewFrac,
+		MorselTuples: o.MorselTuples,
+	}
+
+	if err := runScanScale(o, sum); err != nil {
+		return nil, err
+	}
+	if err := runBuildScale(o, sum); err != nil {
+		return nil, err
+	}
+	if err := runApplyScale(o, sum); err != nil {
+		return nil, err
+	}
+	return sum, nil
+}
+
+// Scan/build fixture schemas (a miniature of the CH fact/dimension
+// shape, kept local so the benchmark does not depend on TPC-C sizing).
+const (
+	scaleDriverID storage.TableID = 9001
+	scaleBuildID  storage.TableID = 9002
+)
+
+func scaleSchemas() (driver, build *storage.Schema) {
+	driver = storage.NewSchema(scaleDriverID, "scale_fact", []storage.Column{
+		{Name: "id", Type: storage.Int64},
+		{Name: "dim", Type: storage.Int64},
+		{Name: "amount", Type: storage.Float64},
+	}, []int{0})
+	build = storage.NewSchema(scaleBuildID, "scale_dim", []storage.Column{
+		{Name: "id", Type: storage.Int64},
+		{Name: "weight", Type: storage.Float64},
+	}, []int{0})
+	return driver, build
+}
+
+// skewedRowIDs returns rowIDs such that skewFrac of them hash to
+// partition 0 — the layout partition-granular dispatch cannot balance.
+func skewedRowIDs(n, parts int, skewFrac float64) []uint64 {
+	ids := make([]uint64, 0, n)
+	hot := int(float64(n) * skewFrac)
+	rid := uint64(1)
+	nextTo := func(part uint64) uint64 {
+		for {
+			if (rid*0x9E3779B97F4A7C15)%uint64(parts) == part {
+				r := rid
+				rid++
+				return r
+			}
+			rid++
+		}
+	}
+	for i := 0; i < n; i++ {
+		if i < hot {
+			ids = append(ids, nextTo(0))
+		} else {
+			ids = append(ids, nextTo(uint64(1+i%(parts-1))))
+		}
+	}
+	return ids
+}
+
+func runScanScale(o OLAPScaleOpts, sum *OLAPScaleSummary) error {
+	driver, _ := scaleSchemas()
+	rep := olap.NewReplica(o.Partitions)
+	rep.CreateTable(driver, o.Tuples)
+	for i, rid := range skewedRowIDs(o.Tuples, o.Partitions, o.SkewFrac) {
+		tup := driver.NewTuple()
+		driver.PutInt64(tup, 0, int64(i))
+		driver.PutInt64(tup, 1, int64(i%1024))
+		driver.PutFloat64(tup, 2, float64(i%1000)/10)
+		if err := rep.LoadTuple(scaleDriverID, rid, tup); err != nil {
+			return fmt.Errorf("benchkit: olapscale load: %w", err)
+		}
+	}
+	q := &exec.Query{
+		Name:       "scaleScan",
+		Driver:     scaleDriverID,
+		DriverPred: func(tup []byte) bool { return driver.GetInt64(tup, 0)%2 == 0 },
+		Aggs: []exec.AggSpec{
+			{Kind: exec.Sum, Value: func(d []byte, _ [][]byte) float64 { return driver.GetFloat64(d, 2) }},
+			{Kind: exec.Count},
+		},
+	}
+	var base float64
+	for _, w := range o.Workers {
+		e := exec.NewEngine(rep, w)
+		e.MorselTuples = o.MorselTuples
+		e.RunBatch([]*exec.Query{q}, 0) // warmup
+		wall := bestOf(o.Reps, func() error {
+			res := e.RunBatch([]*exec.Query{q}, 0)
+			return res[0].Err
+		})
+		if wall < 0 {
+			return fmt.Errorf("benchkit: olapscale scan failed")
+		}
+		p := scalePoint(w, wall, o.Tuples, &base, o.SkewFrac)
+		sum.Scan = append(sum.Scan, p)
+	}
+	return nil
+}
+
+func runBuildScale(o OLAPScaleOpts, sum *OLAPScaleSummary) error {
+	driver, build := scaleSchemas()
+	rep := olap.NewReplica(o.Partitions)
+	rep.CreateTable(driver, 1024)
+	rep.CreateTable(build, o.BuildRows)
+	// Tiny driver: the measured batch is dominated by cold shared-build
+	// construction over the large dimension table (no PK index, so the
+	// "dim" build cannot be probed incrementally and must be built).
+	for i := 0; i < 1024; i++ {
+		tup := driver.NewTuple()
+		driver.PutInt64(tup, 0, int64(i))
+		driver.PutInt64(tup, 1, int64(i%o.BuildRows))
+		driver.PutFloat64(tup, 2, 1)
+		if err := rep.LoadTuple(scaleDriverID, uint64(i+1), tup); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < o.BuildRows; i++ {
+		tup := build.NewTuple()
+		build.PutInt64(tup, 0, int64(i))
+		build.PutFloat64(tup, 1, float64(i%97))
+		if err := rep.LoadTuple(scaleBuildID, uint64(i+1), tup); err != nil {
+			return err
+		}
+	}
+	q := &exec.Query{
+		Name:   "scaleBuild",
+		Driver: scaleDriverID,
+		Probes: []exec.Probe{{
+			Table:      scaleBuildID,
+			BuildKeyID: "dim",
+			BuildKey:   func(tup []byte) uint64 { return uint64(build.GetInt64(tup, 0)) },
+			ProbeKey:   func(d []byte, _ [][]byte) uint64 { return uint64(driver.GetInt64(d, 1)) },
+		}},
+		Aggs: []exec.AggSpec{{Kind: exec.Count}},
+	}
+	var base float64
+	for _, w := range o.Workers {
+		wall := bestOf(o.Reps, func() error {
+			// Fresh engine per rep: the build cache must be cold so the
+			// measurement is construction, not a version check.
+			e := exec.NewEngine(rep, w)
+			e.MorselTuples = o.MorselTuples
+			res := e.RunBatch([]*exec.Query{q}, 0)
+			return res[0].Err
+		})
+		if wall < 0 {
+			return fmt.Errorf("benchkit: olapscale build failed")
+		}
+		p := scalePoint(w, wall, o.BuildRows, &base, 1/float64(o.Partitions))
+		// Build-side scans were already partition-parallel before; the
+		// bound that matters is the old single-goroutine construction.
+		p.PartitionDispatchBound = 1
+		sum.Build = append(sum.Build, p)
+	}
+	return nil
+}
+
+// pushCapture records every propagation push separately, with the
+// coverage VID reported at that push. A prefix of pushes replayed with
+// its own coverage VID is a valid shorter stream; captureSink's single
+// flattened slice cannot be split that way.
+type pushCapture struct {
+	mu     sync.Mutex
+	pushes [][]proplog.Batch
+	upTos  []uint64
+	upTo   uint64
+}
+
+func (c *pushCapture) ApplyUpdates(batches []proplog.Batch, upTo uint64) {
+	c.mu.Lock()
+	c.pushes = append(c.pushes, batches)
+	c.upTos = append(c.upTos, upTo)
+	if upTo > c.upTo {
+		c.upTo = upTo
+	}
+	c.mu.Unlock()
+}
+
+func (c *pushCapture) flat() []proplog.Batch {
+	var out []proplog.Batch
+	for _, p := range c.pushes {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// prefix returns the first n pushes flattened plus the coverage VID
+// that was true after the n-th push.
+func (c *pushCapture) prefix(n int) ([]proplog.Batch, uint64) {
+	var out []proplog.Batch
+	for _, p := range c.pushes[:n] {
+		out = append(out, p...)
+	}
+	return out, c.upTos[n-1]
+}
+
+func (c *pushCapture) suffix(n int) []proplog.Batch {
+	var out []proplog.Batch
+	for _, p := range c.pushes[n:] {
+		out = append(out, p...)
+	}
+	return out
+}
+
+func runApplyScale(o OLAPScaleOpts, sum *OLAPScaleSummary) error {
+	// Capture one TPC-C update stream, then apply the identical stream
+	// at every worker count (equal entry counts by construction). Every
+	// replica must bootstrap from the pre-run state — NewReplica raises
+	// the VID floor to the primary's current snapshot, which would
+	// discard the captured stream if created after the run.
+	db := tpcc.NewDB(o.ApplyScale)
+	if err := tpcc.Generate(db, o.Seed); err != nil {
+		return err
+	}
+	reps := make([]*olap.Replica, len(o.Workers)+1)
+	for i := range reps {
+		r, err := chbench.NewReplica(db, o.Partitions)
+		if err != nil {
+			return err
+		}
+		reps[i] = r
+	}
+	sink := &pushCapture{}
+	if _, err := RunOLTPOn(db, OLTPOpts{
+		Scale: o.ApplyScale, Workers: o.ApplyWorkers, Clients: o.ApplyClients,
+		Duration: o.ApplyDuration, Seed: o.Seed + 1, FieldSpecific: true, Sink: sink,
+		// Several pushes per run so the cold/warm experiment below has
+		// push boundaries to split on.
+		PushPeriod: o.ApplyDuration / 8,
+	}); err != nil {
+		return err
+	}
+
+	var oneWorker olap.ApplyStats
+	for i, w := range o.Workers {
+		rep := reps[i]
+		rep.SetApplyWorkers(w)
+		rep.ApplyUpdates(sink.flat(), sink.upTo)
+		t0 := time.Now()
+		st, err := rep.ApplyPending(sink.upTo)
+		wall := time.Since(t0)
+		if err != nil {
+			return fmt.Errorf("benchkit: olapscale apply (w=%d): %w", w, err)
+		}
+		if w == o.Workers[0] {
+			oneWorker = st
+		}
+		pt := OLAPApplyPoint{
+			Workers: w, WallNS: int64(wall), Entries: st.Entries,
+			Step1NS: int64(st.Step1), Step2NS: int64(st.Step2), Step3NS: int64(st.Step3),
+		}
+		if wall > 0 {
+			pt.EntriesPerSec = float64(st.Entries) / wall.Seconds()
+		}
+		pt.ProjectedEntriesPerSec = resmodel.ProjectRate(
+			oneWorker.Step1, oneWorker.Step2+oneWorker.Step3, oneWorker.Entries, w)
+		sum.Apply = append(sum.Apply, pt)
+	}
+
+	// Cold vs warm round at a fixed worker count: split the stream in
+	// two halves on a push boundary and apply them back to back on one
+	// replica. The second round reuses every per-table scratch buffer
+	// the first one grew. Each half must be applied with the coverage
+	// VID that was true at its last push — applying a prefix with the
+	// final coverage VID would release updates whose prerequisite
+	// inserts are still in the later pushes.
+	rep := reps[len(reps)-1]
+	rep.SetApplyWorkers(o.ApplyWorkers)
+	half := len(sink.pushes) / 2
+	if half == 0 {
+		half = 1
+	}
+	a, aUpTo := sink.prefix(half)
+	b := sink.suffix(half)
+	rep.ApplyUpdates(a, aUpTo)
+	t0 := time.Now()
+	stA, err := rep.ApplyPending(aUpTo)
+	wallA := time.Since(t0)
+	if err != nil {
+		return fmt.Errorf("benchkit: olapscale apply cold round: %w", err)
+	}
+	rep.ApplyUpdates(b, sink.upTo)
+	t0 = time.Now()
+	stB, err := rep.ApplyPending(sink.upTo)
+	wallB := time.Since(t0)
+	if err != nil {
+		return fmt.Errorf("benchkit: olapscale apply warm round: %w", err)
+	}
+	if stA.Entries > 0 {
+		sum.ApplyColdNSPerEntry = float64(wallA) / float64(stA.Entries)
+	}
+	if stB.Entries > 0 {
+		sum.ApplyWarmNSPerEntry = float64(wallB) / float64(stB.Entries)
+	}
+	return nil
+}
+
+// scalePoint assembles one sweep cell; *base is set from the first cell
+// (workers[0], expected to be 1) and reused for speedups.
+func scalePoint(w int, wall time.Duration, items int, base *float64, skewFrac float64) OLAPScalePoint {
+	if *base == 0 {
+		*base = float64(wall)
+	}
+	p := OLAPScalePoint{Workers: w, WallNS: int64(wall)}
+	if wall > 0 {
+		p.ItemsPerSec = float64(items) / wall.Seconds()
+		p.MeasuredSpeedup = *base / float64(wall)
+	}
+	// Morsel dispatch has no serial phase: Amdahl with serial fraction 0.
+	p.ProjectedSpeedup = resmodel.Speedup(0, w)
+	// Partition-granular dispatch cannot beat the largest partition.
+	bound := 1 / skewFrac
+	if float64(w) < bound {
+		bound = float64(w)
+	}
+	p.PartitionDispatchBound = bound
+	return p
+}
+
+// bestOf runs fn reps times and returns the smallest wall time, or a
+// negative duration if fn ever fails.
+func bestOf(reps int, fn func() error) time.Duration {
+	best := time.Duration(-1)
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			return -1
+		}
+		d := time.Since(t0)
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -39,6 +39,8 @@ type OLTPOpts struct {
 	FieldSpecific bool
 	// Mix restricts the workload to New-Order only when set.
 	NewOrderOnly bool
+	// PushPeriod overrides the update-propagation period (default 200ms).
+	PushPeriod time.Duration
 }
 
 // OLTPResult reports a standalone TPC-C run.
@@ -69,11 +71,15 @@ func RunOLTP(o OLTPOpts) (OLTPResult, error) {
 
 // newEngineFor builds an engine for a loaded database per the options.
 func newEngineFor(db *tpcc.DB, o OLTPOpts) (*oltp.Engine, error) {
+	push := o.PushPeriod
+	if push <= 0 {
+		push = 200 * time.Millisecond
+	}
 	e, err := oltp.New(db.Store, oltp.Config{
 		Workers:       o.Workers,
 		Replicated:    tpcc.ReplicatedTables(),
 		FieldSpecific: o.FieldSpecific,
-		PushPeriod:    200 * time.Millisecond,
+		PushPeriod:    push,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,69 @@
+package chbench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"batchdb/internal/olap/exec"
+	"batchdb/internal/tpcc"
+)
+
+// Property test for the morsel-driven shared executor: randomized CH
+// query batches must produce identical results whether they run shared
+// (one scan feeding all queries, builds cached across the batch) or
+// query-at-a-time, at every worker count. Rows must match exactly;
+// float aggregates may differ by accumulation order only.
+func TestSharedParityRandomizedBatches(t *testing.T) {
+	db := tpcc.NewDB(tpcc.SmallScale(2))
+	if err := tpcc.Generate(db, 21); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewReplica(db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	workerSet := []int{1, 4, runtime.NumCPU()}
+	for seed := int64(0); seed < 3; seed++ {
+		g := NewGen(db.Schemas, seed)
+		batch := make([]*exec.Query, 12)
+		for i := range batch {
+			batch[i] = g.Next()
+		}
+
+		// Reference: serial, one query at a time.
+		ref := exec.NewEngine(rep, 1)
+		ref.QueryAtATime = true
+		want := ref.RunBatch(batch, 0)
+
+		for _, w := range workerSet {
+			for _, qat := range []bool{false, true} {
+				e := exec.NewEngine(rep, w)
+				e.MorselTuples = 512 // small morsels: force multi-morsel dispatch
+				e.QueryAtATime = qat
+				got := e.RunBatch(batch, 0)
+				label := fmt.Sprintf("seed=%d workers=%d queryAtATime=%v", seed, w, qat)
+				for i := range batch {
+					if want[i].Err != nil || got[i].Err != nil {
+						t.Fatalf("%s %s: errs %v %v", label, batch[i].Name, want[i].Err, got[i].Err)
+					}
+					if got[i].Rows != want[i].Rows {
+						t.Fatalf("%s %s: rows %d != %d", label, batch[i].Name, got[i].Rows, want[i].Rows)
+					}
+					for j := range want[i].Values {
+						if !parityClose(got[i].Values[j], want[i].Values[j]) {
+							t.Fatalf("%s %s agg %d: %f != %f",
+								label, batch[i].Name, j, got[i].Values[j], want[i].Values[j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func parityClose(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6*(1+math.Abs(a)+math.Abs(b))
+}

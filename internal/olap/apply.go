@@ -9,6 +9,38 @@ import (
 	"batchdb/internal/storage"
 )
 
+// mergeHeapThreshold is the stream count above which mergeByVIDInto
+// switches from a linear min-scan (O(k) per run, cache-friendly, wins
+// for the handful of OLTP workers typical of one primary) to a binary
+// heap (O(log k) per run, wins once many primaries or replayed segments
+// fan into one table). BenchmarkMergeByVID puts the crossover between
+// 16 and 64 streams on our reference machine (short equal-VID runs make
+// the min-scan's per-run O(k) cheap in practice), hence 16.
+const mergeHeapThreshold = 16
+
+// routeShardMin is the minimum number of merged entries each routing
+// goroutine must have before step 2 is worth sharding; below
+// 2*routeShardMin the serial loop wins (goroutine hand-off costs more
+// than hashing a few thousand RowIDs).
+const routeShardMin = 4096
+
+// applyScratch holds one table's reusable apply buffers, so steady-state
+// rounds allocate nothing for merging and routing. Safe without locks:
+// exactly one goroutine applies a given table per round, and rounds are
+// serialized by the scheduler. Buffer shapes are revalidated against the
+// current partition count each round, because a resync reload recreates
+// t.Partitions.
+type applyScratch struct {
+	// merged is the step-1 output buffer.
+	merged []proplog.Entry
+	// perPart is the step-2 output: one VID-ordered entry slice per
+	// partition.
+	perPart [][]proplog.Entry
+	// router holds the per-goroutine per-partition buffers of step 2's
+	// sharded routing, grown to the worker count on demand.
+	router [][][]proplog.Entry
+}
+
 // TableApplyStats breaks down update application for one relation, the
 // measurements behind paper Table 1.
 type TableApplyStats struct {
@@ -35,10 +67,11 @@ type ApplyStats struct {
 }
 
 // ApplyPending applies every queued update with VID <= target, in VID
-// order per table, in parallel across partitions — the three-step
-// algorithm of paper §5/Fig. 4. Updates beyond target are requeued for
-// the next round. It must only be called while no query batch executes;
-// the Scheduler guarantees that.
+// order per table — the three-step algorithm of paper §5/Fig. 4, run
+// concurrently across tables with leaf work (routing shards, partition
+// applies) bounded by the replica's apply-worker budget. Updates beyond
+// target are requeued for the next round. It must only be called while
+// no query batch executes; the Scheduler guarantees that.
 func (r *Replica) ApplyPending(target uint64) (ApplyStats, error) {
 	stats := ApplyStats{Target: target, PerTable: make(map[storage.TableID]*TableApplyStats)}
 	// Take the staged resync snapshot (reconnect after connection loss),
@@ -99,77 +132,173 @@ func (r *Replica) ApplyPending(target uint64) (ApplyStats, error) {
 		r.mu.Unlock()
 	}
 
-	// Process tables in registration order for deterministic stats.
-	for _, t := range r.order {
+	// Run the per-table pipelines concurrently: the multi-table TPC-C
+	// update mix touches eight relations whose steps 1–2 used to run
+	// back-to-back on one goroutine. The shared semaphore keeps total
+	// leaf parallelism (across all tables) at the apply-worker budget.
+	sem := make(chan struct{}, r.applyWorkers)
+	type tableOut struct {
+		ts      *TableApplyStats
+		entries int
+		err     error
+	}
+	outs := make([]tableOut, len(r.order))
+	var wg sync.WaitGroup
+	for ti, t := range r.order {
 		ws := perTable[t.Schema.ID]
 		if len(ws) == 0 {
 			continue
 		}
-		ts := &TableApplyStats{}
-		stats.PerTable[t.Schema.ID] = ts
+		wg.Add(1)
+		go func(ti int, t *Table, ws []*workerStream) {
+			defer wg.Done()
+			ts, n, err := r.applyTable(t, ws, sem)
+			outs[ti] = tableOut{ts: ts, entries: n, err: err}
+		}(ti, t, ws)
+	}
+	wg.Wait()
 
-		// Step 1: merge the per-worker streams into one VID-ordered
-		// stream (linear scan, complexity linear in entries — "the
-		// fastest step").
-		start := time.Now()
-		merged := mergeByVID(ws)
-		ts.Step1 = time.Since(start)
-		stats.Step1 += ts.Step1
-		stats.Entries += len(merged)
-
-		// Step 2: route entries to partitions by hash(RowID),
-		// preserving VID order within each partition.
-		start = time.Now()
-		perPart := make([][]proplog.Entry, len(t.Partitions))
-		for _, e := range merged {
-			h := e.RowID * 0x9E3779B97F4A7C15
-			pi := h % uint64(len(t.Partitions))
-			perPart[pi] = append(perPart[pi], e)
+	// Fold per-table outcomes in registration order so stats and the
+	// reported error are deterministic regardless of completion order.
+	var firstErr error
+	var errTable *Table
+	for ti, t := range r.order {
+		o := outs[ti]
+		if o.ts == nil {
+			continue
 		}
-		ts.Step2 = time.Since(start)
-		stats.Step2 += ts.Step2
-
-		// Step 3: apply per partition in parallel through the RowID
-		// hash index (the expensive, random-access step).
-		var wg sync.WaitGroup
-		var mu sync.Mutex
-		var firstErr error
-		for pi, entries := range perPart {
-			if len(entries) == 0 {
-				continue
+		stats.PerTable[t.Schema.ID] = o.ts
+		stats.Entries += o.entries
+		stats.Step1 += o.ts.Step1
+		stats.Step2 += o.ts.Step2
+		stats.Step3 += o.ts.Step3
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr, errTable = o.err, t
 			}
-			wg.Add(1)
-			go func(p *Partition, entries []proplog.Entry) {
-				defer wg.Done()
-				t0 := time.Now()
-				ins, upd, del, err := applyToPartition(t, p, entries)
-				d := time.Since(t0)
-				mu.Lock()
-				ts.Step3 += d
-				ts.Inserted += ins
-				ts.Updated += upd
-				ts.Deleted += del
-				if err != nil && firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-			}(t.Partitions[pi], entries)
-		}
-		wg.Wait()
-		stats.Step3 += ts.Step3
-		if firstErr != nil {
-			r.mu.Lock()
-			r.applyErr = firstErr
-			r.mu.Unlock()
-			// Leave the version untouched: a failed round must not report
-			// a clean bump (cached build sides are invalidated by the
-			// replica's error state, not by a phantom version change).
-			return stats, fmt.Errorf("olap: apply to table %s: %w", t.Schema.Name, firstErr)
+			continue
 		}
 		t.version++
 	}
+	if firstErr != nil {
+		r.mu.Lock()
+		r.applyErr = firstErr
+		r.mu.Unlock()
+		// Leave the failed table's version untouched: a failed round must
+		// not report a clean bump (cached build sides are invalidated by
+		// the replica's error state, not by a phantom version change).
+		return stats, fmt.Errorf("olap: apply to table %s: %w", errTable.Schema.Name, firstErr)
+	}
 	r.setApplied(target)
 	return stats, nil
+}
+
+// applyTable runs the three apply steps for one table and returns its
+// stats and merged entry count. Leaf tasks acquire sem; the caller's
+// per-table goroutine itself does not, so a round with more tables than
+// workers cannot deadlock.
+func (r *Replica) applyTable(t *Table, ws []*workerStream, sem chan struct{}) (*TableApplyStats, int, error) {
+	ts := &TableApplyStats{}
+	sc := &t.scratch
+
+	// Step 1: merge the per-worker streams into one VID-ordered stream
+	// ("the fastest step"), reusing the table's merge buffer.
+	start := time.Now()
+	sc.merged = mergeByVIDInto(sc.merged[:0], ws)
+	merged := sc.merged
+	ts.Step1 = time.Since(start)
+
+	// Step 2: route entries to partitions by hash(RowID), preserving
+	// VID order within each partition. Large rounds shard the routing
+	// across goroutines; per-round buffers are reused.
+	start = time.Now()
+	nparts := len(t.Partitions)
+	if len(sc.perPart) != nparts { // revalidated: a resync reload resizes partitions
+		sc.perPart = make([][]proplog.Entry, nparts)
+	}
+	perPart := sc.perPart
+	for i := range perPart {
+		perPart[i] = perPart[i][:0]
+	}
+	nG := 1
+	if r.applyWorkers > 1 && len(merged) >= 2*routeShardMin {
+		nG = len(merged) / routeShardMin
+		if nG > r.applyWorkers {
+			nG = r.applyWorkers
+		}
+	}
+	if nG <= 1 {
+		for i := range merged {
+			h := merged[i].RowID * 0x9E3779B97F4A7C15
+			perPart[h%uint64(nparts)] = append(perPart[h%uint64(nparts)], merged[i])
+		}
+	} else {
+		// Contiguous chunks keep VID order: chunk g holds strictly
+		// earlier stream positions than chunk g+1, so concatenating each
+		// partition's buffers in chunk order reproduces the serial
+		// routing exactly.
+		if len(sc.router) < nG {
+			sc.router = append(sc.router, make([][][]proplog.Entry, nG-len(sc.router))...)
+		}
+		var rwg sync.WaitGroup
+		for g := 0; g < nG; g++ {
+			if len(sc.router[g]) != nparts {
+				sc.router[g] = make([][]proplog.Entry, nparts)
+			}
+			lo, hi := g*len(merged)/nG, (g+1)*len(merged)/nG
+			rwg.Add(1)
+			go func(buf [][]proplog.Entry, chunk []proplog.Entry) {
+				defer rwg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				for i := range buf {
+					buf[i] = buf[i][:0]
+				}
+				for i := range chunk {
+					h := chunk[i].RowID * 0x9E3779B97F4A7C15
+					buf[h%uint64(nparts)] = append(buf[h%uint64(nparts)], chunk[i])
+				}
+			}(sc.router[g], merged[lo:hi])
+		}
+		rwg.Wait()
+		for pi := 0; pi < nparts; pi++ {
+			for g := 0; g < nG; g++ {
+				perPart[pi] = append(perPart[pi], sc.router[g][pi]...)
+			}
+		}
+	}
+	ts.Step2 = time.Since(start)
+
+	// Step 3: apply per partition in parallel through the RowID hash
+	// index (the expensive, random-access step).
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for pi, entries := range perPart {
+		if len(entries) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(p *Partition, entries []proplog.Entry) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t0 := time.Now()
+			ins, upd, del, err := applyToPartition(t, p, entries)
+			d := time.Since(t0)
+			mu.Lock()
+			ts.Step3 += d
+			ts.Inserted += ins
+			ts.Updated += upd
+			ts.Deleted += del
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}(t.Partitions[pi], entries)
+	}
+	wg.Wait()
+	return ts, len(merged), firstErr
 }
 
 func appendLeftover(batches []proplog.Batch, worker int, table storage.TableID, e proplog.Entry) []proplog.Batch {
@@ -212,16 +341,38 @@ type workerStream struct {
 }
 
 // mergeByVID k-way merges per-worker VID-sorted streams into one
-// VID-ordered stream (paper Fig. 4 step 1). Worker counts are small, so
-// a linear min-scan beats a heap.
+// VID-ordered stream (paper Fig. 4 step 1), allocating a fresh output
+// buffer.
 func mergeByVID(ws []*workerStream) []proplog.Entry {
 	total := 0
 	for _, s := range ws {
 		total += len(s.entries)
 	}
-	out := make([]proplog.Entry, 0, total)
+	return mergeByVIDInto(make([]proplog.Entry, 0, total), ws)
+}
+
+// mergeByVIDInto appends the merged stream to out (typically a reused
+// buffer) and returns it. Both strategies copy whole runs of equal-VID
+// entries from the winning stream, so one transaction's updates stay
+// contiguous, and break VID ties by stream position — the heap path is
+// entry-for-entry identical to the linear path.
+func mergeByVIDInto(out []proplog.Entry, ws []*workerStream) []proplog.Entry {
+	if len(ws) > mergeHeapThreshold {
+		return mergeHeapInto(out, ws)
+	}
+	return mergeLinearInto(out, ws)
+}
+
+// mergeLinearInto is the small-k strategy: re-scan every stream head for
+// each run. O(k) per run but branch-predictable and allocation-free.
+func mergeLinearInto(out []proplog.Entry, ws []*workerStream) []proplog.Entry {
+	total := 0
+	for _, s := range ws {
+		total += len(s.entries)
+	}
+	want := len(out) + total
 	heads := make([]int, len(ws))
-	for len(out) < total {
+	for len(out) < want {
 		best := -1
 		var bestVID uint64
 		for i, s := range ws {
@@ -239,6 +390,63 @@ func mergeByVID(ws []*workerStream) []proplog.Entry {
 		for heads[best] < len(s.entries) && s.entries[heads[best]].VID == bestVID {
 			out = append(out, s.entries[heads[best]])
 			heads[best]++
+		}
+	}
+	return out
+}
+
+// mergeHeapInto is the large-k strategy: a binary min-heap of stream
+// indices ordered by (head VID, stream index) — the secondary key
+// replicates the linear scan's first-stream-wins tie-break.
+func mergeHeapInto(out []proplog.Entry, ws []*workerStream) []proplog.Entry {
+	heads := make([]int, len(ws))
+	h := make([]int, 0, len(ws))
+	less := func(a, b int) bool {
+		va, vb := ws[a].entries[heads[a]].VID, ws[b].entries[heads[b]].VID
+		if va != vb {
+			return va < vb
+		}
+		return a < b
+	}
+	siftDown := func(i int) {
+		for {
+			l, rc := 2*i+1, 2*i+2
+			min := i
+			if l < len(h) && less(h[l], h[min]) {
+				min = l
+			}
+			if rc < len(h) && less(h[rc], h[min]) {
+				min = rc
+			}
+			if min == i {
+				return
+			}
+			h[i], h[min] = h[min], h[i]
+			i = min
+		}
+	}
+	for i, s := range ws {
+		if len(s.entries) > 0 {
+			h = append(h, i)
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	for len(h) > 0 {
+		best := h[0]
+		s := ws[best]
+		v := s.entries[heads[best]].VID
+		for heads[best] < len(s.entries) && s.entries[heads[best]].VID == v {
+			out = append(out, s.entries[heads[best]])
+			heads[best]++
+		}
+		if heads[best] >= len(s.entries) {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		if len(h) > 0 {
+			siftDown(0)
 		}
 	}
 	return out

@@ -16,6 +16,14 @@
 //     last batch (static dimensions like nation or item) are cached
 //     across batches and revalidated by the table's data version.
 //
+// Scans — driver scans and build-side scans alike — are morsel-driven:
+// each partition's slot space is cut into fixed-size ranges
+// (MorselTuples) that workers pull off an atomic cursor, so scan
+// parallelism is bounded by the engine's worker count rather than by
+// partition count or skew. Build sides are sharded by key hash so
+// construction is lock-free and parallel in both its scan and its
+// map-building phase.
+//
 // Per paper §8.1 the query model is scan + equi-join + aggregate, which
 // covers the modified CH-benCHmark query set in Appendix A. The paper
 // notes (§8.4) that BatchDB's isolation properties do not depend on
@@ -26,6 +34,8 @@ package exec
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"batchdb/internal/olap"
 	"batchdb/internal/storage"
@@ -95,19 +105,41 @@ type Result struct {
 	Err  error
 }
 
+// DefaultMorselTuples is the scan-range granularity when the engine's
+// MorselTuples is unset: large enough that cursor traffic is noise,
+// small enough that hundreds of morsels exist per partition for load
+// balancing (morsel-driven execution à la HyPer).
+const DefaultMorselTuples = 16384
+
+// hashMul is the Fibonacci-hashing multiplier used to spread build keys
+// across shards (the same constant partitions RowIDs in olap).
+const hashMul = 0x9E3779B97F4A7C15
+
 // Engine executes query batches against an OLAP replica.
 type Engine struct {
 	replica *olap.Replica
-	// Workers bounds the scan/build parallelism (paper: the OLAP
+	// workers bounds the scan/build parallelism (paper: the OLAP
 	// replica's dedicated cores).
 	workers int
+
+	// MorselTuples is the number of tuple slots per scan morsel; <= 0
+	// selects DefaultMorselTuples. Set before the first RunBatch.
+	MorselTuples int
 
 	// QueryAtATime disables scan sharing: each query performs its own
 	// scan pass. Used by the ablation benchmark.
 	QueryAtATime bool
 
+	// sem bounds the total number of in-flight leaf tasks (morsels,
+	// shard merges) across everything the engine runs concurrently, so
+	// parallel build construction still respects the worker budget.
+	sem chan struct{}
+
+	// stats, when attached, receives per-batch phase timings.
+	stats *olap.SchedulerStats
+
 	mu     sync.Mutex
-	builds map[buildID]*build
+	builds map[buildID]*buildEntry
 }
 
 type buildID struct {
@@ -115,9 +147,30 @@ type buildID struct {
 	key   string
 }
 
+// build is one shared hash-join build side, sharded by key hash so both
+// construction and probing distribute across workers without locks.
 type build struct {
+	shards []map[uint64][]byte
+	// shift maps hashed keys to shards: shard = (key*hashMul) >> shift.
+	// len(shards) is a power of two; a single shard uses shift 64,
+	// which Go defines to yield 0.
+	shift uint
+}
+
+func (b *build) lookup(key uint64) ([]byte, bool) {
+	v, ok := b.shards[(key*hashMul)>>b.shift][key]
+	return v, ok
+}
+
+// buildEntry is the check-or-claim cache slot for one build. The done
+// channel is the in-flight marker: installing the entry under mu claims
+// the construction, and every other caller that finds a matching entry
+// blocks on done instead of redundantly building (sync.Once-style, but
+// keyed and version-checked).
+type buildEntry struct {
 	version uint64
-	rows    map[uint64][]byte
+	done    chan struct{}
+	b       *build
 }
 
 // NewEngine creates an executor with the given parallelism.
@@ -125,7 +178,88 @@ func NewEngine(replica *olap.Replica, workers int) *Engine {
 	if workers <= 0 {
 		workers = 1
 	}
-	return &Engine{replica: replica, workers: workers, builds: make(map[buildID]*build)}
+	return &Engine{
+		replica: replica,
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+		builds:  make(map[buildID]*buildEntry),
+	}
+}
+
+// AttachStats points the engine at a scheduler's stats block so
+// RunBatch records its per-phase timings (build-prepare, scan, merge)
+// there.
+func (e *Engine) AttachStats(st *olap.SchedulerStats) { e.stats = st }
+
+// morsel is one unit of scan work: a slot range of one partition.
+type morsel struct {
+	part   *olap.Partition
+	lo, hi int
+}
+
+// morsels cuts the partitions' slot spaces into MorselTuples-sized
+// ranges. Skewed layouts (one huge partition) still yield many morsels,
+// so all workers stay busy regardless of how tuples are distributed.
+func (e *Engine) morsels(parts []*olap.Partition) []morsel {
+	mt := e.MorselTuples
+	if mt <= 0 {
+		mt = DefaultMorselTuples
+	}
+	var ms []morsel
+	for _, p := range parts {
+		n := p.Slots()
+		for lo := 0; lo < n; lo += mt {
+			hi := lo + mt
+			if hi > n {
+				hi = n
+			}
+			ms = append(ms, morsel{p, lo, hi})
+		}
+	}
+	return ms
+}
+
+// forEach runs fn for every task index in [0, n) on up to
+// min(workers, n) goroutines pulling indices off an atomic
+// work-stealing cursor. Each leaf task additionally holds a slot of the
+// engine-wide semaphore, so concurrent forEach calls (parallel build
+// construction) share the worker budget instead of multiplying it.
+// The worker argument is a dense id in [0, min(workers, n)) for
+// per-worker scratch.
+func (e *Engine) forEach(n int, fn func(worker, task int)) {
+	if n <= 0 {
+		return
+	}
+	w := e.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		e.sem <- struct{}{}
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		<-e.sem
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				e.sem <- struct{}{}
+				fn(worker, i)
+				<-e.sem
+			}
+		}(g)
+	}
+	wg.Wait()
 }
 
 // RunBatch executes all queries as one shared pass per driver table and
@@ -139,7 +273,12 @@ func (e *Engine) RunBatch(queries []*Query, snap uint64) []Result {
 	}
 
 	// Stage 1: ensure every needed join build exists and is current.
-	if err := e.prepareBuilds(queries); err != nil {
+	t0 := time.Now()
+	prepared, err := e.prepareBuilds(queries)
+	if e.stats != nil {
+		e.stats.ExecBuildPrepare.RecordSince(t0)
+	}
+	if err != nil {
 		for i := range results {
 			results[i].Err = err
 		}
@@ -147,34 +286,42 @@ func (e *Engine) RunBatch(queries []*Query, snap uint64) []Result {
 	}
 
 	// Stage 2: group queries by driver table and share scans.
+	var scanNS, mergeNS int64
 	if e.QueryAtATime {
 		for i := range queries {
-			e.scanDriver([]*Query{queries[i]}, []*Result{&results[i]})
+			e.scanDriver([]*Query{queries[i]}, []*Result{&results[i]}, prepared, &scanNS, &mergeNS)
 		}
-		return results
-	}
-	byDriver := make(map[storage.TableID][]int)
-	for i, q := range queries {
-		byDriver[q.Driver] = append(byDriver[q.Driver], i)
-	}
-	for _, idxs := range byDriver {
-		qs := make([]*Query, len(idxs))
-		rs := make([]*Result, len(idxs))
-		for j, i := range idxs {
-			qs[j] = queries[i]
-			rs[j] = &results[i]
+	} else {
+		byDriver := make(map[storage.TableID][]int)
+		for i, q := range queries {
+			byDriver[q.Driver] = append(byDriver[q.Driver], i)
 		}
-		e.scanDriver(qs, rs)
+		for _, idxs := range byDriver {
+			qs := make([]*Query, len(idxs))
+			rs := make([]*Result, len(idxs))
+			for j, i := range idxs {
+				qs[j] = queries[i]
+				rs[j] = &results[i]
+			}
+			e.scanDriver(qs, rs, prepared, &scanNS, &mergeNS)
+		}
+	}
+	if e.stats != nil {
+		e.stats.ExecScan.Record(scanNS)
+		e.stats.ExecMerge.Record(mergeNS)
 	}
 	return results
 }
 
 // prepareBuilds constructs (or revalidates) the shared hash-join build
-// sides needed by the batch. Tables that maintain an incremental PK
-// index are probed through it directly (for "pk" probes), so they never
-// need a build — the key property that keeps per-batch setup cost
-// independent of table size while updates stream in.
-func (e *Engine) prepareBuilds(queries []*Query) error {
+// sides needed by the batch, all concurrently — each construction is
+// itself morsel-parallel, with the engine semaphore keeping combined
+// parallelism at the worker budget. Tables that maintain an incremental
+// PK index are probed through it directly (for "pk" probes), so they
+// never need a build — the key property that keeps per-batch setup cost
+// independent of table size while updates stream in. The returned map
+// pins the batch's builds so later cache evictions can't race the scan.
+func (e *Engine) prepareBuilds(queries []*Query) (map[buildID]*build, error) {
 	type needed struct {
 		id buildID
 		fn func(tup []byte) uint64
@@ -194,36 +341,131 @@ func (e *Engine) prepareBuilds(queries []*Query) error {
 			}
 		}
 	}
-	for _, n := range needs {
-		t := e.replica.Table(n.id.table)
-		if t == nil {
-			return fmt.Errorf("exec: probe into unknown table %d", n.id.table)
-		}
-		e.mu.Lock()
-		b := e.builds[n.id]
-		if b != nil && b.version == t.Version() {
-			e.mu.Unlock()
-			continue // cached build still valid
-		}
-		e.mu.Unlock()
-		nb := &build{version: t.Version(), rows: make(map[uint64][]byte, t.Live())}
-		for _, part := range t.Partitions {
-			part.Scan(func(_ uint64, tup []byte) bool {
-				nb.rows[n.fn(tup)] = tup
-				return true
-			})
-		}
-		e.mu.Lock()
-		e.builds[n.id] = nb
-		e.mu.Unlock()
+	prepared := make(map[buildID]*build, len(needs))
+	if len(needs) == 0 {
+		return prepared, nil
 	}
-	return nil
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		ferr error
+	)
+	for _, n := range needs {
+		wg.Add(1)
+		go func(n needed) {
+			defer wg.Done()
+			b, err := e.buildFor(n.id, n.fn)
+			mu.Lock()
+			if err != nil && ferr == nil {
+				ferr = err
+			}
+			prepared[n.id] = b
+			mu.Unlock()
+		}(n)
+	}
+	wg.Wait()
+	if ferr != nil {
+		return nil, ferr
+	}
+	return prepared, nil
+}
+
+// buildFor returns the current build for id, constructing it if the
+// cache misses. Check and claim are one critical section: the first
+// caller to observe a stale (or absent) entry installs a fresh entry
+// with an open done channel and builds outside the lock; every
+// concurrent caller for the same (id, version) blocks on done and
+// shares the result, so a build is constructed at most once per data
+// version no matter how many batches race.
+func (e *Engine) buildFor(id buildID, keyFn func(tup []byte) uint64) (*build, error) {
+	t := e.replica.Table(id.table)
+	if t == nil {
+		return nil, fmt.Errorf("exec: probe into unknown table %d", id.table)
+	}
+	ver := t.Version()
+	e.mu.Lock()
+	if be := e.builds[id]; be != nil && be.version == ver {
+		e.mu.Unlock()
+		<-be.done
+		return be.b, nil
+	}
+	be := &buildEntry{version: ver, done: make(chan struct{})}
+	e.builds[id] = be
+	e.mu.Unlock()
+	be.b = e.constructBuild(t, keyFn)
+	close(be.done)
+	return be.b, nil
+}
+
+// constructBuild materializes one sharded build in two parallel phases:
+// (A) a morsel-driven scan appends (key, tuple) pairs into per-worker
+// per-shard buckets — no synchronization, each worker owns its bucket
+// rows; (B) each shard's map is built by exactly one worker from the
+// buckets all scan workers left for it. Sharding removes the
+// single-map rehash bottleneck that used to serialize batch setup on
+// large build tables.
+func (e *Engine) constructBuild(t *olap.Table, keyFn func(tup []byte) uint64) *build {
+	nshards := 1
+	for nshards < e.workers {
+		nshards <<= 1
+	}
+	shift := uint(64)
+	for s := 1; s < nshards; s <<= 1 {
+		shift--
+	}
+	b := &build{shards: make([]map[uint64][]byte, nshards), shift: shift}
+	ms := e.morsels(t.Partitions)
+	if len(ms) == 0 {
+		for i := range b.shards {
+			b.shards[i] = make(map[uint64][]byte)
+		}
+		return b
+	}
+	nw := e.workers
+	if nw > len(ms) {
+		nw = len(ms)
+	}
+	type kv struct {
+		k uint64
+		v []byte
+	}
+	local := make([][][]kv, nw)
+	for i := range local {
+		local[i] = make([][]kv, nshards)
+	}
+	e.forEach(len(ms), func(worker, i int) {
+		m := ms[i]
+		buckets := local[worker]
+		m.part.ScanRange(m.lo, m.hi, func(_ uint64, tup []byte) bool {
+			k := keyFn(tup)
+			si := (k * hashMul) >> shift
+			buckets[si] = append(buckets[si], kv{k, tup})
+			return true
+		})
+	})
+	e.forEach(nshards, func(_, si int) {
+		n := 0
+		for w := range local {
+			n += len(local[w][si])
+		}
+		m := make(map[uint64][]byte, n)
+		for w := range local {
+			for _, p := range local[w][si] {
+				m[p.k] = p.v
+			}
+		}
+		b.shards[si] = m
+	})
+	return b
 }
 
 // scanDriver performs one shared scan over the driver table of qs,
-// evaluating every query on every live tuple. Partitions are processed
-// in parallel; per-partition partial aggregates are merged at the end.
-func (e *Engine) scanDriver(qs []*Query, rs []*Result) {
+// evaluating every query on every live tuple. The scan is morsel-driven:
+// slot ranges are pulled off a work-stealing cursor by up to `workers`
+// goroutines, so a skewed partition layout cannot idle workers.
+// Per-worker partial aggregates are merged at the end; the scan and
+// merge wall times are accumulated into scanNS/mergeNS.
+func (e *Engine) scanDriver(qs []*Query, rs []*Result, prepared map[buildID]*build, scanNS, mergeNS *int64) {
 	t := e.replica.Table(qs[0].Driver)
 	if t == nil {
 		err := fmt.Errorf("exec: unknown driver table %d", qs[0].Driver)
@@ -232,14 +474,14 @@ func (e *Engine) scanDriver(qs []*Query, rs []*Result) {
 		}
 		return
 	}
-	// Resolve each probe to either a shared build map or the target
-	// table's incremental PK index.
+	// Resolve each probe to either a shared build or the target table's
+	// incremental PK index. The prepared map was pinned for this batch,
+	// so no lock is needed here.
 	type lookup struct {
-		rows    map[uint64][]byte // nil when probing the PK index
+		b       *build
 		pkTable *olap.Table
 	}
 	lookups := make([][]lookup, len(qs))
-	e.mu.Lock()
 	for qi, q := range qs {
 		lookups[qi] = make([]lookup, len(q.Probes))
 		for pi := range q.Probes {
@@ -248,79 +490,99 @@ func (e *Engine) scanDriver(qs []*Query, rs []*Result) {
 				lookups[qi][pi] = lookup{pkTable: pt}
 				continue
 			}
-			lookups[qi][pi] = lookup{rows: e.builds[buildID{p.Table, p.BuildKeyID}].rows}
+			b := prepared[buildID{p.Table, p.BuildKeyID}]
+			if b == nil {
+				err := fmt.Errorf("exec: missing build for table %d key %q", p.Table, p.BuildKeyID)
+				for _, r := range rs {
+					r.Err = err
+				}
+				return
+			}
+			lookups[qi][pi] = lookup{b: b}
 		}
 	}
-	e.mu.Unlock()
 
-	parts := t.Partitions
-	type partial struct {
-		values [][]float64
-		rows   []int64
+	ms := e.morsels(t.Partitions)
+	nw := e.workers
+	if nw > len(ms) {
+		nw = len(ms)
 	}
-	partials := make([]partial, len(parts))
-	sem := make(chan struct{}, e.workers)
-	var wg sync.WaitGroup
-	for pi, part := range parts {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(pi int, part *olap.Partition) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			vals := make([][]float64, len(qs))
-			rows := make([]int64, len(qs))
+	if nw < 1 {
+		nw = 1
+	}
+	type partial struct {
+		vals   [][]float64
+		rows   []int64
+		joined [][]byte
+	}
+	partials := make([]partial, nw)
+	t0 := time.Now()
+	e.forEach(len(ms), func(worker, mi int) {
+		pt := &partials[worker]
+		if pt.vals == nil {
+			pt.vals = make([][]float64, len(qs))
+			pt.rows = make([]int64, len(qs))
 			for qi, q := range qs {
-				vals[qi] = make([]float64, len(q.Aggs))
+				pt.vals[qi] = make([]float64, len(q.Aggs))
 			}
-			joined := make([][]byte, 0, 8)
-			part.Scan(func(_ uint64, tup []byte) bool {
-				for qi, q := range qs {
-					if q.DriverPred != nil && !q.DriverPred(tup) {
-						continue
+			pt.joined = make([][]byte, 0, 8)
+		}
+		m := ms[mi]
+		m.part.ScanRange(m.lo, m.hi, func(_ uint64, tup []byte) bool {
+			for qi, q := range qs {
+				if q.DriverPred != nil && !q.DriverPred(tup) {
+					continue
+				}
+				pt.joined = pt.joined[:0]
+				ok := true
+				for pi := range q.Probes {
+					p := &q.Probes[pi]
+					lk := &lookups[qi][pi]
+					var match []byte
+					var found bool
+					if lk.pkTable != nil {
+						match, found = lk.pkTable.GetByPK(p.ProbeKey(tup, pt.joined))
+					} else {
+						match, found = lk.b.lookup(p.ProbeKey(tup, pt.joined))
 					}
-					joined = joined[:0]
-					ok := true
-					for pi2 := range q.Probes {
-						p := &q.Probes[pi2]
-						lk := &lookups[qi][pi2]
-						var match []byte
-						var found bool
-						if lk.pkTable != nil {
-							match, found = lk.pkTable.GetByPK(p.ProbeKey(tup, joined))
-						} else {
-							match, found = lk.rows[p.ProbeKey(tup, joined)]
-						}
-						if !found || (p.Pred != nil && !p.Pred(match)) {
-							ok = false
-							break
-						}
-						joined = append(joined, match)
+					if !found || (p.Pred != nil && !p.Pred(match)) {
+						ok = false
+						break
 					}
-					if !ok {
-						continue
-					}
-					rows[qi]++
-					for ai := range q.Aggs {
-						switch q.Aggs[ai].Kind {
-						case Sum:
-							vals[qi][ai] += q.Aggs[ai].Value(tup, joined)
-						case Count:
-							vals[qi][ai]++
-						}
+					pt.joined = append(pt.joined, match)
+				}
+				if !ok {
+					continue
+				}
+				pt.rows[qi]++
+				for ai := range q.Aggs {
+					switch q.Aggs[ai].Kind {
+					case Sum:
+						pt.vals[qi][ai] += q.Aggs[ai].Value(tup, pt.joined)
+					case Count:
+						pt.vals[qi][ai]++
 					}
 				}
-				return true
-			})
-			partials[pi] = partial{values: vals, rows: rows}
-		}(pi, part)
+			}
+			return true
+		})
+	})
+	if scanNS != nil {
+		*scanNS += int64(time.Since(t0))
 	}
-	wg.Wait()
+	t1 := time.Now()
 	for _, p := range partials {
+		if p.vals == nil {
+			continue
+		}
 		for qi := range qs {
 			rs[qi].Rows += p.rows[qi]
-			for ai := range p.values[qi] {
-				rs[qi].Values[ai] += p.values[qi][ai]
+			for ai := range p.vals[qi] {
+				rs[qi].Values[ai] += p.vals[qi][ai]
 			}
 		}
+	}
+	if mergeNS != nil {
+		*mergeNS += int64(time.Since(t1))
 	}
 }

@@ -1,8 +1,12 @@
 package exec
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"batchdb/internal/olap"
@@ -27,7 +31,7 @@ type fixture struct {
 	nOrders  int
 }
 
-func buildFixture(t *testing.T, parts, orders, customers int) *fixture {
+func buildFixture(t testing.TB, parts, orders, customers int) *fixture {
 	t.Helper()
 	f := &fixture{
 		orders: storage.NewSchema(tblOrders, "orders", []storage.Column{
@@ -140,25 +144,73 @@ func TestJoinQueryMatchesReference(t *testing.T) {
 
 func TestSharedBatchEqualsIndividual(t *testing.T) {
 	f := buildFixture(t, 4, 2000, 200)
-	e := NewEngine(f.replica, 2)
 	batch := make([]*Query, 0, 10)
 	for reg := int64(0); reg < 5; reg++ {
 		batch = append(batch, f.regionQuery(reg), f.regionQuery(reg))
 	}
-	shared := e.RunBatch(batch, 0)
+	for _, workers := range []int{1, 2, 4, runtime.NumCPU()} {
+		e := NewEngine(f.replica, workers)
+		e.MorselTuples = 256 // force multi-morsel scans even at this scale
+		shared := e.RunBatch(batch, 0)
 
-	e2 := NewEngine(f.replica, 2)
-	e2.QueryAtATime = true
-	individual := e2.RunBatch(batch, 0)
+		e2 := NewEngine(f.replica, workers)
+		e2.MorselTuples = 256
+		e2.QueryAtATime = true
+		individual := e2.RunBatch(batch, 0)
 
-	for i := range batch {
-		if shared[i].Err != nil || individual[i].Err != nil {
-			t.Fatalf("errs: %v %v", shared[i].Err, individual[i].Err)
+		for i := range batch {
+			if shared[i].Err != nil || individual[i].Err != nil {
+				t.Fatalf("workers=%d errs: %v %v", workers, shared[i].Err, individual[i].Err)
+			}
+			if !almostEqual(shared[i].Values[0], individual[i].Values[0]) ||
+				shared[i].Values[1] != individual[i].Values[1] {
+				t.Fatalf("workers=%d query %d: shared %v != individual %v",
+					workers, i, shared[i].Values, individual[i].Values)
+			}
 		}
-		if !almostEqual(shared[i].Values[0], individual[i].Values[0]) ||
-			shared[i].Values[1] != individual[i].Values[1] {
-			t.Fatalf("query %d: shared %v != individual %v", i, shared[i].Values, individual[i].Values)
+	}
+}
+
+// TestConcurrentBatchesBuildOnce exercises the check-or-claim build
+// cache: many concurrent RunBatch calls against one engine must
+// construct the (unchanged) build side exactly once — every BuildKey
+// invocation is counted, and one construction costs one invocation per
+// build-side tuple.
+func TestConcurrentBatchesBuildOnce(t *testing.T) {
+	const customers = 200
+	f := buildFixture(t, 4, 1000, customers)
+	e := NewEngine(f.replica, 2)
+	var keyCalls atomic.Int64
+	mkQuery := func() *Query {
+		q := f.regionQuery(1)
+		q.Probes[0].BuildKeyID = "counted"
+		inner := q.Probes[0].BuildKey
+		q.Probes[0].BuildKey = func(tup []byte) uint64 {
+			keyCalls.Add(1)
+			return inner(tup)
 		}
+		return q
+	}
+	var wg sync.WaitGroup
+	results := make([][]Result, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = e.RunBatch([]*Query{mkQuery()}, 0)
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res[0].Err != nil {
+			t.Fatalf("batch %d: %v", i, res[0].Err)
+		}
+		if !almostEqual(res[0].Values[0], f.expSum[1]) {
+			t.Fatalf("batch %d: sum %f, want %f", i, res[0].Values[0], f.expSum[1])
+		}
+	}
+	if n := keyCalls.Load(); n != customers {
+		t.Fatalf("BuildKey called %d times, want exactly %d (one construction)", n, customers)
 	}
 }
 
@@ -274,5 +326,49 @@ func TestEmptyBatch(t *testing.T) {
 	e := NewEngine(f.replica, 1)
 	if res := e.RunBatch(nil, 0); len(res) != 0 {
 		t.Fatalf("empty batch returned %d results", len(res))
+	}
+}
+
+func BenchmarkMorselScan(b *testing.B) {
+	f := buildFixture(b, 8, 20000, 500)
+	q := &Query{
+		Name:   "totalSum",
+		Driver: tblOrders,
+		Aggs: []AggSpec{
+			{Kind: Sum, Value: func(d []byte, _ [][]byte) float64 { return f.orders.GetFloat64(d, 2) }},
+			{Kind: Count},
+		},
+	}
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			e := NewEngine(f.replica, w)
+			e.MorselTuples = 2048
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if res := e.RunBatch([]*Query{q}, 0); res[0].Err != nil {
+					b.Fatal(res[0].Err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkShardedBuild(b *testing.B) {
+	// Build-side heavy: tiny driver, large build table; a fresh engine
+	// per iteration keeps the build cache cold so construction dominates.
+	f := buildFixture(b, 8, 500, 20000)
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := NewEngine(f.replica, w)
+				e.MorselTuples = 2048
+				q := f.regionQuery(1)
+				q.Probes[0].BuildKeyID = "bench" // force hash-build construction
+				if res := e.RunBatch([]*Query{q}, 0); res[0].Err != nil {
+					b.Fatal(res[0].Err)
+				}
+			}
+		})
 	}
 }

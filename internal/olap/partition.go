@@ -148,6 +148,31 @@ func (p *Partition) Scan(fn func(rowID uint64, tuple []byte) bool) {
 	}
 }
 
+// ScanRange visits every live tuple in the slot range [lo, hi),
+// clamped to the allocated slots. It is the unit of morsel-driven scan
+// dispatch: the executor splits each partition's slot space into
+// fixed-size ranges and hands them to a worker pool, so scan
+// parallelism is bounded by workers rather than by partition count or
+// skew. The callback contract matches Scan.
+func (p *Partition) ScanRange(lo, hi int, fn func(rowID uint64, tuple []byte) bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(p.rowIDs) {
+		hi = len(p.rowIDs)
+	}
+	ts := p.tupleSize
+	for i := lo; i < hi; i++ {
+		rid := p.rowIDs[i]
+		if rid == 0 {
+			continue // tombstone
+		}
+		if !fn(rid, p.data[i*ts:(i+1)*ts]) {
+			return
+		}
+	}
+}
+
 // Get returns the tuple bytes for rowID (aliasing partition storage).
 func (p *Partition) Get(rowID uint64) ([]byte, bool) {
 	slot, ok := p.index[rowID]

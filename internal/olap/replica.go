@@ -2,6 +2,7 @@ package olap
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"batchdb/internal/index"
@@ -33,6 +34,10 @@ type Table struct {
 	// build side ever has to be rebuilt from a full scan.
 	pkFn  func(tup []byte) uint64
 	pkIdx *index.Hash[uint64]
+
+	// scratch holds the table's reusable apply buffers (see applyScratch);
+	// owned by the single goroutine applying this table each round.
+	scratch applyScratch
 }
 
 // Version returns the table's data version; it changes whenever tuples
@@ -99,6 +104,11 @@ type Replica struct {
 	order  []*Table
 	parts  int
 
+	// applyWorkers bounds ApplyPending's leaf parallelism (step-2
+	// routing shards plus step-3 partition applies, across all tables of
+	// a round). Defaults to NumCPU; see SetApplyWorkers.
+	applyWorkers int
+
 	// pending holds pushed update batches awaiting application. Guarded
 	// by mu: pushes arrive from the primary's dispatcher goroutine while
 	// the OLAP dispatcher drains between query batches.
@@ -121,7 +131,21 @@ func NewReplica(parts int) *Replica {
 	if parts <= 0 {
 		parts = 1
 	}
-	return &Replica{tables: make(map[storage.TableID]*Table), parts: parts}
+	return &Replica{
+		tables:       make(map[storage.TableID]*Table),
+		parts:        parts,
+		applyWorkers: runtime.NumCPU(),
+	}
+}
+
+// SetApplyWorkers bounds the update-application parallelism (the OLAP
+// replica's dedicated cores, matching the exec engine's worker count).
+// Call during wiring, before the scheduler starts applying; n <= 0 is
+// ignored.
+func (r *Replica) SetApplyWorkers(n int) {
+	if n > 0 {
+		r.applyWorkers = n
+	}
 }
 
 // CreateTable registers a replicated relation. All DDL must precede use.

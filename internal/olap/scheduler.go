@@ -42,7 +42,15 @@ type SchedulerStats struct {
 	BatchExec metrics.Histogram
 	// ApplyTime accumulates time spent applying updates between batches.
 	ApplyTime metrics.Histogram
-	Busy      metrics.BusyTracker
+	// ExecBuildPrepare, ExecScan and ExecMerge split each batch's
+	// execution into its phases — shared hash-build construction or
+	// revalidation, the morsel-driven driver scans, and the per-worker
+	// partial-aggregate merge. Recorded by the exec engine when it is
+	// attached via Engine.AttachStats (one sample per batch each).
+	ExecBuildPrepare metrics.Histogram
+	ExecScan         metrics.Histogram
+	ExecMerge        metrics.Histogram
+	Busy             metrics.BusyTracker
 }
 
 // Scheduler is the OLAP dispatcher (paper Fig. 1 right, §5 "Query

@@ -139,8 +139,13 @@ func (db *DB) AttachWorkloadReplica(workers, partitions int) (*WorkloadReplica, 
 	if _, err := replica.LoadLocal(rep, db.store, analytical); err != nil {
 		return nil, err
 	}
+	rep.SetApplyWorkers(workers)
 	w := &WorkloadReplica{rep: rep, execE: exec.NewEngine(rep, workers)}
+	if db.cfg.MorselTuples > 0 {
+		w.execE.MorselTuples = db.cfg.MorselTuples
+	}
 	w.sched = olap.NewScheduler[*Query, Result](rep, db.engine, w.execE.RunBatch)
+	w.execE.AttachStats(w.sched.Stats())
 	w.sched.Start()
 	return w, nil
 }
@@ -168,6 +173,8 @@ type ReplicaNodeConfig struct {
 	Partitions int
 	// Workers bounds scan/build parallelism (default 4).
 	Workers int
+	// MorselTuples is the executor's scan morsel size (default 16384).
+	MorselTuples int
 	// Retry governs dialing (and, after a connection loss, redialing)
 	// the primary; the zero value gives 5 attempts from a 25ms base
 	// delay with exponential backoff and jitter.
@@ -236,8 +243,13 @@ func ConnectReplica(primaryAddr string, cfg ReplicaNodeConfig, tables []ReplicaT
 		return nil, err
 	}
 	n := &ReplicaNode{sup: sup, rep: rep}
+	rep.SetApplyWorkers(cfg.Workers)
 	n.execE = exec.NewEngine(rep, cfg.Workers)
+	if cfg.MorselTuples > 0 {
+		n.execE.MorselTuples = cfg.MorselTuples
+	}
 	n.sched = olap.NewScheduler[*Query, Result](rep, sup, n.execE.RunBatch)
+	n.execE.AttachStats(n.sched.Stats())
 	n.sched.Start()
 	return n, nil
 }
