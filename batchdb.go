@@ -140,6 +140,11 @@ type Config struct {
 	// DisableReplication runs the primary alone (the paper's NoRep
 	// configuration); Query returns an error.
 	DisableReplication bool
+	// DisableZoneMaps turns off the OLAP replica's per-block min/max
+	// synopses; declarative query predicates are then evaluated
+	// tuple-at-a-time with no morsel skipping. Default on, block size =
+	// MorselTuples.
+	DisableZoneMaps bool
 }
 
 // TableOptions controls a table's replication behaviour.
@@ -438,6 +443,16 @@ func (db *DB) Start() error {
 	}
 	if !db.cfg.DisableReplication {
 		db.rep = olap.NewReplica(db.cfg.Partitions)
+		if !db.cfg.DisableZoneMaps {
+			// Enabled before the load so synopses build incrementally;
+			// block size matches the executor's morsel size so block
+			// verdicts map one-to-one onto scan morsels.
+			mt := db.cfg.MorselTuples
+			if mt <= 0 {
+				mt = exec.DefaultMorselTuples
+			}
+			db.rep.EnableZoneMaps(mt)
+		}
 		var analytical []TableID
 		for _, t := range db.order {
 			if t.opts.Analytical {

@@ -10,6 +10,7 @@
 //	batchdb-bench -exp fig8       # comparison vs shared-engine baselines
 //	batchdb-bench -exp fig9       # implicit resource sharing
 //	batchdb-bench -exp olapscale  # scan/build/apply scaling vs OLAP workers
+//	batchdb-bench -exp prune      # zone-map morsel skipping vs selectivity
 //	batchdb-bench -exp all
 //
 // Numbers marked "projected" combine host measurements with the
@@ -33,8 +34,8 @@ import (
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment: fig5a|fig5b|fig6|table1|fig7|fig8|fig9|olapscale|all")
-	jsonFlag  = flag.String("json", "", "write the olapscale summary as JSON to this file (e.g. BENCH_OLAP.json)")
+	expFlag   = flag.String("exp", "all", "experiment: fig5a|fig5b|fig6|table1|fig7|fig8|fig9|olapscale|prune|all")
+	jsonFlag  = flag.String("json", "", "write the olapscale/prune summary as JSON to this file (e.g. BENCH_OLAP.json)")
 	durFlag   = flag.Duration("duration", 2*time.Second, "measurement window per cell")
 	warmFlag  = flag.Duration("warmup", 500*time.Millisecond, "warmup per cell")
 	quickFlag = flag.Bool("quick", false, "tiny cells for smoke runs")
@@ -57,9 +58,10 @@ func main() {
 		"fig8":      fig8,
 		"fig9":      fig9,
 		"olapscale": olapscale,
+		"prune":     prune,
 	}
 	if *expFlag == "all" {
-		for _, name := range []string{"fig5a", "fig5b", "fig6", "table1", "fig7", "fig8", "fig9", "olapscale"} {
+		for _, name := range []string{"fig5a", "fig5b", "fig6", "table1", "fig7", "fig8", "fig9", "olapscale", "prune"} {
 			exps[name]()
 		}
 		return
@@ -171,6 +173,17 @@ func fig6() {
 	for _, r := range results {
 		fmt.Printf("  %-24s Ptup=%10.0f/s  Ptxn=%10.0f/s  (entries=%d txns=%d  s1=%v s2=%v s3=%v)\n",
 			r.Variant, r.MeasuredPtup, r.MeasuredPtxn, r.Entries, r.Txns, r.Step1, r.Step2, r.Step3)
+	}
+	fmt.Println("\nframe-encoding allocations per push (captured stream replayed through the publisher's wire format):")
+	for _, r := range results {
+		if r.Variant.ColumnStore {
+			continue // same stream as the row variant of each granularity
+		}
+		fa := r.FrameAlloc
+		fmt.Printf("  field-specific=%-5v pushes=%-4d unpooled: %8.0f B %6.1f allocs  pooled: %8.0f B %6.1f allocs\n",
+			r.Variant.FieldSpecific, fa.Pushes,
+			fa.UnpooledBytesPerPush, fa.UnpooledAllocsPerPush,
+			fa.PooledBytesPerPush, fa.PooledAllocsPerPush)
 	}
 	fmt.Println("paper shape: scales with cores; column/whole-tuple is >2x slower than column/field-specific")
 }
@@ -589,6 +602,53 @@ func olapscale() {
 	fmt.Println("speedup columns: measured = this host's wall clock (capped by NumCPU);")
 	fmt.Println("projected = resmodel Amdahl on the 1-worker measurement; old-bound = the")
 	fmt.Println("partition-granular dispatch ceiling (largest partition) this PR removes")
+	if *jsonFlag != "" {
+		data, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*jsonFlag, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonFlag)
+	}
+}
+
+// prune: zone-map morsel skipping vs predicate selectivity, plus the
+// incremental maintenance overhead on warm applies (BENCH_PRUNE.json
+// with -json).
+func prune() {
+	header("Zone-map pruning: shared-scan speedup vs selectivity (order_line, ol_o_id >= cutoff)")
+	opts := benchkit.PruneOpts{Scale: scale(*wFlag), Seed: *seedFlag}
+	if *quickFlag {
+		opts.Scale = scale(2)
+		opts.Reps = 1
+		opts.AppendOrders = 200
+	}
+	sum, err := benchkit.RunPrune(opts)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("host: GOMAXPROCS=%d NumCPU=%d; %d order lines (%d appended through the apply pipeline),\n",
+		sum.GOMAXPROCS, sum.NumCPU, sum.OrderLines, sum.AppendedLines)
+	fmt.Printf("%d partitions, %d workers, %d-tuple blocks/morsels\n",
+		sum.Partitions, sum.Workers, sum.MorselTuples)
+	fmt.Printf("\n%-8s %10s %12s %8s %12s %12s %9s %10s\n",
+		"target", "cutoff", "selectivity", "rows", "on(ms)", "off(ms)", "speedup", "skipped")
+	for _, p := range sum.Sweep {
+		fmt.Printf("%-8s %10d %11.3f%% %8d %12.3f %12.3f %8.2fx %9.0f%%\n",
+			p.Target, p.Cutoff, 100*p.Selectivity, p.Rows,
+			float64(p.WallOnNS)/1e6, float64(p.WallOffNS)/1e6, p.Speedup, 100*p.SkipFrac)
+	}
+	fmt.Println("\nCH-benCHmark driver-scan skip rates on the same snapshot:")
+	for _, q := range sum.CH {
+		fmt.Printf("  %-4s scanned=%-6d skipped=%-6d (%3.0f%%)\n",
+			q.Name, q.BlocksScanned, q.BlocksSkipped, 100*q.SkipFrac)
+	}
+	fmt.Printf("\nwarm ApplyPending: zone maps on=%.0f ns/entry, off=%.0f ns/entry (overhead %+.1f%%)\n",
+		sum.ApplyWarmOnNSPerEntry, sum.ApplyWarmOffNSPerEntry, 100*sum.ApplyOverheadFrac)
+	fmt.Println("cells with cutoffs inside the initial population cannot prune (o_ids restart per")
+	fmt.Println("district, every block spans the domain); cells in the appended tail skip nearly all blocks")
 	if *jsonFlag != "" {
 		data, err := json.MarshalIndent(sum, "", "  ")
 		if err != nil {

@@ -47,6 +47,7 @@ func main() {
 		segBytes   = flag.Int64("wal-segment-bytes", 16<<20, "WAL segment rotation threshold")
 		olapW      = flag.Int("olap-workers", 4, "analytical scan/build/apply worker count")
 		morsel     = flag.Int("morsel-tuples", 0, "scan morsel size in tuples (0 = default)")
+		zonemaps   = flag.Bool("zonemaps", true, "maintain per-block zone maps on the replica (morsel skipping for pushed-down predicates)")
 	)
 	flag.Parse()
 
@@ -104,6 +105,18 @@ func main() {
 	if *morsel > 0 {
 		ex.MorselTuples = *morsel
 	}
+	if *zonemaps {
+		// Block size = morsel size, so block verdicts map one-to-one onto
+		// morsels. Columns activate lazily as queries push predicates on
+		// them (the scheduler's apply rounds pick up the requests).
+		mt := ex.MorselTuples
+		if mt <= 0 {
+			mt = exec.DefaultMorselTuples
+		}
+		rep.EnableZoneMaps(mt)
+	} else {
+		ex.DisablePruning = true
+	}
 	sched := olap.NewScheduler(rep, engine, ex.RunBatch)
 	ex.AttachStats(sched.Stats())
 	sched.Start()
@@ -148,9 +161,11 @@ func serve(conn net.Conn, db *tpcc.DB, engine *oltp.Engine,
 			st := engine.Stats()
 			ss := sched.Stats()
 			fmt.Fprintf(out, "OK\tcommitted=%d aborted=%d conflicts=%d vid=%d"+
-				" exec_build=[%s] exec_scan=[%s] exec_merge=[%s]\n",
+				" exec_build=[%s] exec_scan=[%s] exec_merge=[%s]"+
+				" exec_blocks_scanned=%d exec_blocks_skipped=%d exec_tuples_pruned=%d\n",
 				st.Committed.Load(), st.Aborted.Load(), st.Conflicts.Load(), engine.LatestVID(),
-				ss.ExecBuildPrepare.Summary(), ss.ExecScan.Summary(), ss.ExecMerge.Summary())
+				ss.ExecBuildPrepare.Summary(), ss.ExecScan.Summary(), ss.ExecMerge.Summary(),
+				ss.ExecBlocksScanned.Load(), ss.ExecBlocksSkipped.Load(), ss.ExecTuplesPruned.Load())
 		case "NEWORDER":
 			w, d, c := argN(fields, 1, 1), argN(fields, 2, 1), argN(fields, 3, 1)
 			a := &tpcc.NewOrderArgs{WID: w, DID: d, CID: c, EntryD: time.Now().UnixNano()}

@@ -256,6 +256,29 @@ func (e *Engine) runQuery(r queryReq) {
 		r.reply <- res
 		return
 	}
+	// Compile the declarative predicates (Where) once per query and
+	// conjoin them with the residual closures, mirroring the replica
+	// executor's semantics.
+	driverPred, err := q.DriverFilter(driver.Schema)
+	if err != nil {
+		res.Err = err
+		r.reply <- res
+		return
+	}
+	probePreds := make([]func([]byte) bool, len(q.Probes))
+	for i := range q.Probes {
+		bt := e.db.TableByID(q.Probes[i].Table)
+		if bt == nil {
+			res.Err = errUnknownTable
+			r.reply <- res
+			return
+		}
+		if probePreds[i], err = q.Probes[i].Filter(bt.Schema); err != nil {
+			res.Err = err
+			r.reply <- res
+			return
+		}
+	}
 	joined := make([][]byte, 0, 8)
 	driver.ScanChains(func(c *mvcc.Chain) bool {
 		rec := tx.ReadChain(c)
@@ -263,7 +286,7 @@ func (e *Engine) runQuery(r queryReq) {
 			return true
 		}
 		tup := rec.Data
-		if q.DriverPred != nil && !q.DriverPred(tup) {
+		if driverPred != nil && !driverPred(tup) {
 			return true
 		}
 		joined = joined[:0]
@@ -275,7 +298,7 @@ func (e *Engine) runQuery(r queryReq) {
 				return false
 			}
 			match, ok := tx.Get(bt, p.ProbeKey(tup, joined))
-			if !ok || (p.Pred != nil && !p.Pred(match)) {
+			if !ok || (probePreds[i] != nil && !probePreds[i](match)) {
 				return true
 			}
 			joined = append(joined, match)

@@ -1,13 +1,17 @@
 package benchkit
 
 import (
+	"encoding/binary"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"batchdb/internal/chbench"
 	"batchdb/internal/colstore"
 	"batchdb/internal/mvcc"
+	"batchdb/internal/network"
 	"batchdb/internal/olap"
 	"batchdb/internal/proplog"
 	"batchdb/internal/resmodel"
@@ -68,17 +72,42 @@ type PropagationResult struct {
 	// MeasuredPtup and MeasuredPtxn are the raw host measurements
 	// (no projection): entries / CPU-time and txns / CPU-time.
 	MeasuredPtup, MeasuredPtxn float64
+	// FrameAlloc compares per-push allocation of encoding this
+	// granularity's captured update stream into propagation frames with
+	// and without the network frame-buffer pool. Identical for the row
+	// and column variant of one granularity (same stream).
+	FrameAlloc FrameAllocStats
 }
 
-// captureSink records pushed batches grouped by (worker, table).
+// FrameAllocStats reports the allocation cost of frame encoding for one
+// captured update stream, measured both ways: fresh buffer per push
+// (the pre-pool behaviour) vs drawing from network's frame-buffer pool
+// (what replica.Publisher does on the wire path).
+type FrameAllocStats struct {
+	// Pushes is the number of captured ApplyUpdates calls.
+	Pushes int
+	// UnpooledBytesPerPush / PooledBytesPerPush are heap bytes
+	// allocated per encoded push; the Allocs pair counts heap objects.
+	UnpooledBytesPerPush  float64
+	PooledBytesPerPush    float64
+	UnpooledAllocsPerPush float64
+	PooledAllocsPerPush   float64
+}
+
+// captureSink records pushed batches grouped by (worker, table),
+// remembering push boundaries so frame encoding can be replayed
+// push-by-push.
 type captureSink struct {
 	mu      sync.Mutex
 	batches []proplog.Batch
-	upTo    uint64
+	// pushes holds the batch count of each ApplyUpdates call.
+	pushes []int
+	upTo   uint64
 }
 
 func (c *captureSink) ApplyUpdates(batches []proplog.Batch, upTo uint64) {
 	c.mu.Lock()
+	c.pushes = append(c.pushes, len(batches))
 	// Copy the entry slices (entry Data aliases immutable MVCC record
 	// images, which the Go GC keeps alive for us).
 	for _, b := range batches {
@@ -172,8 +201,175 @@ func RunPropagation(o PropagationOpts) ([]PropagationResult, error) {
 		}
 		out = append(out, buildResult(PropagationVariant{ColumnStore: true, FieldSpecific: field},
 			n, colTuples, res.Committed, s1, s2, s3, nil, o.Cores))
+
+		// Cross-check the two layouts with morsel-dispatched scans (the
+		// same dispatch shape the executor uses, over colstore.ScanRange
+		// on the column side) and measure the frame-encoding allocation
+		// delta for this granularity's captured stream.
+		if err := verifyReplicas(rowRep, colRep, o.Workers); err != nil {
+			return nil, fmt.Errorf("post-apply verification (%v): %w", field, err)
+		}
+		fa := measureFrameAllocs(sink)
+		out[len(out)-2].FrameAlloc = fa
+		out[len(out)-1].FrameAlloc = fa
 	}
 	return out, nil
+}
+
+// scanRanger is the morsel-scan surface shared by the row-store and
+// column-store partitions.
+type scanRanger interface {
+	Slots() int
+	ScanRange(lo, hi int, fn func(rowID uint64, tuple []byte) bool)
+}
+
+// verifyMorselTuples is the slot-range granularity of the verification
+// scans — small enough that even SmallScale fixtures produce several
+// morsels per partition.
+const verifyMorselTuples = 4096
+
+// morselChecksum folds an order-independent hash over every live
+// (rowID, tuple) pair, dispatching fixed-size slot ranges to workers
+// off an atomic cursor — the executor's morsel discipline.
+func morselChecksum(parts []scanRanger, workers int) uint64 {
+	type mrsl struct {
+		p      scanRanger
+		lo, hi int
+	}
+	var ms []mrsl
+	for _, p := range parts {
+		n := p.Slots()
+		for lo := 0; lo < n; lo += verifyMorselTuples {
+			hi := lo + verifyMorselTuples
+			if hi > n {
+				hi = n
+			}
+			ms = append(ms, mrsl{p, lo, hi})
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(ms) {
+		workers = len(ms)
+	}
+	var cursor atomic.Int64
+	var total atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sum uint64
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(ms) {
+					break
+				}
+				m := ms[i]
+				m.p.ScanRange(m.lo, m.hi, func(rowID uint64, tup []byte) bool {
+					h := rowID * 0x9E3779B97F4A7C15
+					for _, b := range tup {
+						h = (h ^ uint64(b)) * 1099511628211 // FNV-1a step
+					}
+					sum += h // commutative: morsel order doesn't matter
+					return true
+				})
+			}
+			total.Add(sum)
+		}()
+	}
+	wg.Wait()
+	return total.Load()
+}
+
+// verifyReplicas cross-checks every table of the row and column
+// replicas after the measured applies. Both sides partition RowIDs
+// identically, but the checksum is order-independent, so comparing per
+// table is sufficient (and robust to layout details).
+func verifyReplicas(rowRep *olap.Replica, colRep *colReplica, workers int) error {
+	for _, id := range chbench.Tables() {
+		t := rowRep.Table(id)
+		if t == nil || colRep.tables[id] == nil {
+			return fmt.Errorf("benchkit: table %d missing from a replica", id)
+		}
+		rps := make([]scanRanger, len(t.Partitions))
+		for i, p := range t.Partitions {
+			rps[i] = p
+		}
+		cps := make([]scanRanger, len(colRep.tables[id]))
+		for i, p := range colRep.tables[id] {
+			cps[i] = p
+		}
+		if r, c := morselChecksum(rps, workers), morselChecksum(cps, workers); r != c {
+			return fmt.Errorf("benchkit: replica divergence on table %s (row %x != column %x)", t.Schema.Name, r, c)
+		}
+	}
+	return nil
+}
+
+// appendFrame encodes one update push exactly like the replication
+// publisher's wire path (header, batch count, length-prefixed batches).
+func appendFrame(buf []byte, batches []proplog.Batch, upTo uint64) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, upTo)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(batches)))
+	for i := range batches {
+		lenPos := len(buf)
+		buf = append(buf, 0, 0, 0, 0)
+		buf = proplog.AppendEncode(buf, &batches[i])
+		binary.LittleEndian.PutUint32(buf[lenPos:], uint32(len(buf)-lenPos-4))
+	}
+	return buf
+}
+
+// frameSink keeps the encoded frames observable so the encoding loops
+// below cannot be optimized away.
+var frameSink int
+
+// measureFrameAllocs replays the captured stream's pushes through the
+// publisher's frame encoding twice — fresh buffer per push vs the
+// network frame-buffer pool — and reports heap bytes and objects per
+// push for each. The pooled pass is warmed once so it measures
+// steady-state reuse, which is what the send loop sees.
+func measureFrameAllocs(sink *captureSink) FrameAllocStats {
+	st := FrameAllocStats{Pushes: len(sink.pushes)}
+	if st.Pushes == 0 {
+		return st
+	}
+	forEachPush := func(fn func(batches []proplog.Batch)) {
+		off := 0
+		for _, n := range sink.pushes {
+			fn(sink.batches[off : off+n])
+			off += n
+		}
+	}
+	var ms0, ms1 runtime.MemStats
+
+	runtime.ReadMemStats(&ms0)
+	forEachPush(func(bs []proplog.Batch) {
+		buf := appendFrame(nil, bs, sink.upTo)
+		frameSink += len(buf)
+	})
+	runtime.ReadMemStats(&ms1)
+	st.UnpooledBytesPerPush = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(st.Pushes)
+	st.UnpooledAllocsPerPush = float64(ms1.Mallocs-ms0.Mallocs) / float64(st.Pushes)
+
+	// Warm the pool to the largest frame, then measure reuse.
+	forEachPush(func(bs []proplog.Batch) {
+		buf := appendFrame(network.GetFrameBuf(), bs, sink.upTo)
+		frameSink += len(buf)
+		network.PutFrameBuf(buf)
+	})
+	runtime.ReadMemStats(&ms0)
+	forEachPush(func(bs []proplog.Batch) {
+		buf := appendFrame(network.GetFrameBuf(), bs, sink.upTo)
+		frameSink += len(buf)
+		network.PutFrameBuf(buf)
+	})
+	runtime.ReadMemStats(&ms1)
+	st.PooledBytesPerPush = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(st.Pushes)
+	st.PooledAllocsPerPush = float64(ms1.Mallocs-ms0.Mallocs) / float64(st.Pushes)
+	return st
 }
 
 func buildResult(v PropagationVariant, entries, tuples int, txns uint64,

@@ -305,14 +305,11 @@ func (g *Gen) q7() *exec.Query {
 	nName := g.randNation()
 	lo := tpcc.LoadEpoch - int64(60*24*time.Hour)
 	hi := tpcc.LoadEpoch + int64(3650*24*time.Hour)
-	ols, cs, ns, sus := g.s.OrderLine, g.s.Customer, g.s.Nation, g.s.Supplier
+	cs, ns, sus := g.s.Customer, g.s.Nation, g.s.Supplier
 	return &exec.Query{
 		Name:   "Q7",
 		Driver: tpcc.TOrderLine,
-		DriverPred: func(t []byte) bool {
-			d := ols.GetInt64(t, tpcc.OLDeliveryD)
-			return d >= lo && d <= hi
-		},
+		Where:  []exec.Pred{exec.BetweenInt(tpcc.OLDeliveryD, lo, hi)},
 		Probes: []exec.Probe{
 			g.ordersFromOrderLine(nil),  // joined[0]
 			g.customerFromOrder(0, nil), // joined[1]
@@ -372,14 +369,11 @@ func (g *Gen) q9() *exec.Query {
 
 func (g *Gen) q10() *exec.Query {
 	date := g.randDate()
-	ols := g.s.OrderLine
 	return &exec.Query{
 		Name:   "Q10",
 		Driver: tpcc.TOrderLine,
-		DriverPred: func(t []byte) bool {
-			return ols.GetInt64(t, tpcc.OLDeliveryD) >= date
-		},
-		Aggs: []exec.AggSpec{g.sumOlAmount()},
+		Where:  []exec.Pred{exec.CmpInt(tpcc.OLDeliveryD, exec.GE, date)},
+		Aggs:   []exec.AggSpec{g.sumOlAmount()},
 	}
 }
 
@@ -403,20 +397,14 @@ func (g *Gen) q11() *exec.Query {
 
 func (g *Gen) q12() *exec.Query {
 	date := g.randDate()
-	ols, os := g.s.OrderLine, g.s.Order
+	ord := g.ordersFromOrderLine(nil)
+	ord.Where = []exec.Pred{exec.BetweenInt(tpcc.OCarrierID, 1, 2)}
 	return &exec.Query{
 		Name:   "Q12",
 		Driver: tpcc.TOrderLine,
-		DriverPred: func(t []byte) bool {
-			return ols.GetInt64(t, tpcc.OLDeliveryD) >= date
-		},
-		Probes: []exec.Probe{
-			g.ordersFromOrderLine(func(t []byte) bool {
-				c := os.GetInt64(t, tpcc.OCarrierID)
-				return c >= 1 && c <= 2
-			}),
-		},
-		Aggs: []exec.AggSpec{countStar()},
+		Where:  []exec.Pred{exec.CmpInt(tpcc.OLDeliveryD, exec.GE, date)},
+		Probes: []exec.Probe{ord},
+		Aggs:   []exec.AggSpec{countStar()},
 	}
 }
 
@@ -427,9 +415,7 @@ func (g *Gen) q14() *exec.Query {
 	return &exec.Query{
 		Name:   "Q14",
 		Driver: tpcc.TOrderLine,
-		DriverPred: func(t []byte) bool {
-			return ols.GetInt64(t, tpcc.OLDeliveryD) >= date
-		},
+		Where:  []exec.Pred{exec.CmpInt(tpcc.OLDeliveryD, exec.GE, date)},
 		Probes: []exec.Probe{
 			g.itemProbe(ols, tpcc.OLIID, func(t []byte) bool {
 				return strings.HasPrefix(is.GetString(t, tpcc.IData), c1+c2)
@@ -464,9 +450,7 @@ func (g *Gen) q17() *exec.Query {
 	return &exec.Query{
 		Name:   "Q17",
 		Driver: tpcc.TOrderLine,
-		DriverPred: func(t []byte) bool {
-			return ols.GetInt64(t, tpcc.OLQuantity) >= qty
-		},
+		Where:  []exec.Pred{exec.CmpInt(tpcc.OLQuantity, exec.GE, qty)},
 		Probes: []exec.Probe{
 			g.itemProbe(ols, tpcc.OLIID, func(t []byte) bool {
 				return strings.HasPrefix(is.GetString(t, tpcc.IData), ch)
@@ -485,21 +469,16 @@ func (g *Gen) q19() *exec.Query {
 	ch := g.randChar()
 	price := g.randPrice()
 	is, ols := g.s.Item, g.s.OrderLine
+	ip := g.itemProbe(ols, tpcc.OLIID, func(t []byte) bool {
+		return strings.HasPrefix(is.GetString(t, tpcc.IData), ch)
+	})
+	ip.Where = []exec.Pred{exec.BetweenFloat(tpcc.IPrice, price, price+10)}
 	return &exec.Query{
 		Name:   "Q19",
 		Driver: tpcc.TOrderLine,
-		DriverPred: func(t []byte) bool {
-			q := ols.GetInt64(t, tpcc.OLQuantity)
-			return q >= 1 && q <= 10
-		},
-		Probes: []exec.Probe{
-			g.itemProbe(ols, tpcc.OLIID, func(t []byte) bool {
-				p := is.GetFloat64(t, tpcc.IPrice)
-				return strings.HasPrefix(is.GetString(t, tpcc.IData), ch) &&
-					p >= price && p <= price+10
-			}),
-		},
-		Aggs: []exec.AggSpec{g.sumOlAmount()},
+		Where:  []exec.Pred{exec.BetweenInt(tpcc.OLQuantity, 1, 10)},
+		Probes: []exec.Probe{ip},
+		Aggs:   []exec.AggSpec{g.sumOlAmount()},
 	}
 }
 

@@ -69,12 +69,17 @@ func TestQ10MatchesHandComputation(t *testing.T) {
 	if res[0].Err != nil {
 		t.Fatal(res[0].Err)
 	}
-	// Recompute with the same predicate.
+	// Recompute with the same predicate (Q10's filter is declarative
+	// now; DriverFilter compiles it the same way the engine does).
+	pred, err := q.DriverFilter(db.Schemas.OrderLine)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var want float64
 	ols := db.Schemas.OrderLine
 	for _, p := range rep.Table(tpcc.TOrderLine).Partitions {
 		p.Scan(func(_ uint64, tup []byte) bool {
-			if q.DriverPred(tup) {
+			if pred(tup) {
 				want += ols.GetFloat64(tup, tpcc.OLAmount)
 			}
 			return true

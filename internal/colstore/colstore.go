@@ -149,6 +149,38 @@ func (p *Partition) Get(rowID uint64) ([]byte, bool) {
 	return tup, true
 }
 
+// Slots returns the number of allocated slots (live + tombstoned), the
+// space a morsel dispatcher cuts into ranges.
+func (p *Partition) Slots() int { return len(p.rowIDs) }
+
+// ScanRange visits every live tuple in the slot range [lo, hi), clamped
+// to the allocated slots, mirroring olap.Partition.ScanRange so
+// morsel-driven dispatch works over the column layout too. The tuple is
+// reassembled in row format into a scratch buffer that is reused
+// between callbacks — do not retain it. Returning false stops the scan.
+func (p *Partition) ScanRange(lo, hi int, fn func(rowID uint64, tuple []byte) bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(p.rowIDs) {
+		hi = len(p.rowIDs)
+	}
+	tup := p.schema.NewTuple()
+	for i := lo; i < hi; i++ {
+		rid := p.rowIDs[i]
+		if rid == 0 {
+			continue // tombstone
+		}
+		for c := range p.cols {
+			w := p.widths[c]
+			copy(tup[p.starts[c]:], p.cols[c][i*w:(i+1)*w])
+		}
+		if !fn(rid, tup) {
+			return
+		}
+	}
+}
+
 // ScanColumn visits one column of every live tuple — the access pattern
 // column stores exist for.
 func (p *Partition) ScanColumn(col int, fn func(rowID uint64, field []byte) bool) {

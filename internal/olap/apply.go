@@ -94,6 +94,12 @@ func (r *Replica) ApplyPending(target uint64) (ApplyStats, error) {
 			floor = rl.vid
 		}
 	}
+	// Activate any synopsis columns the last query batches requested,
+	// inside this quiesced window and before new entries land — the
+	// incremental maintenance below then covers exactly the active set.
+	// A resync reload rebuilt partitions with empty synopses, so this
+	// also re-activates the requested columns after a reload.
+	r.ActivateSynopses()
 	if len(batches) == 0 {
 		r.setApplied(target)
 		return stats, nil
@@ -285,6 +291,13 @@ func (r *Replica) applyTable(t *Table, ws []*workerStream, sem chan struct{}) (*
 			defer func() { <-sem }()
 			t0 := time.Now()
 			ins, upd, del, err := applyToPartition(t, p, entries)
+			if err == nil {
+				// Re-summarize blocks this round's deletes and
+				// bound-narrowing updates dirtied, inside the same
+				// quiesced, per-partition-parallel window (and the same
+				// Step3 timing) — queries never see a dirty block.
+				p.ResummarizeDirty()
+			}
 			d := time.Since(t0)
 			mu.Lock()
 			ts.Step3 += d

@@ -76,7 +76,13 @@ type Probe struct {
 	// ProbeKey computes the lookup key from the driver tuple and the
 	// previously joined tuples.
 	ProbeKey func(driver []byte, joined [][]byte) uint64
-	// Pred optionally filters the joined tuple; nil accepts all.
+	// Where declaratively filters the joined tuple: an AND-list compiled
+	// to typed kernels against the build table's schema. Probe filters
+	// run on hash matches, not scans, so Where is never pushed down to
+	// synopses — it only replaces closure dispatch with typed kernels.
+	Where []Pred
+	// Pred is the residual filter for anything Where cannot express;
+	// ANDed with Where, nil accepts all.
 	Pred func(tup []byte) bool
 }
 
@@ -87,7 +93,15 @@ type Query struct {
 	Name string
 	// Driver is the scanned fact table.
 	Driver storage.TableID
-	// DriverPred filters driver tuples; nil accepts all.
+	// Where is the declarative driver filter: an AND-list of column
+	// comparisons (pred.go) compiled into typed kernels and pushed down
+	// to the partitions' per-block zone maps, letting the morsel
+	// dispatcher skip slot blocks that provably cannot satisfy it.
+	Where []Pred
+	// DriverPred is the residual driver filter for predicates Where
+	// cannot express (string matching, cross-column arithmetic). It is
+	// ANDed with Where and never participates in pruning; nil accepts
+	// all.
 	DriverPred func(tup []byte) bool
 	// Probes are applied in order; a missed probe drops the row.
 	Probes []Probe
@@ -129,6 +143,11 @@ type Engine struct {
 	// QueryAtATime disables scan sharing: each query performs its own
 	// scan pass. Used by the ablation benchmark.
 	QueryAtATime bool
+
+	// DisablePruning turns off zone-map morsel skipping; declarative
+	// predicates are still compiled and evaluated tuple-at-a-time. Used
+	// by the pruning ablation benchmark and the on/off parity tests.
+	DisablePruning bool
 
 	// sem bounds the total number of in-flight leaf tasks (morsels,
 	// shard merges) across everything the engine runs concurrently, so
@@ -260,6 +279,20 @@ func (e *Engine) forEach(n int, fn func(worker, task int)) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// forEachMorsel is the engine's single shared morsel-scan loop — driver
+// scans and build-side scans both run through it. begin runs once per
+// morsel on the worker that claimed it and returns the per-tuple
+// visitor, or nil to skip the morsel without touching its tuples — the
+// zone-map pruning hook.
+func (e *Engine) forEachMorsel(ms []morsel, begin func(worker int, m morsel) func(rowID uint64, tup []byte) bool) {
+	e.forEach(len(ms), func(worker, i int) {
+		m := ms[i]
+		if fn := begin(worker, m); fn != nil {
+			m.part.ScanRange(m.lo, m.hi, fn)
+		}
+	})
 }
 
 // RunBatch executes all queries as one shared pass per driver table and
@@ -433,15 +466,14 @@ func (e *Engine) constructBuild(t *olap.Table, keyFn func(tup []byte) uint64) *b
 	for i := range local {
 		local[i] = make([][]kv, nshards)
 	}
-	e.forEach(len(ms), func(worker, i int) {
-		m := ms[i]
+	e.forEachMorsel(ms, func(worker int, _ morsel) func(uint64, []byte) bool {
 		buckets := local[worker]
-		m.part.ScanRange(m.lo, m.hi, func(_ uint64, tup []byte) bool {
+		return func(_ uint64, tup []byte) bool {
 			k := keyFn(tup)
 			si := (k * hashMul) >> shift
 			buckets[si] = append(buckets[si], kv{k, tup})
 			return true
-		})
+		}
 	})
 	e.forEach(nshards, func(_, si int) {
 		n := 0
@@ -460,11 +492,16 @@ func (e *Engine) constructBuild(t *olap.Table, keyFn func(tup []byte) uint64) *b
 }
 
 // scanDriver performs one shared scan over the driver table of qs,
-// evaluating every query on every live tuple. The scan is morsel-driven:
-// slot ranges are pulled off a work-stealing cursor by up to `workers`
-// goroutines, so a skewed partition layout cannot idle workers.
-// Per-worker partial aggregates are merged at the end; the scan and
-// merge wall times are accumulated into scanNS/mergeNS.
+// evaluating every query on every live tuple its predicates might
+// accept. The scan is morsel-driven: slot ranges are pulled off a
+// work-stealing cursor by up to `workers` goroutines, so a skewed
+// partition layout cannot idle workers. Before scanning a morsel, each
+// query's pushed-down Where ranges are tested against the partition's
+// block synopses: a morsel that disproves every query's AND-list is
+// skipped without touching its tuples, and the per-query verdicts gate
+// which queries each tuple is offered to. Per-worker partial aggregates
+// are merged at the end; the scan and merge wall times are accumulated
+// into scanNS/mergeNS.
 func (e *Engine) scanDriver(qs []*Query, rs []*Result, prepared map[buildID]*build, scanNS, mergeNS *int64) {
 	t := e.replica.Table(qs[0].Driver)
 	if t == nil {
@@ -474,32 +511,75 @@ func (e *Engine) scanDriver(qs []*Query, rs []*Result, prepared map[buildID]*bui
 		}
 		return
 	}
+	// Compile each query's declarative driver filter. A compile error
+	// fails only that query; the shared scan proceeds for the rest.
+	alive := make([]bool, len(qs))
+	kernels := make([]func([]byte) bool, len(qs))
+	ranges := make([][]olap.ColRange, len(qs))
+	anyRanges := false
+	for qi, q := range qs {
+		k, rg, err := compileWhere(t.Schema, q.Where)
+		if err != nil {
+			rs[qi].Err = err
+			continue
+		}
+		alive[qi] = true
+		kernels[qi], ranges[qi] = k, rg
+		anyRanges = anyRanges || len(rg) > 0
+		if len(rg) > 0 && !e.DisablePruning {
+			// Record which columns this query filters on, so the next
+			// quiesced window activates their block synopses — the first
+			// scan runs unpruned, every later one skips blocks.
+			t.RequestSynopses(rg)
+		}
+	}
 	// Resolve each probe to either a shared build or the target table's
-	// incremental PK index. The prepared map was pinned for this batch,
-	// so no lock is needed here.
+	// incremental PK index, folding the probe's compiled Where and its
+	// residual Pred into one filter. The prepared map was pinned for
+	// this batch, so no lock is needed here.
 	type lookup struct {
 		b       *build
 		pkTable *olap.Table
+		pred    func(tup []byte) bool
 	}
 	lookups := make([][]lookup, len(qs))
 	for qi, q := range qs {
+		if !alive[qi] {
+			continue
+		}
 		lookups[qi] = make([]lookup, len(q.Probes))
 		for pi := range q.Probes {
 			p := &q.Probes[pi]
-			if pt := e.replica.Table(p.Table); pt != nil && pt.HasPKIndex() && p.BuildKeyID == "pk" {
-				lookups[qi][pi] = lookup{pkTable: pt}
-				continue
+			pt := e.replica.Table(p.Table)
+			if pt == nil {
+				rs[qi].Err = fmt.Errorf("exec: probe into unknown table %d", p.Table)
+				alive[qi] = false
+				break
 			}
-			b := prepared[buildID{p.Table, p.BuildKeyID}]
-			if b == nil {
-				err := fmt.Errorf("exec: missing build for table %d key %q", p.Table, p.BuildKeyID)
-				for _, r := range rs {
-					r.Err = err
-				}
-				return
+			wherePred, _, err := compileWhere(pt.Schema, p.Where)
+			if err != nil {
+				rs[qi].Err = err
+				alive[qi] = false
+				break
 			}
-			lookups[qi][pi] = lookup{b: b}
+			lk := lookup{pred: andPred(wherePred, p.Pred)}
+			if pt.HasPKIndex() && p.BuildKeyID == "pk" {
+				lk.pkTable = pt
+			} else if lk.b = prepared[buildID{p.Table, p.BuildKeyID}]; lk.b == nil {
+				rs[qi].Err = fmt.Errorf("exec: missing build for table %d key %q", p.Table, p.BuildKeyID)
+				alive[qi] = false
+				break
+			}
+			lookups[qi][pi] = lk
 		}
+	}
+
+	anyAlive := false
+	for _, a := range alive {
+		anyAlive = anyAlive || a
+	}
+	if !anyAlive {
+		return
 	}
 
 	ms := e.morsels(t.Partitions)
@@ -514,10 +594,15 @@ func (e *Engine) scanDriver(qs []*Query, rs []*Result, prepared map[buildID]*bui
 		vals   [][]float64
 		rows   []int64
 		joined [][]byte
+		// active holds the current morsel's per-query block verdicts.
+		active []bool
+		// Pruning stats, summed into the engine counters at merge.
+		blocksScanned, blocksSkipped, tuplesPruned int64
 	}
 	partials := make([]partial, nw)
+	prune := anyRanges && !e.DisablePruning
 	t0 := time.Now()
-	e.forEach(len(ms), func(worker, mi int) {
+	e.forEachMorsel(ms, func(worker int, m morsel) func(uint64, []byte) bool {
 		pt := &partials[worker]
 		if pt.vals == nil {
 			pt.vals = make([][]float64, len(qs))
@@ -526,10 +611,33 @@ func (e *Engine) scanDriver(qs []*Query, rs []*Result, prepared map[buildID]*bui
 				pt.vals[qi] = make([]float64, len(q.Aggs))
 			}
 			pt.joined = make([][]byte, 0, 8)
+			pt.active = make([]bool, len(qs))
 		}
-		m := ms[mi]
-		m.part.ScanRange(m.lo, m.hi, func(_ uint64, tup []byte) bool {
+		// Block verdicts: offer this morsel's tuples only to queries
+		// whose pushed-down ranges the block synopses cannot disprove.
+		any := false
+		for qi := range qs {
+			a := alive[qi]
+			if a && prune && len(ranges[qi]) > 0 {
+				a = m.part.RangeMayMatch(m.lo, m.hi, ranges[qi])
+			}
+			pt.active[qi] = a
+			any = any || a
+		}
+		if !any {
+			pt.blocksSkipped++
+			pt.tuplesPruned += int64(m.part.LiveInRange(m.lo, m.hi))
+			return nil
+		}
+		pt.blocksScanned++
+		return func(_ uint64, tup []byte) bool {
 			for qi, q := range qs {
+				if !pt.active[qi] {
+					continue
+				}
+				if k := kernels[qi]; k != nil && !k(tup) {
+					continue
+				}
 				if q.DriverPred != nil && !q.DriverPred(tup) {
 					continue
 				}
@@ -545,7 +653,7 @@ func (e *Engine) scanDriver(qs []*Query, rs []*Result, prepared map[buildID]*bui
 					} else {
 						match, found = lk.b.lookup(p.ProbeKey(tup, pt.joined))
 					}
-					if !found || (p.Pred != nil && !p.Pred(match)) {
+					if !found || (lk.pred != nil && !lk.pred(match)) {
 						ok = false
 						break
 					}
@@ -565,22 +673,34 @@ func (e *Engine) scanDriver(qs []*Query, rs []*Result, prepared map[buildID]*bui
 				}
 			}
 			return true
-		})
+		}
 	})
 	if scanNS != nil {
 		*scanNS += int64(time.Since(t0))
 	}
 	t1 := time.Now()
+	var bScan, bSkip, tPrune int64
 	for _, p := range partials {
+		bScan += p.blocksScanned
+		bSkip += p.blocksSkipped
+		tPrune += p.tuplesPruned
 		if p.vals == nil {
 			continue
 		}
 		for qi := range qs {
+			if !alive[qi] {
+				continue
+			}
 			rs[qi].Rows += p.rows[qi]
 			for ai := range p.vals[qi] {
 				rs[qi].Values[ai] += p.vals[qi][ai]
 			}
 		}
+	}
+	if e.stats != nil {
+		e.stats.ExecBlocksScanned.Add(uint64(bScan))
+		e.stats.ExecBlocksSkipped.Add(uint64(bSkip))
+		e.stats.ExecTuplesPruned.Add(uint64(tPrune))
 	}
 	if mergeNS != nil {
 		*mergeNS += int64(time.Since(t1))

@@ -44,6 +44,10 @@ type Partition struct {
 	index map[uint64]int32
 
 	live int
+
+	// zm holds the optional per-block min/max synopses (zonemap.go);
+	// nil when zone maps are disabled.
+	zm *zoneMap
 }
 
 // NewPartition creates an empty partition sized for capacityHint tuples.
@@ -82,6 +86,9 @@ func (p *Partition) Insert(rowID uint64, tuple []byte) error {
 	}
 	p.index[rowID] = slot
 	p.live++
+	if p.zm != nil {
+		p.zmInsert(slot)
+	}
 	return nil
 }
 
@@ -97,6 +104,10 @@ func (p *Partition) Locate(rowID uint64) (int32, bool) {
 func (p *Partition) PatchSlot(slot int32, offset uint32, data []byte) error {
 	if int(offset)+len(data) > p.tupleSize {
 		return fmt.Errorf("olap: update beyond tuple bounds (table %s, offset %d, size %d)", p.schema.Name, offset, len(data))
+	}
+	if p.zm != nil && len(p.zm.actCols) > 0 {
+		p.zmPatchSlot(slot, offset, data)
+		return nil
 	}
 	copy(p.data[int(slot)*p.tupleSize+int(offset):], data)
 	return nil
@@ -124,6 +135,9 @@ func (p *Partition) Delete(rowID uint64) error {
 	p.rowIDs[slot] = 0
 	p.free = append(p.free, slot)
 	p.live--
+	if p.zm != nil {
+		p.zmDelete(slot)
+	}
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"batchdb/internal/index"
 	"batchdb/internal/proplog"
@@ -20,6 +21,20 @@ type Table struct {
 	// can rebuild partitions and the PK index with the original sizing.
 	capHint int
 	pkHint  int
+
+	// zmBlock is the zone-map block size (slots per synopsis block);
+	// 0 means zone maps are disabled. Retained so resync reloads rebuild
+	// partitions with their synopses.
+	zmBlock int
+
+	// wantedSyn accumulates the synopsis columns queries have pushed
+	// predicates on (a bitmask over the partitions' synopsis column
+	// list). Written with atomic ORs from the executor's compile path —
+	// which runs during query batches — and drained into actual
+	// activation at the start of the next quiesced apply window. It
+	// survives resync reloads, so rebuilt partitions re-activate the
+	// same columns.
+	wantedSyn atomic.Uint64
 
 	// version counts data-changing events (loads and applied update
 	// rounds). The shared-execution engine uses it to cache join build
@@ -123,6 +138,10 @@ type Replica struct {
 	// installation by the next ApplyPending (which runs with query
 	// execution quiesced).
 	pendingReload *Reload
+
+	// zmBlock is the zone-map block size applied to tables created from
+	// now on (and, via EnableZoneMaps, to existing ones).
+	zmBlock int
 }
 
 // NewReplica creates a replica whose tables are split into parts
@@ -150,13 +169,98 @@ func (r *Replica) SetApplyWorkers(n int) {
 
 // CreateTable registers a replicated relation. All DDL must precede use.
 func (r *Replica) CreateTable(schema *storage.Schema, capacityHint int) *Table {
-	t := &Table{Schema: schema, capHint: capacityHint / r.parts}
+	t := &Table{Schema: schema, capHint: capacityHint / r.parts, zmBlock: r.zmBlock}
 	for i := 0; i < r.parts; i++ {
-		t.Partitions = append(t.Partitions, NewPartition(schema, t.capHint))
+		p := NewPartition(schema, t.capHint)
+		if t.zmBlock > 0 {
+			p.EnableZoneMap(t.zmBlock)
+		}
+		t.Partitions = append(t.Partitions, p)
 	}
 	r.tables[schema.ID] = t
 	r.order = append(r.order, t)
 	return t
+}
+
+// EnableZoneMaps attaches per-block min/max synopses with blockTuples
+// slots per block (align with the executor's MorselTuples) to every
+// partition of every table, and to tables created or rebuilt (resync
+// reloads) later. Column bounds materialize lazily: the executor
+// records which columns queries push predicates on
+// (Table.RequestSynopses) and the next apply round — or an explicit
+// ActivateSynopses call — activates them with one exact column scan.
+// Must run in a quiesced window: during wiring, or between a batch and
+// the next apply round. blockTuples <= 0 disables zone maps.
+func (r *Replica) EnableZoneMaps(blockTuples int) {
+	if blockTuples < 0 {
+		blockTuples = 0
+	}
+	r.zmBlock = blockTuples
+	for _, t := range r.order {
+		t.zmBlock = blockTuples
+		for _, p := range t.Partitions {
+			p.EnableZoneMap(blockTuples)
+		}
+	}
+}
+
+// RequestSynopses records interest in the synopsis columns the given
+// pushed-down ranges filter on. Safe to call concurrently with query
+// execution (it only ORs an atomic mask); the columns become active —
+// and start paying their maintenance cost — at the next quiesced
+// window (ApplyPending, or an explicit ActivateSynopses). The executor
+// calls this for every compiled range predicate, so a scan's first run
+// is unpruned and every later run skips blocks.
+func (t *Table) RequestSynopses(ranges []ColRange) {
+	if len(t.Partitions) == 0 || len(ranges) == 0 {
+		return
+	}
+	zm := t.Partitions[0].zm
+	if zm == nil {
+		return
+	}
+	var mask uint64
+	for _, rg := range ranges {
+		if rg.Col < 0 || rg.Col >= len(zm.colPos) {
+			continue
+		}
+		if ci := zm.colPos[rg.Col]; ci >= 0 {
+			mask |= 1 << uint(ci)
+		}
+	}
+	for {
+		cur := t.wantedSyn.Load()
+		if cur&mask == mask || t.wantedSyn.CompareAndSwap(cur, cur|mask) {
+			return
+		}
+	}
+}
+
+// ActivateSynopses materializes bounds for every column queries have
+// requested since the last activation (one exact column scan per
+// partition, parallel across partitions). ApplyPending calls it at the
+// start of every round; callers that run query batches without an
+// interleaved apply (benchmarks, tests) can invoke it directly in any
+// quiesced window.
+func (r *Replica) ActivateSynopses() {
+	for _, t := range r.order {
+		w := t.wantedSyn.Load()
+		if w == 0 {
+			continue
+		}
+		var wg sync.WaitGroup
+		for _, p := range t.Partitions {
+			if p.zm == nil || p.zm.active&w == w {
+				continue
+			}
+			wg.Add(1)
+			go func(p *Partition) {
+				defer wg.Done()
+				p.ActivateSynopsisCols(w)
+			}(p)
+		}
+		wg.Wait()
+	}
 }
 
 // Table returns the replicated table with the given ID, or nil.
@@ -348,6 +452,9 @@ func (r *Replica) applyReload(rl *Reload) error {
 		parts := make([]*Partition, len(t.Partitions))
 		for i := range parts {
 			parts[i] = NewPartition(t.Schema, t.capHint)
+			if t.zmBlock > 0 {
+				parts[i].EnableZoneMap(t.zmBlock)
+			}
 		}
 		t.Partitions = parts
 		if t.pkIdx != nil {

@@ -50,7 +50,16 @@ type SchedulerStats struct {
 	ExecBuildPrepare metrics.Histogram
 	ExecScan         metrics.Histogram
 	ExecMerge        metrics.Histogram
-	Busy             metrics.BusyTracker
+	// ExecBlocksScanned and ExecBlocksSkipped count the morsel
+	// dispatcher's zone-map verdicts: morsels whose block synopses could
+	// satisfy at least one query in the batch, vs morsels every
+	// interested query's pushed-down predicates disproved (skipped
+	// without touching a tuple). ExecTuplesPruned totals the live tuples
+	// inside the skipped morsels.
+	ExecBlocksScanned metrics.Counter
+	ExecBlocksSkipped metrics.Counter
+	ExecTuplesPruned  metrics.Counter
+	Busy              metrics.BusyTracker
 }
 
 // Scheduler is the OLAP dispatcher (paper Fig. 1 right, §5 "Query

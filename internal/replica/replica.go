@@ -66,6 +66,9 @@ func (m MultiSink) ApplyUpdates(batches []proplog.Batch, upTo uint64) {
 const DefaultPublisherQueue = 256
 
 // outMsg is one queued transmission (an update push or a sync reply).
+// buf is drawn from the network package's frame-buffer pool; whoever
+// finishes with the message (the send loop, or enqueue on overflow)
+// returns it.
 type outMsg struct {
 	mt  uint8
 	buf []byte
@@ -96,7 +99,11 @@ func (p *Publisher) sendLoop() {
 	for {
 		select {
 		case m := <-p.out:
-			if err := p.conn.Send(m.mt, m.buf); err != nil {
+			err := p.conn.Send(m.mt, m.buf)
+			// Send never retains the payload past its return, so the
+			// frame buffer can be recycled even on failure.
+			network.PutFrameBuf(m.buf)
+			if err != nil {
 				return
 			}
 		case <-p.conn.Done():
@@ -112,6 +119,7 @@ func (p *Publisher) enqueue(mt uint8, buf []byte) {
 	select {
 	case p.out <- outMsg{mt: mt, buf: buf}:
 	default:
+		network.PutFrameBuf(buf)
 		p.lagged.Store(true)
 		p.conn.Close()
 	}
@@ -128,7 +136,7 @@ func (p *Publisher) ApplyUpdates(batches []proplog.Batch, upTo uint64) {
 	if p.conn.Err() != nil {
 		return // dead feed; the serve loop is tearing down
 	}
-	buf := binary.LittleEndian.AppendUint64(nil, upTo)
+	buf := binary.LittleEndian.AppendUint64(network.GetFrameBuf(), upTo)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(batches)))
 	for i := range batches {
 		lenPos := len(buf)
@@ -163,7 +171,7 @@ func (p *Publisher) Serve() error {
 			// engine's sinks) before returning, so enqueueing the reply
 			// here orders it after the updates it covers.
 			covered := p.engine.SyncUpdates()
-			b := binary.LittleEndian.AppendUint64(nil, covered)
+			b := binary.LittleEndian.AppendUint64(network.GetFrameBuf(), covered)
 			p.enqueue(msgSyncReply, b)
 		}
 	}()

