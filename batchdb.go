@@ -33,6 +33,7 @@ import (
 	"batchdb/internal/metrics"
 	"batchdb/internal/mvcc"
 	"batchdb/internal/network"
+	"batchdb/internal/obs"
 	"batchdb/internal/olap"
 	"batchdb/internal/olap/exec"
 	"batchdb/internal/oltp"
@@ -145,6 +146,11 @@ type Config struct {
 	// tuple-at-a-time with no morsel skipping. Default on, block size =
 	// MorselTuples.
 	DisableZoneMaps bool
+	// MetricsAddr, when non-empty, serves the unified metrics registry
+	// over HTTP (/metrics in Prometheus text format, /healthz) on this
+	// address. Use "127.0.0.1:0" to pick a free port; MetricsAddr()
+	// reports the bound address after Start.
+	MetricsAddr string
 }
 
 // TableOptions controls a table's replication behaviour.
@@ -207,7 +213,15 @@ type DB struct {
 	// severed instead of registered.
 	repMu     sync.Mutex
 	repConns  map[*network.Conn]struct{}
+	repPubs   map[*network.Conn]*replica.Publisher
 	repClosed bool
+	// wrSeq numbers attached workload replicas for metric labels.
+	wrSeq int
+
+	// reg is the unified metrics registry every subsystem registers its
+	// counters into; metricsSrv is the optional HTTP exporter.
+	reg        *obs.Registry
+	metricsSrv *obs.Server
 }
 
 // Open creates an empty instance. Define tables, register procedures
@@ -237,7 +251,12 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.WALSegmentBytes <= 0 {
 		cfg.WALSegmentBytes = 16 << 20
 	}
-	db := &DB{cfg: cfg, store: mvcc.NewStore(), tables: make(map[TableID]*Table)}
+	db := &DB{
+		cfg:    cfg,
+		store:  mvcc.NewStore(),
+		tables: make(map[TableID]*Table),
+		reg:    obs.NewRegistry(),
+	}
 	return db, nil
 }
 
@@ -484,8 +503,37 @@ func (db *DB) Start() error {
 		}
 		db.dur.StartRunner(db.engine, pol)
 	}
+	// Register every started subsystem into the unified registry; the
+	// stats structs remain the live storage, the registry is the view.
+	db.engine.RegisterMetrics(db.reg)
+	if db.sched != nil {
+		db.sched.RegisterMetrics(db.reg, obs.L("class", "online"))
+	}
+	if db.dur != nil {
+		obs.RegisterDurability(db.reg, db.dur.Stats())
+	}
+	if db.cfg.MetricsAddr != "" {
+		srv, err := obs.Serve(db.cfg.MetricsAddr, db.reg)
+		if err != nil {
+			return err
+		}
+		db.metricsSrv = srv
+	}
 	db.started = true
 	return nil
+}
+
+// Metrics returns the instance's unified metrics registry. Callers may
+// register their own instruments into it before or after Start.
+func (db *DB) Metrics() *obs.Registry { return db.reg }
+
+// MetricsAddr returns the bound address of the metrics HTTP endpoint
+// ("" when Config.MetricsAddr was empty).
+func (db *DB) MetricsAddr() string {
+	if db.metricsSrv == nil {
+		return ""
+	}
+	return db.metricsSrv.Addr()
 }
 
 // Exec submits one stored-procedure call (the OLTP path) and waits for
@@ -533,6 +581,10 @@ func (db *DB) Engine() *oltp.Engine { return db.engine }
 // severed so remote nodes observe the shutdown (degraded mode +
 // reconnect attempts) instead of syncing against a stopped engine.
 func (db *DB) Close() error {
+	if db.metricsSrv != nil {
+		db.metricsSrv.Close()
+		db.metricsSrv = nil
+	}
 	if db.repLn != nil {
 		db.repLn.Close()
 	}

@@ -3,7 +3,8 @@
 // line-oriented TCP protocol — one connection can submit both
 // transactions and analytical queries without addressing replicas.
 //
-//	batchdb-server -listen 127.0.0.1:7070 -warehouses 2
+//	batchdb-server -listen 127.0.0.1:7070 -warehouses 2 \
+//	    -metrics-addr 127.0.0.1:9464
 //
 // Protocol (one request per line, tab-separated response):
 //
@@ -12,8 +13,11 @@
 //	DELIVERY <w>                  run a Delivery
 //	QUERY <Q2|Q3|...|Q20>         run one CH analytical query
 //	CHECKPOINT                    force a checkpoint (data-dir mode)
-//	STATS                         engine counters
+//	STATS                         one-line rendering of the metrics registry
 //	QUIT
+//
+// With -metrics-addr set, the same registry is served over HTTP as
+// Prometheus text at /metrics (liveness at /healthz).
 package main
 
 import (
@@ -31,41 +35,83 @@ import (
 	"batchdb/internal/chbench"
 	"batchdb/internal/checkpoint"
 	"batchdb/internal/mvcc"
+	"batchdb/internal/obs"
 	"batchdb/internal/olap"
 	"batchdb/internal/olap/exec"
 	"batchdb/internal/oltp"
 	"batchdb/internal/tpcc"
 )
 
+// serverConfig collects the flag values so tests can build servers
+// without a flag set.
+type serverConfig struct {
+	listen      string
+	warehouses  int
+	dataDir     string
+	walSync     bool
+	ckptVIDs    uint64
+	segBytes    int64
+	olapWorkers int
+	morsel      int
+	zonemaps    bool
+	metricsAddr string
+}
+
+// server is one running batchdb-server instance: the engine pair, the
+// TCP listener, the metrics registry and its optional HTTP exporter.
+type server struct {
+	db     *tpcc.DB
+	engine *oltp.Engine
+	sched  *olap.Scheduler[*exec.Query, exec.Result]
+	dur    *checkpoint.State
+	reg    *obs.Registry
+	msrv   *obs.Server
+	ln     net.Listener
+}
+
 func main() {
-	var (
-		listen     = flag.String("listen", "127.0.0.1:7070", "address to serve")
-		warehouses = flag.Int("warehouses", 2, "warehouse count (bench scale)")
-		dataDir    = flag.String("data-dir", "", "durable data directory: segmented WAL + checkpoints + crash recovery (empty = no durability)")
-		walSync    = flag.Bool("wal-sync", false, "fsync the WAL on every group commit")
-		ckptVIDs   = flag.Uint64("checkpoint-vids", 50000, "checkpoint every N committed transactions")
-		segBytes   = flag.Int64("wal-segment-bytes", 16<<20, "WAL segment rotation threshold")
-		olapW      = flag.Int("olap-workers", 4, "analytical scan/build/apply worker count")
-		morsel     = flag.Int("morsel-tuples", 0, "scan morsel size in tuples (0 = default)")
-		zonemaps   = flag.Bool("zonemaps", true, "maintain per-block zone maps on the replica (morsel skipping for pushed-down predicates)")
-	)
+	var cfg serverConfig
+	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:7070", "address to serve")
+	flag.IntVar(&cfg.warehouses, "warehouses", 2, "warehouse count (bench scale)")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "durable data directory: segmented WAL + checkpoints + crash recovery (empty = no durability)")
+	flag.BoolVar(&cfg.walSync, "wal-sync", false, "fsync the WAL on every group commit")
+	flag.Uint64Var(&cfg.ckptVIDs, "checkpoint-vids", 50000, "checkpoint every N committed transactions")
+	flag.Int64Var(&cfg.segBytes, "wal-segment-bytes", 16<<20, "WAL segment rotation threshold")
+	flag.IntVar(&cfg.olapWorkers, "olap-workers", 4, "analytical scan/build/apply worker count")
+	flag.IntVar(&cfg.morsel, "morsel-tuples", 0, "scan morsel size in tuples (0 = default)")
+	flag.BoolVar(&cfg.zonemaps, "zonemaps", true, "maintain per-block zone maps on the replica (morsel skipping for pushed-down predicates)")
+	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "HTTP metrics endpoint address (/metrics + /healthz; empty = disabled)")
 	flag.Parse()
 
-	db := tpcc.NewDB(tpcc.BenchScale(*warehouses))
+	s, err := newServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving on %s", s.ln.Addr())
+	if s.msrv != nil {
+		log.Printf("metrics on http://%s/metrics", s.msrv.Addr())
+	}
+	s.serveLoop()
+}
+
+// newServer builds, recovers (data-dir mode), and starts a server. The
+// TCP listener is bound before return; serveLoop accepts connections.
+func newServer(cfg serverConfig) (*server, error) {
+	db := tpcc.NewDB(tpcc.BenchScale(cfg.warehouses))
 	seed := true
-	if *dataDir != "" {
-		has, err := checkpoint.DirHasCheckpoint(*dataDir)
+	if cfg.dataDir != "" {
+		has, err := checkpoint.DirHasCheckpoint(cfg.dataDir)
 		if err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
 		// A checkpoint replaces the seed: recovery restores it instead
 		// of regenerating TPC-C rows.
 		seed = !has
 	}
 	if seed {
-		log.Printf("loading TPC-C (%d warehouses)...", *warehouses)
+		log.Printf("loading TPC-C (%d warehouses)...", cfg.warehouses)
 		if err := tpcc.Generate(db, 1); err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
 	}
 	engine, err := oltp.New(db.Store, oltp.Config{
@@ -74,22 +120,22 @@ func main() {
 		FieldSpecific: true,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	tpcc.RegisterProcs(engine, db, false)
 	var dur *checkpoint.State
-	if *dataDir != "" {
+	if cfg.dataDir != "" {
 		st, info, err := checkpoint.Boot(engine, checkpoint.BootConfig{
-			Dir:          *dataDir,
-			Sync:         *walSync,
-			SegmentBytes: *segBytes,
+			Dir:          cfg.dataDir,
+			Sync:         cfg.walSync,
+			SegmentBytes: cfg.segBytes,
 		})
 		if err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
 		dur = st
 		if info.Fresh {
-			log.Printf("data-dir %s initialized", *dataDir)
+			log.Printf("data-dir %s initialized", cfg.dataDir)
 		} else {
 			log.Printf("recovered: checkpoint vid=%d, replayed %d commands in %v (fellback=%v), watermark=%d",
 				info.CheckpointVID, info.Replayed, info.ReplayTime, info.FellBack, info.WatermarkVID)
@@ -97,15 +143,15 @@ func main() {
 	}
 	rep, err := chbench.NewReplica(db, 8)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	engine.SetSink(rep)
-	rep.SetApplyWorkers(*olapW)
-	ex := exec.NewEngine(rep, *olapW)
-	if *morsel > 0 {
-		ex.MorselTuples = *morsel
+	rep.SetApplyWorkers(cfg.olapWorkers)
+	ex := exec.NewEngine(rep, cfg.olapWorkers)
+	if cfg.morsel > 0 {
+		ex.MorselTuples = cfg.morsel
 	}
-	if *zonemaps {
+	if cfg.zonemaps {
 		// Block size = morsel size, so block verdicts map one-to-one onto
 		// morsels. Columns activate lazily as queries push predicates on
 		// them (the scheduler's apply rounds pick up the requests).
@@ -119,32 +165,67 @@ func main() {
 	}
 	sched := olap.NewScheduler(rep, engine, ex.RunBatch)
 	ex.AttachStats(sched.Stats())
+
+	s := &server{db: db, engine: engine, sched: sched, dur: dur, reg: obs.NewRegistry()}
+	engine.RegisterMetrics(s.reg)
+	sched.RegisterMetrics(s.reg, obs.L("class", "chbench"))
+	if dur != nil {
+		obs.RegisterDurability(s.reg, dur.Stats())
+	}
+	if cfg.metricsAddr != "" {
+		msrv, err := obs.Serve(cfg.metricsAddr, s.reg)
+		if err != nil {
+			return nil, err
+		}
+		s.msrv = msrv
+	}
+
 	sched.Start()
 	engine.Start()
 	if dur != nil {
-		dur.StartRunner(engine, checkpoint.Policy{EveryVIDs: *ckptVIDs})
+		dur.StartRunner(engine, checkpoint.Policy{EveryVIDs: cfg.ckptVIDs})
 	}
-
-	ln, err := net.Listen("tcp", *listen)
+	ln, err := net.Listen("tcp", cfg.listen)
 	if err != nil {
-		log.Fatal(err)
+		s.close()
+		return nil, err
 	}
-	log.Printf("serving on %s", ln.Addr())
+	s.ln = ln
+	return s, nil
+}
+
+// serveLoop accepts client connections until the listener closes.
+func (s *server) serveLoop() {
 	for {
-		conn, err := ln.Accept()
+		conn, err := s.ln.Accept()
 		if err != nil {
-			log.Fatal(err)
+			return // listener closed
 		}
-		go serve(conn, db, engine, sched, dur)
+		go s.serve(conn)
 	}
 }
 
-func serve(conn net.Conn, db *tpcc.DB, engine *oltp.Engine,
-	sched *olap.Scheduler[*exec.Query, exec.Result], dur *checkpoint.State) {
+// close stops everything the server started, in dependency order.
+func (s *server) close() {
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	if s.msrv != nil {
+		s.msrv.Close()
+	}
+	if s.dur != nil {
+		s.dur.StopRunner()
+	}
+	s.sched.Close()
+	s.engine.Close()
+}
+
+func (s *server) serve(conn net.Conn) {
 	defer conn.Close()
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
-	gen := chbench.NewGen(db.Schemas, rng.Int63())
+	gen := chbench.NewGen(s.db.Schemas, rng.Int63())
 	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	out := bufio.NewWriter(conn)
 	defer out.Flush()
 	for sc.Scan() {
@@ -158,38 +239,32 @@ func serve(conn net.Conn, db *tpcc.DB, engine *oltp.Engine,
 			out.Flush()
 			return
 		case "STATS":
-			st := engine.Stats()
-			ss := sched.Stats()
-			fmt.Fprintf(out, "OK\tcommitted=%d aborted=%d conflicts=%d vid=%d"+
-				" exec_build=[%s] exec_scan=[%s] exec_merge=[%s]"+
-				" exec_blocks_scanned=%d exec_blocks_skipped=%d exec_tuples_pruned=%d\n",
-				st.Committed.Load(), st.Aborted.Load(), st.Conflicts.Load(), engine.LatestVID(),
-				ss.ExecBuildPrepare.Summary(), ss.ExecScan.Summary(), ss.ExecMerge.Summary(),
-				ss.ExecBlocksScanned.Load(), ss.ExecBlocksSkipped.Load(), ss.ExecTuplesPruned.Load())
+			// One line, rendered from the same registry /metrics serves.
+			fmt.Fprintf(out, "OK\t%s\n", s.reg.RenderLine())
 		case "NEWORDER":
 			w, d, c := argN(fields, 1, 1), argN(fields, 2, 1), argN(fields, 3, 1)
 			a := &tpcc.NewOrderArgs{WID: w, DID: d, CID: c, EntryD: time.Now().UnixNano()}
 			for i := 0; i < 5; i++ {
 				a.Lines = append(a.Lines, tpcc.OrderLineReq{
-					ItemID: 1 + rng.Int63n(int64(db.Scale.Items)), SupplyWID: w, Quantity: 1 + rng.Int63n(10),
+					ItemID: 1 + rng.Int63n(int64(s.db.Scale.Items)), SupplyWID: w, Quantity: 1 + rng.Int63n(10),
 				})
 			}
-			reply(out, engine.Exec(tpcc.ProcNewOrder, a.Encode()))
+			reply(out, s.engine.Exec(tpcc.ProcNewOrder, a.Encode()))
 		case "PAYMENT":
 			w, d := argN(fields, 1, 1), argN(fields, 2, 1)
 			amt := float64(argN(fields, 3, 100))
 			a := &tpcc.PaymentArgs{WID: w, DID: d, CWID: w, CDID: d,
-				CID: 1 + rng.Int63n(int64(db.Scale.CustomersPerDistrict)), Amount: amt, Date: time.Now().UnixNano()}
-			reply(out, engine.Exec(tpcc.ProcPayment, a.Encode()))
+				CID: 1 + rng.Int63n(int64(s.db.Scale.CustomersPerDistrict)), Amount: amt, Date: time.Now().UnixNano()}
+			reply(out, s.engine.Exec(tpcc.ProcPayment, a.Encode()))
 		case "DELIVERY":
 			a := &tpcc.DeliveryArgs{WID: argN(fields, 1, 1), CarrierID: 1 + rng.Int63n(10), Date: time.Now().UnixNano()}
-			reply(out, engine.Exec(tpcc.ProcDelivery, a.Encode()))
+			reply(out, s.engine.Exec(tpcc.ProcDelivery, a.Encode()))
 		case "CHECKPOINT":
-			if dur == nil {
+			if s.dur == nil {
 				fmt.Fprintln(out, "ERR\tno -data-dir configured")
 				break
 			}
-			info, err := dur.Checkpoint(engine)
+			info, err := s.dur.Checkpoint(s.engine)
 			switch {
 			case errors.Is(err, checkpoint.ErrNoProgress):
 				fmt.Fprintln(out, "OK\tno progress since last checkpoint")
@@ -204,7 +279,7 @@ func serve(conn net.Conn, db *tpcc.DB, engine *oltp.Engine,
 			if len(fields) > 1 {
 				name = strings.ToUpper(fields[1])
 			}
-			res, err := sched.Query(gen.ByName(name))
+			res, err := s.sched.Query(gen.ByName(name))
 			if err != nil || res.Err != nil {
 				fmt.Fprintf(out, "ERR\t%v%v\n", err, res.Err)
 				break

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"batchdb/internal/obs"
+)
+
+// startTestServer boots a small server on loopback ports and returns it
+// with a cleanup.
+func startTestServer(t *testing.T) *server {
+	t.Helper()
+	s, err := newServer(serverConfig{
+		listen:      "127.0.0.1:0",
+		warehouses:  1,
+		olapWorkers: 2,
+		zonemaps:    true,
+		metricsAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	go s.serveLoop()
+	t.Cleanup(s.close)
+	return s
+}
+
+// roundTrip sends one protocol line and returns the reply line.
+func roundTrip(t *testing.T, rw *bufio.ReadWriter, line string) string {
+	t.Helper()
+	if _, err := rw.WriteString(line + "\n"); err != nil {
+		t.Fatalf("write %q: %v", line, err)
+	}
+	if err := rw.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	reply, err := rw.ReadString('\n')
+	if err != nil {
+		t.Fatalf("read reply to %q: %v", line, err)
+	}
+	return strings.TrimRight(reply, "\n")
+}
+
+func dialServer(t *testing.T, s *server) (*bufio.ReadWriter, func()) {
+	t.Helper()
+	conn, err := net.Dial("tcp", s.ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	rw := bufio.NewReadWriter(bufio.NewReader(conn), bufio.NewWriter(conn))
+	return rw, func() { conn.Close() }
+}
+
+// TestServerMetricsEndToEnd drives a hybrid workload over the TCP
+// protocol and then verifies the /metrics scrape: valid Prometheus
+// text containing the freshness lag gauge, the OLAP batch latency
+// summary, and a committed-transaction count matching the load.
+func TestServerMetricsEndToEnd(t *testing.T) {
+	s := startTestServer(t)
+	rw, closeConn := dialServer(t, s)
+	defer closeConn()
+
+	committed := 0
+	for i := 0; i < 10; i++ {
+		r := roundTrip(t, rw, fmt.Sprintf("NEWORDER 1 %d %d", 1+i%10, 1+i))
+		if strings.HasPrefix(r, "OK\tvid=") {
+			committed++
+		} else if !strings.HasPrefix(r, "OK") && !strings.HasPrefix(r, "RETRY") {
+			t.Fatalf("NEWORDER: unexpected reply %q", r)
+		}
+		r = roundTrip(t, rw, "PAYMENT 1 1 42")
+		if strings.HasPrefix(r, "OK\tvid=") {
+			committed++
+		}
+	}
+	if committed == 0 {
+		t.Fatal("no transaction committed")
+	}
+	// An analytical query forces at least one batch through the
+	// scheduler (apply window + exec), so batch metrics have samples.
+	if r := roundTrip(t, rw, "QUERY Q10"); !strings.HasPrefix(r, "OK") {
+		t.Fatalf("QUERY: %q", r)
+	}
+
+	resp, err := http.Get("http://" + s.msrv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	samples, err := obs.ParsePrometheus(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape does not parse as Prometheus text: %v", err)
+	}
+
+	byName := map[string][]obs.ParsedSample{}
+	for _, sm := range samples {
+		byName[sm.Name] = append(byName[sm.Name], sm)
+	}
+	if _, ok := byName["batchdb_freshness_vid_lag"]; !ok {
+		t.Error("missing batchdb_freshness_vid_lag")
+	}
+	// The batch latency histogram exports as a summary: quantile
+	// samples plus _sum/_count.
+	quantiles := 0
+	for _, sm := range byName["batchdb_olap_batch_latency_ns"] {
+		for _, l := range sm.Labels {
+			if l.Key == "quantile" {
+				quantiles++
+			}
+		}
+	}
+	if quantiles < 3 {
+		t.Errorf("batchdb_olap_batch_latency_ns: %d quantile samples, want >= 3", quantiles)
+	}
+	if n := len(byName["batchdb_olap_batch_latency_ns_count"]); n == 0 {
+		t.Error("missing batchdb_olap_batch_latency_ns_count")
+	}
+	var gotCommitted float64
+	found := false
+	for _, sm := range byName["batchdb_oltp_txn_total"] {
+		for _, l := range sm.Labels {
+			if l.Key == "status" && l.Value == "committed" {
+				gotCommitted = sm.Value
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("missing batchdb_oltp_txn_total{status=\"committed\"}")
+	}
+	if int(gotCommitted) < committed {
+		t.Errorf("batchdb_oltp_txn_total{status=committed} = %v, want >= %d", gotCommitted, committed)
+	}
+
+	hr, err := http.Get("http://" + s.msrv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	body, _ := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz: status %d body %q", hr.StatusCode, body)
+	}
+}
+
+// TestServerStatsFromRegistry checks the STATS command renders the
+// unified registry (the same names /metrics exposes), not a bespoke
+// format.
+func TestServerStatsFromRegistry(t *testing.T) {
+	s := startTestServer(t)
+	rw, closeConn := dialServer(t, s)
+	defer closeConn()
+
+	if r := roundTrip(t, rw, "NEWORDER 1 1 1"); !strings.HasPrefix(r, "OK") && !strings.HasPrefix(r, "RETRY") {
+		t.Fatalf("NEWORDER: %q", r)
+	}
+	stats := roundTrip(t, rw, "STATS")
+	if !strings.HasPrefix(stats, "OK\t") {
+		t.Fatalf("STATS: %q", stats)
+	}
+	for _, want := range []string{
+		"batchdb_oltp_txn_total",
+		"batchdb_freshness_installed_vid",
+		"batchdb_olap_batches_total",
+	} {
+		if !strings.Contains(stats, want) {
+			t.Errorf("STATS output missing %s: %q", want, stats)
+		}
+	}
+	if r := roundTrip(t, rw, "QUIT"); r != "BYE" {
+		t.Fatalf("QUIT: %q", r)
+	}
+}
+
+// TestServerQueryReply exercises the analytical path: a named CH query
+// over a freshly loaded warehouse must return rows through the
+// batch-at-a-time scheduler.
+func TestServerQueryReply(t *testing.T) {
+	s := startTestServer(t)
+	rw, closeConn := dialServer(t, s)
+	defer closeConn()
+
+	// Commit something first so the apply window has a snapshot to
+	// install (freshness only advances past committed transactions).
+	// PAYMENT never rolls back, and a single connection cannot conflict.
+	if r := roundTrip(t, rw, "PAYMENT 1 1 42"); !strings.HasPrefix(r, "OK\tvid=") {
+		t.Fatalf("PAYMENT: %q", r)
+	}
+	for _, q := range []string{"Q10", "Q12"} {
+		r := roundTrip(t, rw, "QUERY "+q)
+		if !strings.HasPrefix(r, "OK\t"+q) {
+			t.Fatalf("QUERY %s: %q", q, r)
+		}
+	}
+	// Freshness should show an installed snapshot once a batch ran.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.sched.Freshness().InstalledVID() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if s.sched.Freshness().InstalledVID() == 0 {
+		t.Error("freshness tracker never observed a snapshot install")
+	}
+}

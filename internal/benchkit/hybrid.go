@@ -57,6 +57,13 @@ type HybridResult struct {
 	// Busy fractions of measured wall time (single host; Fig. 7c maps
 	// them onto the modeled sockets via resmodel).
 	OLTPBusyFrac, OLAPBusyFrac float64
+	// Freshness of the installed OLAP snapshot over the whole run:
+	// staleness percentiles sampled at each batch install and the
+	// highest watermark-minus-installed VID lag seen after warmup.
+	Queries       uint64
+	FreshStaleP50 time.Duration
+	FreshStaleP99 time.Duration
+	FreshLagHigh  int64
 	// TxnPerBusySec and QueriesPerBusyMin normalize throughput by the
 	// CPU time each component actually received — the dedicated-
 	// resources projection. On the paper's machine each replica owns
@@ -245,6 +252,9 @@ func RunHybrid(o HybridOpts) (HybridResult, error) {
 		olapBusy0 = schedStats.Busy.Busy()
 		applied0 = schedStats.AppliedEntries.Load()
 	}
+	if sched != nil {
+		sched.Freshness().ResetLagHigh() // measure the post-warmup peak only
+	}
 	close(measuring)
 	t0 := time.Now()
 	time.Sleep(o.Duration)
@@ -274,12 +284,18 @@ func RunHybrid(o HybridOpts) (HybridResult, error) {
 	}
 	if schedStats != nil {
 		r.Batches = schedStats.Batches.Load()
+		r.Queries = schedStats.Queries.Load()
 		r.AppliedEntries = schedStats.AppliedEntries.Load() - applied0
 		olapBusy := (schedStats.Busy.Busy() - olapBusy0).Seconds()
 		r.OLAPBusyFrac = olapBusy / elapsed.Seconds()
 		if olapBusy > 0 {
 			r.QueriesPerBusyMin = float64(qryCount.Load()) / (olapBusy / 60)
 		}
+		fresh := sched.Freshness()
+		hist := fresh.StalenessHistogram()
+		r.FreshStaleP50 = time.Duration(hist.Percentile(50))
+		r.FreshStaleP99 = time.Duration(hist.Percentile(99))
+		r.FreshLagHigh = fresh.LagHigh()
 	}
 	return r, nil
 }

@@ -142,6 +142,7 @@ func (st *State) Checkpoint(coord Coordinator) (Info, error) {
 	st.stats.LastCheckpointVID.Set(int64(w))
 	st.stats.LastCheckpointNanos.Set(int64(info.Elapsed))
 	st.stats.LastCheckpointBytes.Set(info.Bytes)
+	st.stats.LastCheckpointUnixNanos.Set(time.Now().UnixNano())
 	return info, nil
 }
 

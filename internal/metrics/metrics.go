@@ -60,17 +60,19 @@ func bucketValue(i int) int64 {
 	return base + int64(minor+1)*step - 1
 }
 
-// Record adds one sample.
+// Record adds one sample. The count is incremented last — it publishes
+// the sample, so a Snapshot whose bucket mass equals a stable count read
+// has seen every published sample's bucket increment.
 func (h *Histogram) Record(v int64) {
-	h.buckets[bucketIndex(v)].Add(1)
-	h.count.Add(1)
-	h.sum.Add(v)
 	for {
 		m := h.max.Load()
 		if v <= m || h.max.CompareAndSwap(m, v) {
 			break
 		}
 	}
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
 }
 
 // RecordSince records the elapsed time since start in nanoseconds.
@@ -79,37 +81,109 @@ func (h *Histogram) RecordSince(start time.Time) { h.Record(int64(time.Since(sta
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
-// Mean returns the arithmetic mean of the samples, or 0 if empty.
-func (h *Histogram) Mean() float64 {
-	c := h.count.Load()
-	if c == 0 {
+// Sum returns the sum of all recorded samples.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Snapshot is a coherent point-in-time copy of a Histogram: its Count
+// always equals the sum of its Buckets, so ranks computed from Count
+// can never run past the bucket mass (the incoherence a raw concurrent
+// read suffers from).
+type Snapshot struct {
+	Buckets [64 * 32]uint64
+	Count   uint64
+	Sum     int64
+	Max     int64
+	// Exact reports that the copy was taken in a quiescent instant
+	// (count stable across the bucket scan): Sum is then the exact
+	// sample sum. Otherwise Count/Buckets are still mutually coherent
+	// but Sum is reconstructed from bucket edges (<= ~3% relative
+	// error), keeping Mean inside the recorded value range.
+	Exact bool
+}
+
+// Snapshot takes a coherent copy. It retries a few times waiting for a
+// quiescent instant; under sustained concurrent recording it falls back
+// to bucket-derived totals, which are internally consistent by
+// construction.
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	for attempt := 0; ; attempt++ {
+		c1 := h.count.Load()
+		s.Sum = h.sum.Load()
+		s.Max = h.max.Load()
+		var total uint64
+		for i := range h.buckets {
+			v := h.buckets[i].Load()
+			s.Buckets[i] = v
+			total += v
+		}
+		if h.count.Load() == c1 && total == c1 {
+			s.Count = total
+			s.Exact = true
+			return s
+		}
+		if attempt >= 3 {
+			// Concurrent writers kept the counters moving: publish the
+			// bucket cut as the truth and reconstruct the sum from it.
+			s.Count = total
+			s.Sum = 0
+			for i, n := range s.Buckets {
+				if n > 0 {
+					s.Sum += int64(n) * bucketValue(i)
+				}
+			}
+			s.Exact = false
+			return s
+		}
+	}
+}
+
+// Mean returns the snapshot's arithmetic mean, or 0 if empty.
+func (s *Snapshot) Mean() float64 {
+	if s.Count == 0 {
 		return 0
 	}
-	return float64(h.sum.Load()) / float64(c)
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Percentile returns the value at quantile p in [0,100] — the upper
+// edge of the bucket containing the p-th sample of this snapshot.
+func (s *Snapshot) Percentile(p float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i := range s.Buckets {
+		seen += s.Buckets[i]
+		if seen >= rank {
+			return bucketValue(i)
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the arithmetic mean of the samples, or 0 if empty. It is
+// computed from one coherent snapshot, so concurrent Records cannot
+// pair a fresh sum with a stale count.
+func (h *Histogram) Mean() float64 {
+	s := h.Snapshot()
+	return s.Mean()
 }
 
 // Max returns the largest recorded sample.
 func (h *Histogram) Max() int64 { return h.max.Load() }
 
 // Percentile returns the value at quantile p in [0,100]. The result is
-// the upper edge of the bucket containing the p-th sample.
+// the upper edge of the bucket containing the p-th sample. The rank and
+// the bucket scan come from one coherent snapshot (see Snapshot), so a
+// concurrent Record can never make the rank run past the bucket mass.
 func (h *Histogram) Percentile(p float64) int64 {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	rank := uint64(math.Ceil(p / 100 * float64(total)))
-	if rank < 1 {
-		rank = 1
-	}
-	var seen uint64
-	for i := range h.buckets {
-		seen += h.buckets[i].Load()
-		if seen >= rank {
-			return bucketValue(i)
-		}
-	}
-	return h.max.Load()
+	s := h.Snapshot()
+	return s.Percentile(p)
 }
 
 // Reset clears the histogram. Not linearizable with concurrent Records;
@@ -123,29 +197,34 @@ func (h *Histogram) Reset() {
 	h.max.Store(0)
 }
 
-// Merge adds other's samples into h.
+// Merge adds other's samples into h, reading other through one coherent
+// snapshot so a concurrent Record on other cannot desynchronize the
+// merged count from the merged bucket mass.
 func (h *Histogram) Merge(other *Histogram) {
-	for i := range other.buckets {
-		if n := other.buckets[i].Load(); n > 0 {
+	s := other.Snapshot()
+	for i := range s.Buckets {
+		if n := s.Buckets[i]; n > 0 {
 			h.buckets[i].Add(n)
 		}
 	}
-	h.count.Add(other.count.Load())
-	h.sum.Add(other.sum.Load())
+	h.count.Add(s.Count)
+	h.sum.Add(s.Sum)
 	for {
-		m, o := h.max.Load(), other.max.Load()
-		if o <= m || h.max.CompareAndSwap(m, o) {
+		m := h.max.Load()
+		if s.Max <= m || h.max.CompareAndSwap(m, s.Max) {
 			break
 		}
 	}
 }
 
 // Summary formats count/mean/percentiles as milliseconds for reports.
+// All figures come from the same snapshot.
 func (h *Histogram) Summary() string {
+	s := h.Snapshot()
 	return fmt.Sprintf("n=%d mean=%.2fms p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms",
-		h.Count(), h.Mean()/1e6,
-		float64(h.Percentile(50))/1e6, float64(h.Percentile(90))/1e6,
-		float64(h.Percentile(99))/1e6, float64(h.Max())/1e6)
+		s.Count, s.Mean()/1e6,
+		float64(s.Percentile(50))/1e6, float64(s.Percentile(90))/1e6,
+		float64(s.Percentile(99))/1e6, float64(s.Max)/1e6)
 }
 
 // Counter is a concurrent event counter with windowed rate reporting.
@@ -190,12 +269,19 @@ type DurabilityStats struct {
 	LastCheckpointVID   Gauge
 	LastCheckpointNanos Gauge
 	LastCheckpointBytes Gauge
+	// LastCheckpointUnixNanos is the wall-clock completion time of the
+	// most recent checkpoint (UnixNano; 0 = none yet) — the input to
+	// the exported checkpoint-age gauge.
+	LastCheckpointUnixNanos Gauge
 	// WALAppendedBytes counts bytes group-committed into segments since
 	// open; WALSegments is the live segment count; SegmentsTruncated
 	// counts segments unlinked because a checkpoint superseded them.
 	WALAppendedBytes  Counter
 	WALSegments       Gauge
 	SegmentsTruncated Counter
+	// WALFsyncNanos measures each group-commit fsync (only recorded
+	// when the log runs with Sync enabled).
+	WALFsyncNanos Histogram
 	// Recovery* describe the last recovery: commands replayed from the
 	// WAL tail, time spent replaying, and how often the newest
 	// checkpoint failed verification and an older one was used.

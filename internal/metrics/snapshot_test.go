@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// A Snapshot taken while writers hammer Record must be internally
+// coherent: its Count equals its bucket mass, and percentiles/mean stay
+// inside the recorded value range. Before the snapshot rework,
+// Percentile read count and buckets independently and Mean paired a
+// fresh sum with a stale count — with all samples equal to v, the mean
+// could exceed v.
+func TestHistogramSnapshotCoherentUnderConcurrentRecord(t *testing.T) {
+	v := int64(123456)
+	lo, hi := int64(float64(v)*0.96), int64(float64(v)*1.04)
+
+	var h Histogram
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				h.Record(v)
+			}
+		}()
+	}
+
+	for i := 0; i < 2000; i++ {
+		s := h.Snapshot()
+		var mass uint64
+		for _, n := range s.Buckets {
+			mass += n
+		}
+		if mass != s.Count {
+			t.Fatalf("iteration %d: snapshot count %d != bucket mass %d", i, s.Count, mass)
+		}
+		if s.Count == 0 {
+			continue
+		}
+		for _, p := range []float64{0, 50, 90, 99, 100} {
+			if got := s.Percentile(p); got < lo || got > hi {
+				t.Fatalf("iteration %d: p%.0f = %d outside [%d, %d]", i, p, got, lo, hi)
+			}
+		}
+		if m := s.Mean(); m < float64(lo) || m > float64(hi) {
+			t.Fatalf("iteration %d: mean %f outside [%d, %d] (exact=%v)", i, m, lo, hi, s.Exact)
+		}
+		if got := h.Percentile(99); got < lo || got > hi {
+			t.Fatalf("iteration %d: Histogram.Percentile(99) = %d outside [%d, %d]", i, got, lo, hi)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	// Quiescent now: the snapshot must be exact and agree with the live
+	// accessors.
+	s := h.Snapshot()
+	if !s.Exact {
+		t.Fatal("quiescent snapshot not exact")
+	}
+	if s.Count != h.Count() || s.Sum != h.Sum() || s.Max != h.Max() {
+		t.Fatalf("quiescent snapshot (%d, %d, %d) != live (%d, %d, %d)",
+			s.Count, s.Sum, s.Max, h.Count(), h.Sum(), h.Max())
+	}
+	if s.Sum != int64(s.Count)*v {
+		t.Fatalf("exact sum %d != count %d * %d", s.Sum, s.Count, v)
+	}
+}
+
+// Merging a histogram that is being concurrently recorded into must
+// carry a coherent copy: merged count == merged bucket mass.
+func TestHistogramMergeCoherentUnderConcurrentRecord(t *testing.T) {
+	var src Histogram
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int64(1); !stop.Load(); i++ {
+			src.Record(i % 100000)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		var dst Histogram
+		dst.Merge(&src)
+		s := dst.Snapshot()
+		var mass uint64
+		for _, n := range s.Buckets {
+			mass += n
+		}
+		if mass != s.Count {
+			t.Fatalf("iteration %d: merged count %d != bucket mass %d", i, s.Count, mass)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}

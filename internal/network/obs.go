@@ -1,0 +1,31 @@
+package network
+
+import "batchdb/internal/obs"
+
+// Register exposes the transport counters through reg as registry
+// views.
+func (s *Stats) Register(reg *obs.Registry, labels ...obs.Label) {
+	with := func(extra ...obs.Label) []obs.Label {
+		return append(append([]obs.Label(nil), labels...), extra...)
+	}
+	reg.ObserveCounter("batchdb_net_msgs_total",
+		"Frames sent by path.", &s.EagerMsgs, with(obs.L("path", "eager"))...)
+	reg.ObserveCounter("batchdb_net_msgs_total",
+		"Frames sent by path.", &s.RendezvousMsgs, with(obs.L("path", "rendezvous"))...)
+	reg.ObserveCounter("batchdb_net_bytes_total",
+		"Payload bytes by direction.", &s.BytesSent, with(obs.L("dir", "sent"))...)
+	reg.ObserveCounter("batchdb_net_bytes_total",
+		"Payload bytes by direction.", &s.BytesReceived, with(obs.L("dir", "received"))...)
+	reg.ObserveCounter("batchdb_net_buffers_total",
+		"Frame buffers by origin.", &s.BuffersReused, with(obs.L("origin", "reused"))...)
+	reg.ObserveCounter("batchdb_net_buffers_total",
+		"Frame buffers by origin.", &s.BuffersAlloced, with(obs.L("origin", "alloced"))...)
+	reg.ObserveCounter("batchdb_net_dial_retries_total",
+		"Dial attempts beyond each first try.", &s.Retries, labels...)
+	reg.ObserveCounter("batchdb_net_dropped_grants_total",
+		"Rendezvous grants that arrived with no waiting sender.", &s.DroppedGrants, labels...)
+	reg.ObserveCounter("batchdb_net_grant_timeouts_total",
+		"Rendezvous handshakes abandoned on grant deadline.", &s.GrantTimeouts, labels...)
+	reg.ObserveCounter("batchdb_net_severed_total",
+		"Connections that transitioned to failed.", &s.Severed, labels...)
+}

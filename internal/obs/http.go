@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler returns an http.Handler serving the registry at /metrics in
+// Prometheus text format, with a trivial liveness probe at /healthz.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Server is a running metrics HTTP endpoint.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Serve starts an HTTP server for the registry on addr (e.g.
+// "127.0.0.1:9464"; use port 0 to pick a free port). It returns once
+// the listener is bound; serving continues in a background goroutine
+// until Close.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: Handler(r), ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln) // returns http.ErrServerClosed on Close
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and waits for the serve goroutine to exit.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}

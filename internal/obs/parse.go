@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParsedSample is one sample line decoded from Prometheus text
+// exposition, used by tests to validate the exporter round-trips.
+type ParsedSample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// ParsePrometheus decodes Prometheus text exposition format (the
+// subset WritePrometheus emits: # HELP/# TYPE comments and sample
+// lines without timestamps). It validates metric-name and label-key
+// charsets, label-value quoting/escapes, and that # TYPE precedes the
+// family's samples, returning an error on the first violation.
+func ParsePrometheus(r io.Reader) ([]ParsedSample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []ParsedSample
+	types := make(map[string]string)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && fields[1] == "TYPE" {
+				if !validName(fields[2]) {
+					return nil, fmt.Errorf("line %d: invalid metric name %q in TYPE", lineNo, fields[2])
+				}
+				if len(fields) < 4 {
+					return nil, fmt.Errorf("line %d: TYPE without a type", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "summary", "histogram", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+				}
+				if _, dup := types[fields[2]]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, fields[2])
+				}
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		base := s.Name
+		for _, suf := range []string{"_sum", "_count", "_bucket"} {
+			if t := strings.TrimSuffix(base, suf); t != base {
+				if ty := types[t]; ty == "summary" || ty == "histogram" {
+					base = t
+				}
+				break
+			}
+		}
+		if _, ok := types[base]; !ok {
+			return nil, fmt.Errorf("line %d: sample %q before its # TYPE", lineNo, s.Name)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseSampleLine(line string) (ParsedSample, error) {
+	var s ParsedSample
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var nameEnd int
+	if brace >= 0 {
+		nameEnd = brace
+	} else if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		nameEnd = sp
+	} else {
+		return s, fmt.Errorf("no value on sample line %q", line)
+	}
+	s.Name = rest[:nameEnd]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[nameEnd:]
+	if brace >= 0 {
+		var err error
+		s.Labels, rest, err = parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// A trailing timestamp is legal in the format; we don't emit one,
+	// so only the value field is expected.
+	valStr := rest
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		valStr = rest[:sp]
+	}
+	v, err := parseValue(valStr)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", valStr, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(v string) (float64, error) {
+	switch v {
+	case "+Inf", "Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	case "NaN":
+		return strconv.ParseFloat("NaN", 64)
+	}
+	return strconv.ParseFloat(v, 64)
+}
+
+// parseLabels decodes a {k="v",...} block (rest starts at '{') and
+// returns the labels plus the remainder of the line.
+func parseLabels(rest string) ([]Label, string, error) {
+	rest = rest[1:] // consume '{'
+	var labels []Label
+	for {
+		rest = strings.TrimLeft(rest, " ")
+		if strings.HasPrefix(rest, "}") {
+			return labels, rest[1:], nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, rest, fmt.Errorf("label without '=' near %q", rest)
+		}
+		key := strings.TrimSpace(rest[:eq])
+		if !validLabelKey(key) {
+			return nil, rest, fmt.Errorf("invalid label key %q", key)
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return nil, rest, fmt.Errorf("unquoted label value near %q", rest)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return nil, rest, fmt.Errorf("dangling escape in label value")
+				}
+				i++
+				switch rest[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, rest, fmt.Errorf("bad escape \\%c in label value", rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i >= len(rest) {
+			return nil, rest, fmt.Errorf("unterminated label value")
+		}
+		labels = append(labels, Label{Key: key, Value: val.String()})
+		rest = rest[i+1:]
+		rest = strings.TrimLeft(rest, " ")
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+			continue
+		}
+		if strings.HasPrefix(rest, "}") {
+			return labels, rest[1:], nil
+		}
+		return nil, rest, fmt.Errorf("expected ',' or '}' near %q", rest)
+	}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition format: backslash, double-quote and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func writeSample(w io.Writer, s Sample) error {
+	if len(s.Labels) == 0 {
+		_, err := fmt.Fprintf(w, "%s %s\n", s.Name, formatValue(s.Value))
+		return err
+	}
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, l := range s.Labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteString("} ")
+	b.WriteString(formatValue(s.Value))
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4): a # HELP and # TYPE line per
+// family followed by its samples, in registration order. Histograms
+// are rendered as summaries (quantile series plus _sum and _count).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.gather() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.samples {
+			if err := writeSample(w, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RenderLine flattens the whole registry onto one line —
+// name{labels}=value pairs separated by single spaces — for the
+// server's tab-framed STATS response. Values that are whole numbers
+// print without an exponent.
+func (r *Registry) RenderLine() string {
+	var b strings.Builder
+	for i, s := range r.Samples() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(s.Name)
+		if len(s.Labels) > 0 {
+			b.WriteByte('{')
+			for j, l := range s.Labels {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(l.Key)
+				b.WriteByte('=')
+				b.WriteString(l.Value)
+			}
+			b.WriteByte('}')
+		}
+		b.WriteByte('=')
+		b.WriteString(formatValue(s.Value))
+	}
+	return b.String()
+}

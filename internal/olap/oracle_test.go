@@ -1,0 +1,284 @@
+package olap_test
+
+// Snapshot-isolation oracle: a randomized hybrid workload where every
+// OLAP batch result is checked against a serial re-execution of the
+// committed transaction prefix at the batch's snapshot VID.
+//
+// The workload is a bank: accounts with balances, concurrent transfer
+// transactions through the real OLTP engine (MVCC, group commit,
+// update propagation), and analytical "audit" queries through the
+// batch-at-a-time scheduler over the propagated replica. Because every
+// pair of transfers touching a common account conflicts on its write
+// set (first-committer-wins), the committed history is serializable in
+// commit-VID order — so replaying the committed prefix with VID <= S
+// serially must reproduce, exactly, the balances an OLAP batch at
+// snapshot S observed. Any torn batch (updates applied past the
+// snapshot, or missing committed updates below it) breaks the
+// equality.
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"batchdb/internal/mvcc"
+	"batchdb/internal/olap"
+	"batchdb/internal/oltp"
+	"batchdb/internal/storage"
+)
+
+const (
+	oracleAccounts = 32
+	oracleInitBal  = 1000
+)
+
+// op is one committed transaction as the clients observed it.
+type op struct {
+	vid      uint64
+	insert   bool // seed insert of account `from` with balance `amt`
+	from, to int64
+	amt      int64
+}
+
+// audit is one OLAP batch observation: the snapshot VID and the full
+// balance map the scan saw.
+type audit struct {
+	snap uint64
+	bals map[int64]int64
+}
+
+func accountSchema() *storage.Schema {
+	return storage.NewSchema(1, "account", []storage.Column{
+		{Name: "id", Type: storage.Int64},
+		{Name: "bal", Type: storage.Int64},
+	}, []int{0})
+}
+
+func transferArgs(from, to, amt int64) []byte {
+	b := make([]byte, 24)
+	binary.LittleEndian.PutUint64(b, uint64(from))
+	binary.LittleEndian.PutUint64(b[8:], uint64(to))
+	binary.LittleEndian.PutUint64(b[16:], uint64(amt))
+	return b
+}
+
+func TestSnapshotIsolationOracle(t *testing.T) {
+	schema := accountSchema()
+	store := mvcc.NewStore()
+	tbl := store.CreateTable(schema, func(tup []byte) uint64 {
+		return uint64(schema.GetInt64(tup, 0))
+	}, 1024)
+
+	engine, err := oltp.New(store, oltp.Config{Workers: 4, PushPeriod: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Register("seed", func(tx *mvcc.Txn, args []byte) ([]byte, error) {
+		id := int64(binary.LittleEndian.Uint64(args))
+		bal := int64(binary.LittleEndian.Uint64(args[8:]))
+		tup := schema.NewTuple()
+		schema.PutInt64(tup, 0, id)
+		schema.PutInt64(tup, 1, bal)
+		_, err := tx.Insert(tbl, tup)
+		return nil, err
+	})
+	engine.Register("transfer", func(tx *mvcc.Txn, args []byte) ([]byte, error) {
+		from := int64(binary.LittleEndian.Uint64(args))
+		to := int64(binary.LittleEndian.Uint64(args[8:]))
+		amt := int64(binary.LittleEndian.Uint64(args[16:]))
+		if err := tx.Update(tbl, uint64(from), []int{1}, func(tup []byte) {
+			schema.PutInt64(tup, 1, schema.GetInt64(tup, 1)-amt)
+		}); err != nil {
+			return nil, err
+		}
+		return nil, tx.Update(tbl, uint64(to), []int{1}, func(tup []byte) {
+			schema.PutInt64(tup, 1, schema.GetInt64(tup, 1)+amt)
+		})
+	})
+
+	rep := olap.NewReplica(4)
+	rep.CreateTable(schema, 256)
+	engine.SetSink(rep)
+
+	// The analytical query: scan the replica's account table and return
+	// the complete balance map the snapshot exposes.
+	runBatch := func(queries []int, snap uint64) []audit {
+		bals := make(map[int64]int64)
+		for _, p := range rep.Table(1).Partitions {
+			p.Scan(func(_ uint64, tup []byte) bool {
+				bals[schema.GetInt64(tup, 0)] = schema.GetInt64(tup, 1)
+				return true
+			})
+		}
+		out := make([]audit, len(queries))
+		for i := range out {
+			out[i] = audit{snap: snap, bals: bals}
+		}
+		return out
+	}
+	sched := olap.NewScheduler(rep, engine, runBatch)
+
+	engine.Start()
+	defer engine.Close()
+	sched.Start()
+	defer sched.Close()
+
+	var logMu sync.Mutex
+	var committed []op
+
+	// Seed through the transactional path so the oracle's serial replay
+	// covers the whole history from an empty database.
+	for id := int64(1); id <= oracleAccounts; id++ {
+		r := engine.Exec("seed", transferArgs(id, oracleInitBal, 0))
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		committed = append(committed, op{vid: r.CommitVID, insert: true, from: id, amt: oracleInitBal})
+	}
+
+	const (
+		writers        = 4
+		txnsPerWriter  = 150
+		auditInterval  = 2 * time.Millisecond
+		conflictBudget = 100
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < txnsPerWriter; i++ {
+				from := 1 + rng.Int63n(oracleAccounts)
+				to := 1 + rng.Int63n(oracleAccounts-1)
+				if to >= from {
+					to++
+				}
+				amt := 1 + rng.Int63n(50)
+				var r oltp.Response
+				for try := 0; ; try++ {
+					r = engine.Exec("transfer", transferArgs(from, to, amt))
+					if !errors.Is(r.Err, mvcc.ErrConflict) {
+						break
+					}
+					if try > conflictBudget {
+						errCh <- r.Err
+						return
+					}
+				}
+				if r.Err != nil {
+					errCh <- r.Err
+					return
+				}
+				logMu.Lock()
+				committed = append(committed, op{vid: r.CommitVID, from: from, to: to, amt: amt})
+				logMu.Unlock()
+			}
+		}(int64(w + 1))
+	}
+
+	// Concurrent audits: each exercises a fresh snapshot install while
+	// transfers race with the apply windows.
+	var audits []audit
+	stopAudits := make(chan struct{})
+	auditDone := make(chan struct{})
+	go func() {
+		defer close(auditDone)
+		for {
+			select {
+			case <-stopAudits:
+				return
+			default:
+			}
+			a, err := sched.Query(0)
+			if err != nil {
+				return
+			}
+			audits = append(audits, a)
+			time.Sleep(auditInterval)
+		}
+	}()
+
+	wg.Wait()
+	close(stopAudits)
+	<-auditDone
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	// One final audit with every transfer committed.
+	final, err := sched.Query(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	audits = append(audits, final)
+
+	logMu.Lock()
+	history := append([]op(nil), committed...)
+	logMu.Unlock()
+	sortOps(history)
+	for i := 1; i < len(history); i++ {
+		if history[i].vid == history[i-1].vid {
+			t.Fatalf("duplicate commit VID %d", history[i].vid)
+		}
+	}
+
+	// The oracle: serial replay of the committed prefix at each audit's
+	// snapshot VID must reproduce the audited balances exactly.
+	distinct := map[uint64]bool{}
+	for _, a := range audits {
+		distinct[a.snap] = true
+		want := replaySerial(history, a.snap)
+		if len(a.bals) != len(want) {
+			t.Fatalf("snapshot %d: audit saw %d accounts, serial replay has %d",
+				a.snap, len(a.bals), len(want))
+		}
+		var total int64
+		for id, bal := range a.bals {
+			if wb, ok := want[id]; !ok || wb != bal {
+				t.Fatalf("snapshot %d: account %d = %d, serial replay says %d",
+					a.snap, id, bal, want[id])
+			}
+			total += bal
+		}
+		if len(a.bals) == oracleAccounts && total != oracleAccounts*oracleInitBal {
+			t.Fatalf("snapshot %d: total balance %d, want %d (money not conserved)",
+				a.snap, total, oracleAccounts*oracleInitBal)
+		}
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("oracle exercised only %d distinct snapshots", len(distinct))
+	}
+	if final.snap < history[len(history)-1].vid {
+		t.Fatalf("final audit snapshot %d below last commit %d", final.snap, history[len(history)-1].vid)
+	}
+}
+
+// replaySerial re-executes the committed prefix with vid <= snap in
+// commit order, from an empty database.
+func replaySerial(history []op, snap uint64) map[int64]int64 {
+	bals := make(map[int64]int64)
+	for _, o := range history {
+		if o.vid > snap {
+			break
+		}
+		if o.insert {
+			bals[o.from] = o.amt
+			continue
+		}
+		bals[o.from] -= o.amt
+		bals[o.to] += o.amt
+	}
+	return bals
+}
+
+func sortOps(ops []op) {
+	sort.Slice(ops, func(i, j int) bool { return ops[i].vid < ops[j].vid })
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"batchdb/internal/metrics"
+	"batchdb/internal/obs"
 )
 
 // Primary is the OLAP dispatcher's view of the transactional component:
@@ -80,6 +81,10 @@ type Scheduler[Q, R any] struct {
 	maxBatch  int
 
 	stats SchedulerStats
+	// fresh tracks snapshot-VID lag and wall-clock staleness across the
+	// loop's sync/apply rounds (paper §3.2 bounded staleness; the HTAP
+	// freshness-lag metric).
+	fresh *obs.Freshness
 
 	// lastApply records the most recent apply round's stats for
 	// inspection by benchmarks (Table 1). Written by the dispatcher
@@ -105,11 +110,15 @@ func NewScheduler[Q, R any](replica *Replica, primary Primary, run RunBatchFunc[
 		closing:  make(chan struct{}),
 		closed:   make(chan struct{}),
 		maxBatch: 8192,
+		fresh:    obs.NewFreshness(),
 	}
 }
 
 // Stats returns the scheduler's counters.
 func (s *Scheduler[Q, R]) Stats() *SchedulerStats { return &s.stats }
+
+// Freshness returns the scheduler's snapshot-freshness tracker.
+func (s *Scheduler[Q, R]) Freshness() *obs.Freshness { return s.fresh }
 
 // LastApply returns the statistics of the most recent update-application
 // round.
@@ -177,6 +186,13 @@ func (s *Scheduler[Q, R]) loop() {
 		// propagated updates up to it.
 		t0 := time.Now()
 		target := s.primary.SyncUpdates()
+		confirmed := true
+		if fc, ok := s.primary.(FreshnessConfirmer); ok {
+			confirmed = fc.FreshSync()
+		}
+		// Observed before the apply so the lag high-watermark captures the
+		// pre-apply backlog (e.g. the spike right after a reconnect).
+		s.fresh.ObserveWatermark(target, confirmed)
 		st, err := s.replica.ApplyPending(target)
 		s.stats.ApplyTime.RecordSince(t0)
 		s.applyMu.Lock()
@@ -187,6 +203,7 @@ func (s *Scheduler[Q, R]) loop() {
 			// Replica divergence is unrecoverable; surface loudly.
 			panic(err)
 		}
+		s.fresh.ObserveInstall(s.replica.AppliedVID())
 
 		// Execute the whole batch as one read-only transaction on the
 		// (single) latest snapshot.

@@ -1,0 +1,37 @@
+package oltp
+
+import "batchdb/internal/obs"
+
+// Register exposes the engine's counters through reg as registry views
+// (the struct stays the live storage; the registry reads it).
+func (s *Stats) Register(reg *obs.Registry, labels ...obs.Label) {
+	with := func(extra ...obs.Label) []obs.Label {
+		return append(append([]obs.Label(nil), labels...), extra...)
+	}
+	reg.ObserveCounter("batchdb_oltp_txn_total",
+		"Stored-procedure calls by outcome.", &s.Committed, with(obs.L("status", "committed"))...)
+	reg.ObserveCounter("batchdb_oltp_txn_total",
+		"Stored-procedure calls by outcome.", &s.Aborted, with(obs.L("status", "aborted"))...)
+	reg.ObserveCounter("batchdb_oltp_txn_total",
+		"Stored-procedure calls by outcome.", &s.Conflicts, with(obs.L("status", "conflict"))...)
+	reg.ObserveHistogram("batchdb_oltp_txn_latency_ns",
+		"Queue + execution time per transaction (nanoseconds).", &s.Latency, labels...)
+	reg.ObserveCounter("batchdb_oltp_group_commit_total",
+		"Dispatcher batches (one group commit each).", &s.Batches, labels...)
+	reg.ObserveCounter("batchdb_oltp_pushes_total",
+		"Update-log pushes to the OLAP sink.", &s.Pushes, labels...)
+	reg.ObserveCounter("batchdb_oltp_pushed_tuples_total",
+		"Tuple updates propagated to the OLAP sink.", &s.PushedTuples, labels...)
+	reg.GaugeFunc("batchdb_oltp_busy_seconds",
+		"Cumulative worker busy time (seconds).",
+		func() float64 { return s.Busy.Busy().Seconds() }, labels...)
+}
+
+// RegisterMetrics registers the engine's counters plus its live commit
+// watermark through reg.
+func (e *Engine) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	e.stats.Register(reg, labels...)
+	reg.GaugeFunc("batchdb_oltp_watermark_vid",
+		"Primary committed snapshot watermark.",
+		func() float64 { return float64(e.LatestVID()) }, labels...)
+}

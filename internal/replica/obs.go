@@ -1,0 +1,34 @@
+package replica
+
+import "batchdb/internal/obs"
+
+// Register exposes the robustness counters through reg as registry
+// views.
+func (s *Stats) Register(reg *obs.Registry, labels ...obs.Label) {
+	reg.ObserveCounter("batchdb_replica_reconnects_total",
+		"Connections re-established after a loss.", &s.Reconnects, labels...)
+	reg.ObserveCounter("batchdb_replica_resyncs_total",
+		"Snapshot resyncs staged after a reconnect.", &s.Resyncs, labels...)
+	reg.GaugeFunc("batchdb_replica_degraded_seconds",
+		"Cumulative time spent without a live connection to the primary.",
+		func() float64 { return s.Degraded.Busy().Seconds() }, labels...)
+}
+
+// RegisterMetrics exposes the supervisor's robustness counters, its
+// transport counters, and its live connection state through reg.
+func (s *Supervisor) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	s.stats.Register(reg, labels...)
+	s.netStats.Register(reg, labels...)
+	reg.GaugeFunc("batchdb_replica_connected",
+		"1 when a live, bootstrapped connection to the primary exists.",
+		func() float64 {
+			if s.Status().Connected {
+				return 1
+			}
+			return 0
+		}, labels...)
+}
+
+// QueueDepth returns the number of frames queued in the publisher's
+// bounded send queue — propagation backpressure toward one replica.
+func (p *Publisher) QueueDepth() int { return len(p.out) }

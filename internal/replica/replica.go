@@ -313,6 +313,10 @@ type Client struct {
 
 	syncMu    sync.Mutex // serializes sync round trips
 	syncReply chan uint64
+	// syncLive records whether the most recent SyncUpdates round-tripped
+	// to the primary (false when it fell back to the covered VID because
+	// the connection died mid-sync). Feeds the freshness tracker.
+	syncLive atomic.Bool
 
 	bootDone chan uint64
 	bootOnce sync.Once
@@ -491,14 +495,21 @@ func (c *Client) SyncUpdates() uint64 {
 	c.syncMu.Lock()
 	defer c.syncMu.Unlock()
 	if err := c.conn.Send(msgSync, nil); err != nil {
+		c.syncLive.Store(false)
 		return c.replica.Covered()
 	}
 	select {
 	case v := <-c.syncReply:
+		c.syncLive.Store(true)
 		return v
 	case <-c.done:
 		// Connection lost: fall back to what we already hold so the
 		// OLAP dispatcher keeps serving (stale but consistent data).
+		c.syncLive.Store(false)
 		return c.replica.Covered()
 	}
 }
+
+// FreshSync reports whether the most recent SyncUpdates round-tripped
+// to the primary.
+func (c *Client) FreshSync() bool { return c.syncLive.Load() }

@@ -150,6 +150,17 @@ func (s *Supervisor) SyncUpdates() uint64 {
 	return cli.SyncUpdates() // falls back itself if the conn dies mid-sync
 }
 
+// FreshSync implements olap.FreshnessConfirmer: it reports whether the
+// most recent SyncUpdates answer came from a live exchange with the
+// primary (false while degraded, when SyncUpdates falls back to the
+// replica's own covered VID).
+func (s *Supervisor) FreshSync() bool {
+	s.mu.Lock()
+	cli := s.cur
+	s.mu.Unlock()
+	return cli != nil && cli.FreshSync()
+}
+
 // Status reports the channel's current health.
 func (s *Supervisor) Status() Status {
 	s.mu.Lock()

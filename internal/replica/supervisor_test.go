@@ -22,7 +22,9 @@ type servedCluster struct {
 	addr   string
 }
 
-func newServedCluster(t *testing.T) *servedCluster {
+// newPutEngine builds a started-but-unserved primary: a kv table and a
+// "put" procedure over a fresh MVCC store.
+func newPutEngine(t *testing.T) (*oltp.Engine, *storage.Schema) {
 	t.Helper()
 	schema := storage.NewSchema(1, "kv", []storage.Column{
 		{Name: "k", Type: storage.Int64},
@@ -43,29 +45,39 @@ func newServedCluster(t *testing.T) *servedCluster {
 		_, err := tx.Insert(tbl, tup)
 		return nil, err
 	})
+	return engine, schema
+}
+
+// serveReplicaConns runs the primary-side accept loop for replica
+// connections on l, mirroring the root API's ServeReplicas.
+func serveReplicaConns(engine *oltp.Engine, l *network.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		pub := NewPublisher(conn, engine)
+		engine.AddSink(pub)
+		go func() {
+			pub.Serve()
+			engine.RemoveSink(pub)
+		}()
+		go func() {
+			if _, err := ShipSnapshot(conn, engine.Store(), []storage.TableID{1}, 64); err != nil {
+				conn.Close()
+			}
+		}()
+	}
+}
+
+func newServedCluster(t *testing.T) *servedCluster {
+	t.Helper()
+	engine, schema := newPutEngine(t)
 	l, err := network.Listen("127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	go func() {
-		for {
-			conn, err := l.Accept()
-			if err != nil {
-				return
-			}
-			pub := NewPublisher(conn, engine)
-			engine.AddSink(pub)
-			go func() {
-				pub.Serve()
-				engine.RemoveSink(pub)
-			}()
-			go func() {
-				if _, err := ShipSnapshot(conn, engine.Store(), []storage.TableID{1}, 64); err != nil {
-					conn.Close()
-				}
-			}()
-		}
-	}()
+	go serveReplicaConns(engine, l)
 	engine.Start()
 	t.Cleanup(func() {
 		l.Close()

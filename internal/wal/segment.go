@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"batchdb/internal/crash"
 	"batchdb/internal/metrics"
@@ -251,7 +252,14 @@ func (m *Manager) Commit() error {
 		if err := m.inj.Hit(crash.WALSync); err != nil {
 			return err
 		}
-		return m.f.Sync()
+		t0 := time.Now()
+		if err := m.f.Sync(); err != nil {
+			return err
+		}
+		if m.st != nil {
+			m.st.WALFsyncNanos.RecordSince(t0)
+		}
+		return nil
 	}
 	return nil
 }

@@ -4,8 +4,11 @@ import (
 	"errors"
 	"time"
 
+	"fmt"
+
 	"batchdb/internal/metrics"
 	"batchdb/internal/network"
+	"batchdb/internal/obs"
 	"batchdb/internal/olap"
 	"batchdb/internal/olap/exec"
 	"batchdb/internal/replica"
@@ -20,6 +23,17 @@ type ReplicaServerStats struct {
 	// Disconnects counts replica connections that ended (including
 	// replicas severed for lagging behind the publisher queue).
 	Disconnects metrics.Counter
+}
+
+// Register exposes the replica-serving counters through reg as registry
+// views.
+func (s *ReplicaServerStats) Register(reg *obs.Registry, labels ...obs.Label) {
+	reg.ObserveGauge("batchdb_replica_server_active",
+		"Currently connected replica nodes.", &s.Active, labels...)
+	reg.ObserveCounter("batchdb_replica_server_served_total",
+		"Replica connections accepted since ServeReplicas.", &s.Served, labels...)
+	reg.ObserveCounter("batchdb_replica_server_disconnects_total",
+		"Replica connections that ended.", &s.Disconnects, labels...)
 }
 
 // ServeReplicas makes the primary accept remote OLAP replica nodes on
@@ -45,7 +59,22 @@ func (db *DB) ServeReplicas(addr string) (string, error) {
 	if db.repConns == nil {
 		db.repConns = make(map[*network.Conn]struct{})
 	}
+	if db.repPubs == nil {
+		db.repPubs = make(map[*network.Conn]*replica.Publisher)
+	}
 	db.repMu.Unlock()
+	db.repSrv.Register(db.reg)
+	db.reg.GaugeFunc("batchdb_replica_send_queue_depth",
+		"Frames queued across all replica publishers (propagation backpressure).",
+		func() float64 {
+			db.repMu.Lock()
+			defer db.repMu.Unlock()
+			n := 0
+			for _, pub := range db.repPubs {
+				n += pub.QueueDepth()
+			}
+			return float64(n)
+		})
 	var analytical []TableID
 	for _, t := range db.order {
 		if t.opts.Analytical {
@@ -67,9 +96,10 @@ func (db *DB) ServeReplicas(addr string) (string, error) {
 				conn.Close()
 				continue
 			}
-			db.repConns[conn] = struct{}{}
-			db.repMu.Unlock()
 			pub := replica.NewPublisher(conn, db.engine)
+			db.repConns[conn] = struct{}{}
+			db.repPubs[conn] = pub
+			db.repMu.Unlock()
 			// Attach the feed before snapshotting so the replica's VID
 			// floor covers the gap (no loss, no double apply).
 			db.engine.AddSink(pub)
@@ -82,6 +112,7 @@ func (db *DB) ServeReplicas(addr string) (string, error) {
 				db.engine.RemoveSink(pub)
 				db.repMu.Lock()
 				delete(db.repConns, conn)
+				delete(db.repPubs, conn)
 				db.repMu.Unlock()
 				db.repSrv.Active.Add(-1)
 				db.repSrv.Disconnects.Inc()
@@ -153,6 +184,11 @@ func (db *DB) AttachWorkloadReplica(workers, partitions int) (*WorkloadReplica, 
 	}
 	w.sched = olap.NewScheduler[*Query, Result](rep, db.engine, w.execE.RunBatch)
 	w.execE.AttachStats(w.sched.Stats())
+	db.repMu.Lock()
+	db.wrSeq++
+	class := fmt.Sprintf("workload-%d", db.wrSeq)
+	db.repMu.Unlock()
+	w.sched.RegisterMetrics(db.reg, obs.L("class", class))
 	w.sched.Start()
 	return w, nil
 }
@@ -200,6 +236,9 @@ type ReplicaNodeConfig struct {
 	// Fault, when non-nil, is installed on every connection the node
 	// establishes — deterministic fault injection for tests and drills.
 	Fault network.FaultPolicy
+	// Metrics, when non-nil, receives the node's dispatcher, freshness,
+	// supervisor, and transport instruments (labelled class="remote").
+	Metrics *obs.Registry
 }
 
 // ReplicaNode is a remote analytical replica: it bootstraps from a
@@ -267,6 +306,10 @@ func ConnectReplica(primaryAddr string, cfg ReplicaNodeConfig, tables []ReplicaT
 	}
 	n.sched = olap.NewScheduler[*Query, Result](rep, sup, n.execE.RunBatch)
 	n.execE.AttachStats(n.sched.Stats())
+	if cfg.Metrics != nil {
+		n.sched.RegisterMetrics(cfg.Metrics, obs.L("class", "remote"))
+		sup.RegisterMetrics(cfg.Metrics, obs.L("class", "remote"))
+	}
 	n.sched.Start()
 	return n, nil
 }
