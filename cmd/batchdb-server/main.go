@@ -54,6 +54,7 @@ type serverConfig struct {
 	olapWorkers int
 	morsel      int
 	zonemaps    bool
+	compress    bool
 	metricsAddr string
 }
 
@@ -80,6 +81,7 @@ func main() {
 	flag.IntVar(&cfg.olapWorkers, "olap-workers", 4, "analytical scan/build/apply worker count")
 	flag.IntVar(&cfg.morsel, "morsel-tuples", 0, "scan morsel size in tuples (0 = default)")
 	flag.BoolVar(&cfg.zonemaps, "zonemaps", true, "maintain per-block zone maps on the replica (morsel skipping for pushed-down predicates)")
+	flag.BoolVar(&cfg.compress, "compress", true, "maintain per-block encoded column vectors on the replica (vectorized predicate kernels; requires -zonemaps)")
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "HTTP metrics endpoint address (/metrics + /healthz; empty = disabled)")
 	flag.Parse()
 
@@ -160,8 +162,14 @@ func newServer(cfg serverConfig) (*server, error) {
 			mt = exec.DefaultMorselTuples
 		}
 		rep.EnableZoneMaps(mt)
+		if cfg.compress {
+			rep.EnableCompression()
+		} else {
+			ex.DisableVectorized = true
+		}
 	} else {
 		ex.DisablePruning = true
+		ex.DisableVectorized = true
 	}
 	sched := olap.NewScheduler(rep, engine, ex.RunBatch)
 	ex.AttachStats(sched.Stats())

@@ -1,0 +1,413 @@
+package benchkit
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"batchdb/internal/chbench"
+	"batchdb/internal/mvcc"
+	"batchdb/internal/olap"
+	"batchdb/internal/olap/exec"
+	"batchdb/internal/oltp"
+	"batchdb/internal/storage"
+	"batchdb/internal/tpcc"
+)
+
+// CompressOpts parameterizes the compressed-block benchmark: a CH-scale
+// snapshot freshened through the update pipeline, then shared scans
+// whose predicates zone maps cannot disprove (ol_quantity is 1..10 in
+// every block) run with the vectorized encoded-domain kernels on vs
+// off, and a warm ApplyPending round timed with and without per-block
+// re-encoding.
+type CompressOpts struct {
+	Scale      tpcc.Scale
+	Partitions int
+	// Workers is the engine worker count of the sweep scans.
+	Workers int
+	// Reps is the timed repetitions per cell (best-of).
+	Reps int
+	// MorselTuples sets the morsel, zone-map block and encoded-block
+	// size (they share the block grid).
+	MorselTuples int
+	// AppendOrders freshens the snapshot through the apply pipeline so
+	// the timed warm round re-encodes dirtied blocks, not nothing.
+	AppendOrders int
+	OLTPWorkers  int
+	Seed         int64
+}
+
+// CompressPoint is one query cell of the sweep: the same scan evaluated
+// by the encoded-domain bitmap kernels vs per-tuple comparisons on the
+// identical replica (zone maps active in both; the predicates are
+// chosen so they cannot prune and the vectors decide every tuple).
+type CompressPoint struct {
+	Name string `json:"name"`
+	// Selectivity is matched rows / live driver rows, measured.
+	Selectivity float64 `json:"selectivity"`
+	Rows        int     `json:"rows"`
+	// WallVecNS / WallScalarNS are best-of-reps scan times with the
+	// vectorized kernels enabled / disabled.
+	WallVecNS    int64   `json:"wall_vec_ns"`
+	WallScalarNS int64   `json:"wall_scalar_ns"`
+	Speedup      float64 `json:"speedup"`
+	// BlocksVectorized / BlocksScanned are the dispatch counts of one
+	// vectorized run: morsels answered from bitmaps vs all scanned
+	// morsels (the gap is mixed/stale/unencodable fallbacks).
+	BlocksVectorized int64   `json:"blocks_vectorized"`
+	BlocksScanned    int64   `json:"blocks_scanned"`
+	VecFrac          float64 `json:"vec_frac"`
+}
+
+// CompressColStat reports the encoded footprint of one synopsis-active
+// column: how many of its blocks chose each encoding and the byte
+// ratio. None blocks declined honestly (encoding would not have saved
+// >=1/8) and fall back to raw scans.
+type CompressColStat struct {
+	Table        string  `json:"table"`
+	Column       string  `json:"column"`
+	Blocks       int     `json:"blocks"`
+	RawBytes     int64   `json:"raw_bytes"`
+	EncodedBytes int64   `json:"encoded_bytes"`
+	Ratio        float64 `json:"ratio"`
+	NoneBlocks   int     `json:"none_blocks"`
+	ForBlocks    int     `json:"for_blocks"`
+	DictBlocks   int     `json:"dict_blocks"`
+	RleBlocks    int     `json:"rle_blocks"`
+}
+
+// CompressSummary is the JSON record written to BENCH_COMPRESS.json.
+type CompressSummary struct {
+	GOMAXPROCS   int    `json:"gomaxprocs"`
+	NumCPU       int    `json:"num_cpu"`
+	Note         string `json:"note"`
+	Warehouses   int    `json:"warehouses"`
+	Partitions   int    `json:"partitions"`
+	Workers      int    `json:"workers"`
+	MorselTuples int    `json:"morsel_tuples"`
+	OrderLines   int    `json:"order_lines"`
+
+	Sweep   []CompressPoint   `json:"sweep"`
+	Columns []CompressColStat `json:"columns"`
+
+	// ApplyWarmOnNSPerEntry / ApplyWarmOffNSPerEntry time the same warm
+	// ApplyPending round (identical captured stream, equal workers) on a
+	// compressed replica vs a zone-mapped-only one (best over the
+	// pairs); OverheadFrac is the median over pairs of the per-pair
+	// on/off ratio minus one — the re-encoding cost the <=15% budget
+	// bounds, on top of zone-map maintenance.
+	ApplyWarmOnNSPerEntry  float64 `json:"apply_warm_on_ns_per_entry"`
+	ApplyWarmOffNSPerEntry float64 `json:"apply_warm_off_ns_per_entry"`
+	ApplyOverheadFrac      float64 `json:"apply_overhead_frac"`
+}
+
+// RunCompress measures what the per-block encoded vectors buy on scans
+// zone maps cannot help with, and what maintaining them costs in the
+// quiesced apply windows.
+func RunCompress(o CompressOpts) (*CompressSummary, error) {
+	if o.Scale.Warehouses == 0 {
+		o.Scale = tpcc.BenchScale(4)
+	}
+	if o.Partitions <= 0 {
+		o.Partitions = 8
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.Reps <= 0 {
+		o.Reps = 5
+	}
+	if o.MorselTuples <= 0 {
+		o.MorselTuples = 1024
+	}
+	if o.AppendOrders <= 0 {
+		o.AppendOrders = o.Scale.Warehouses * o.Scale.DistrictsPerWarehouse *
+			o.Scale.InitialOrdersPerDistrict / 10
+	}
+	if o.OLTPWorkers <= 0 {
+		o.OLTPWorkers = 4
+	}
+
+	db := tpcc.NewDB(o.Scale)
+	if err := tpcc.Generate(db, o.Seed); err != nil {
+		return nil, err
+	}
+	// Pairs of replicas for the warm-apply comparison: both maintain
+	// zone maps (that cost is priced in BENCH_PRUNE.json); only the "on"
+	// side re-encodes dirty blocks, so the ratio isolates the
+	// compression increment. repsOn[0] hosts the scan sweep.
+	const applyPairs = 4
+	var repsOn, repsOff []*olap.Replica
+	for i := 0; i < applyPairs; i++ {
+		rOn, err := chbench.NewReplica(db, o.Partitions)
+		if err != nil {
+			return nil, err
+		}
+		rOn.EnableZoneMaps(o.MorselTuples)
+		rOn.EnableCompression()
+		rOff, err := chbench.NewReplica(db, o.Partitions)
+		if err != nil {
+			return nil, err
+		}
+		rOff.EnableZoneMaps(o.MorselTuples)
+		repsOn, repsOff = append(repsOn, rOn), append(repsOff, rOff)
+	}
+	repOn := repsOn[0]
+
+	// Freshen the snapshot through the OLTP engine so the timed warm
+	// round has dirty blocks to re-encode; deliveries patch delivery
+	// dates, dirtying already-encoded blocks (the re-encode path), not
+	// just appending fresh ones.
+	sink := &pushCapture{}
+	e, err := oltp.New(db.Store, oltp.Config{
+		Workers: o.OLTPWorkers, PushPeriod: time.Hour,
+		Replicated: tpcc.ReplicatedTables(), FieldSpecific: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tpcc.RegisterProcs(e, db, false)
+	e.SetSink(sink)
+	e.Start()
+	drv := tpcc.NewDriver(db.Scale, o.Seed+1)
+	newOrders := func(n int) error {
+		for i := 0; i < n; i++ {
+			a := drv.NewOrder()
+			for {
+				r := e.Exec(tpcc.ProcNewOrder, a.Encode())
+				if r.Err == nil || errors.Is(r.Err, tpcc.ErrRollback) {
+					break
+				}
+				if !errors.Is(r.Err, mvcc.ErrConflict) {
+					return r.Err
+				}
+			}
+		}
+		return nil
+	}
+	if err := newOrders(o.AppendOrders / 2); err != nil {
+		e.Close()
+		return nil, err
+	}
+	e.SyncUpdates()
+	if err := newOrders(o.AppendOrders - o.AppendOrders/2); err != nil {
+		e.Close()
+		return nil, err
+	}
+	for w := int64(1); w <= int64(o.Scale.Warehouses); w++ {
+		for i := 0; i < 10; i++ {
+			d := &tpcc.DeliveryArgs{WID: w, CarrierID: 1, Date: tpcc.LoadEpoch + int64(time.Hour)}
+			r := e.Exec(tpcc.ProcDelivery, d.Encode())
+			if r.Err != nil && !errors.Is(r.Err, mvcc.ErrConflict) {
+				e.Close()
+				return nil, r.Err
+			}
+		}
+	}
+	e.SyncUpdates()
+	e.Close()
+	if len(sink.pushes) < 2 {
+		return nil, fmt.Errorf("benchkit: compress capture has %d pushes, need 2", len(sink.pushes))
+	}
+
+	sum := &CompressSummary{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Note: "sweep scans order_line with predicates on ol_quantity (5 in every initially " +
+			"loaded line, 1..10 uniform in appended ones, so blocks mixing both defeat zone-map " +
+			"pruning and the encoded-domain kernels decide the tuples) plus one all-pass cell " +
+			"where vectorization can only add overhead. Speedup tracks selectivity: selective " +
+			"cells touch only bitmap survivors, the all-pass cell materializes everything " +
+			"anyway. Warm-apply overhead is re-encoding on top of zone-map maintenance (both " +
+			"sides maintain zone maps); it is all re-encode CPU, so on a single-core host it " +
+			"lands on the apply wall in full, while multi-core hosts overlap it across " +
+			"partition apply workers",
+		Warehouses: o.Scale.Warehouses, Partitions: o.Partitions,
+		Workers: o.Workers, MorselTuples: o.MorselTuples,
+	}
+
+	// The workload's steady-state synopsis set (same as the pruning
+	// bench): sweep and CH predicates filter quantity, o_id, delivery
+	// dates and carrier. Encoded vectors cover exactly these columns.
+	for _, rep := range append(append([]*olap.Replica{}, repsOn...), repsOff...) {
+		rep.Table(tpcc.TOrderLine).RequestSynopses([]olap.ColRange{
+			{Col: tpcc.OLOID}, {Col: tpcc.OLDeliveryD}, {Col: tpcc.OLQuantity},
+		})
+		rep.Table(tpcc.TOrder).RequestSynopses([]olap.ColRange{{Col: tpcc.OCarrierID}})
+		rep.ActivateSynopses()
+	}
+
+	// Warm-apply cost: identical stream, interleaved on/off rounds, GC
+	// fenced, median of per-pair ratios (see RunPrune for rationale).
+	warm := func(rep *olap.Replica) (float64, error) {
+		a, aUpTo := sink.prefix(1)
+		rep.SetApplyWorkers(o.Workers)
+		rep.ApplyUpdates(a, aUpTo)
+		if _, err := rep.ApplyPending(aUpTo); err != nil {
+			return 0, err
+		}
+		rep.ApplyUpdates(sink.suffix(1), sink.upTo)
+		runtime.GC()
+		t0 := time.Now()
+		st, err := rep.ApplyPending(sink.upTo)
+		wall := time.Since(t0)
+		if err != nil {
+			return 0, err
+		}
+		if st.Entries == 0 {
+			return 0, fmt.Errorf("benchkit: warm apply round had no entries")
+		}
+		return float64(wall) / float64(st.Entries), nil
+	}
+	var ratios []float64
+	for i := 0; i < applyPairs; i++ {
+		var on, off float64
+		var err error
+		if i%2 == 0 {
+			on, err = warm(repsOn[i])
+			if err == nil {
+				off, err = warm(repsOff[i])
+			}
+		} else {
+			off, err = warm(repsOff[i])
+			if err == nil {
+				on, err = warm(repsOn[i])
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: compress warm apply: %w", err)
+		}
+		ratios = append(ratios, on/off)
+		if sum.ApplyWarmOnNSPerEntry == 0 || on < sum.ApplyWarmOnNSPerEntry {
+			sum.ApplyWarmOnNSPerEntry = on
+		}
+		if sum.ApplyWarmOffNSPerEntry == 0 || off < sum.ApplyWarmOffNSPerEntry {
+			sum.ApplyWarmOffNSPerEntry = off
+		}
+	}
+	sort.Float64s(ratios)
+	sum.ApplyOverheadFrac = ratios[len(ratios)/2] - 1
+	if len(ratios)%2 == 0 {
+		sum.ApplyOverheadFrac = (ratios[len(ratios)/2-1]+ratios[len(ratios)/2])/2 - 1
+	}
+
+	live := repOn.Table(tpcc.TOrderLine).Live()
+	sum.OrderLines = live
+
+	eng := exec.NewEngine(repOn, o.Workers)
+	eng.MorselTuples = o.MorselTuples
+	var stats olap.SchedulerStats
+	eng.AttachStats(&stats)
+
+	ols := db.Schemas.OrderLine
+	sumAmount := exec.AggSpec{Kind: exec.Sum, Value: func(d []byte, _ [][]byte) float64 {
+		return ols.GetFloat64(d, tpcc.OLAmount)
+	}}
+	cells := []struct {
+		name  string
+		where []exec.Pred
+	}{
+		// ol_quantity is 5 in every initially loaded line and uniform
+		// 1..10 only in appended ones, so qty=5 passes most tuples while
+		// the {2,7,9} membership and <=3 interval cells select only
+		// appended lines — dictionary membership and FOR-offset interval
+		// kernels at very different selectivities.
+		{"qty=5", []exec.Pred{exec.CmpInt(tpcc.OLQuantity, exec.EQ, 5)}},
+		{"qty in {2,7,9}", []exec.Pred{exec.InInt(tpcc.OLQuantity, 2, 7, 9)}},
+		{"qty<=3", []exec.Pred{exec.CmpInt(tpcc.OLQuantity, exec.LE, 3)}},
+		// Conjunction: both columns must vectorize for the bitmap path.
+		{"qty=5 & delivered", []exec.Pred{
+			exec.CmpInt(tpcc.OLQuantity, exec.EQ, 5),
+			exec.CmpInt(tpcc.OLDeliveryD, exec.GE, 1),
+		}},
+		// All-pass: every tuple survives the bitmap, so this cell prices
+		// pure kernel overhead (speedup ~1 or slightly below is honest).
+		{"qty>=1 (all)", []exec.Pred{exec.CmpInt(tpcc.OLQuantity, exec.GE, 1)}},
+	}
+	for _, c := range cells {
+		q := &exec.Query{
+			Name:   c.name,
+			Driver: tpcc.TOrderLine,
+			Where:  c.where,
+			Aggs:   []exec.AggSpec{{Kind: exec.Count}, sumAmount},
+		}
+		run := func(disable bool) (exec.Result, time.Duration, error) {
+			eng.DisableVectorized = disable
+			res := eng.RunBatch([]*exec.Query{q}, 0) // warmup + result capture
+			if res[0].Err != nil {
+				return res[0], 0, res[0].Err
+			}
+			wall := bestOf(o.Reps, func() error {
+				return eng.RunBatch([]*exec.Query{q}, 0)[0].Err
+			})
+			if wall < 0 {
+				return res[0], 0, fmt.Errorf("benchkit: compress scan failed")
+			}
+			return res[0], wall, nil
+		}
+		// One counted run for the dispatch stats, outside the timing.
+		v0, s0 := stats.ExecBlocksVectorized.Load(), stats.ExecBlocksScanned.Load()
+		eng.DisableVectorized = false
+		if r := eng.RunBatch([]*exec.Query{q}, 0); r[0].Err != nil {
+			return nil, r[0].Err
+		}
+		vectorized := int64(stats.ExecBlocksVectorized.Load() - v0)
+		scanned := int64(stats.ExecBlocksScanned.Load() - s0)
+
+		resVec, wallVec, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		resScalar, wallScalar, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		if resVec.Rows != resScalar.Rows || !aggsClose(resVec.Values, resScalar.Values) {
+			return nil, fmt.Errorf("benchkit: vectorization changed %s results: %d/%v vs %d/%v",
+				q.Name, resVec.Rows, resVec.Values, resScalar.Rows, resScalar.Values)
+		}
+		pt := CompressPoint{
+			Name: c.name, Rows: int(resVec.Rows),
+			Selectivity:      float64(resVec.Rows) / float64(live),
+			WallVecNS:        int64(wallVec),
+			WallScalarNS:     int64(wallScalar),
+			BlocksVectorized: vectorized,
+			BlocksScanned:    scanned,
+		}
+		if wallVec > 0 {
+			pt.Speedup = float64(wallScalar) / float64(wallVec)
+		}
+		if scanned > 0 {
+			pt.VecFrac = float64(vectorized) / float64(scanned)
+		}
+		sum.Sweep = append(sum.Sweep, pt)
+	}
+
+	// Per-column encoded footprints of the active synopsis set.
+	for _, tc := range []struct {
+		name string
+		id   storage.TableID
+	}{{"order_line", tpcc.TOrderLine}, {"order", tpcc.TOrder}} {
+		tbl := repOn.Table(tc.id)
+		for _, cc := range tbl.CompressionStats() {
+			cs := CompressColStat{
+				Table:        tc.name,
+				Column:       tbl.Schema.Columns[cc.Col].Name,
+				Blocks:       cc.Blocks,
+				RawBytes:     cc.RawBytes,
+				EncodedBytes: cc.EncodedBytes,
+				NoneBlocks:   cc.Kinds[0],
+				ForBlocks:    cc.Kinds[1],
+				DictBlocks:   cc.Kinds[2],
+				RleBlocks:    cc.Kinds[3],
+			}
+			if cc.RawBytes > 0 {
+				cs.Ratio = float64(cc.EncodedBytes) / float64(cc.RawBytes)
+			}
+			sum.Columns = append(sum.Columns, cs)
+		}
+	}
+	return sum, nil
+}

@@ -520,6 +520,12 @@ func (c *colReplica) apply(batches []proplog.Batch) (s1, s2, s3 time.Duration, n
 						break
 					}
 				}
+				// Re-encode blocks this round staled, inside the same
+				// quiesced per-partition window (a no-op when the column
+				// replica runs uncompressed).
+				if aerr == nil {
+					p.ReencodeDirty()
+				}
 				d := time.Since(t)
 				mu.Lock()
 				s3 += d

@@ -32,6 +32,10 @@ func TestPruningParityAcrossWorkers(t *testing.T) {
 	}
 	const morsel = 512 // small blocks: many verdicts per partition
 	rep.EnableZoneMaps(morsel)
+	// Encoded vectors ride along: the pruning-on engines below also
+	// vectorize, so this parity run covers compressed execution too
+	// (the DisablePruning reference stays tuple-at-a-time on raw rows).
+	rep.EnableCompression()
 
 	e, err := oltp.New(db.Store, oltp.Config{
 		Workers: 2, PushPeriod: time.Hour,

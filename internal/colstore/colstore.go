@@ -20,6 +20,18 @@ import (
 // column c lives at i*width(c) in slab c. Like olap.Partition it is
 // unsynchronized: BatchDB's batch scheduling guarantees exclusive
 // access phases.
+//
+// Contract: Partition intentionally mirrors olap.Partition's
+// storage-op surface — Insert / UpdateField / PatchSlot / Locate /
+// Delete / Get / Live / Slots / Scan / ScanRange — with identical
+// error semantics (RowID 0 reserved as the tombstone sentinel,
+// duplicate inserts rejected, patches to dead slots rejected). The
+// shared conformance suite in internal/storetest runs against both
+// implementations so the two layouts cannot drift; extend it when
+// extending either surface. Per-block encoded vectors live in
+// compress.go (the column layout's counterpart of olap's zone-map-
+// attached vectors; colstore has no zone maps, so encoding covers all
+// numeric columns eagerly).
 type Partition struct {
 	schema *storage.Schema
 	// cols[c] is the slab for column c.
@@ -34,6 +46,10 @@ type Partition struct {
 	free   []int32
 	index  map[uint64]int32
 	live   int
+
+	// enc holds the optional per-block encoded column vectors
+	// (compress.go); nil when compression is disabled.
+	enc *colEnc
 }
 
 // NewPartition creates an empty column-oriented partition.
@@ -59,6 +75,11 @@ func NewPartition(schema *storage.Schema, capacityHint int) *Partition {
 
 // Insert decomposes a row-format tuple into the column slabs.
 func (p *Partition) Insert(rowID uint64, tuple []byte) error {
+	if rowID == 0 {
+		// RowID 0 is the tombstone sentinel: a row stored under it would
+		// be counted live and indexed yet invisible to every scan.
+		return fmt.Errorf("colstore: insert of reserved RowID 0")
+	}
 	if _, dup := p.index[rowID]; dup {
 		return fmt.Errorf("colstore: duplicate insert of RowID %d", rowID)
 	}
@@ -81,6 +102,9 @@ func (p *Partition) Insert(rowID uint64, tuple []byte) error {
 	}
 	p.index[rowID] = slot
 	p.live++
+	if p.enc != nil {
+		p.enc.markStale(int(slot), len(p.rowIDs))
+	}
 	return nil
 }
 
@@ -101,11 +125,20 @@ func (p *Partition) UpdateField(rowID uint64, offset uint32, data []byte) error 
 	return p.PatchSlot(slot, offset, data)
 }
 
-// PatchSlot applies a row-format byte patch to an already-located slot.
+// PatchSlot applies a row-format byte patch to an already-located
+// slot. The slot must hold a live tuple: patching a tombstoned or
+// free-listed slot would silently corrupt whatever tuple later
+// recycles it, so it is rejected.
 func (p *Partition) PatchSlot(slot int32, offset uint32, data []byte) error {
+	if slot < 0 || int(slot) >= len(p.rowIDs) || p.rowIDs[slot] == 0 {
+		return fmt.Errorf("colstore: patch of dead slot %d", slot)
+	}
 	end := int(offset) + len(data)
 	if end > p.schema.TupleSize() {
 		return fmt.Errorf("colstore: update beyond tuple bounds (offset %d, size %d)", offset, len(data))
+	}
+	if p.enc != nil {
+		p.markStaleIfOverlap(int(slot), int(offset), end)
 	}
 	for c := range p.cols {
 		cs, ce := p.starts[c], p.starts[c]+p.widths[c]
@@ -153,6 +186,14 @@ func (p *Partition) Get(rowID uint64) ([]byte, bool) {
 // space a morsel dispatcher cuts into ranges.
 func (p *Partition) Slots() int { return len(p.rowIDs) }
 
+// Scan visits every live tuple, mirroring olap.Partition.Scan. The
+// callback receives the RowID and the row-format tuple reassembled
+// into a scratch buffer that is reused between callbacks — do not
+// retain it. Returning false stops the scan.
+func (p *Partition) Scan(fn func(rowID uint64, tuple []byte) bool) {
+	p.ScanRange(0, len(p.rowIDs), fn)
+}
+
 // ScanRange visits every live tuple in the slot range [lo, hi), clamped
 // to the allocated slots, mirroring olap.Partition.ScanRange so
 // morsel-driven dispatch works over the column layout too. The tuple is
@@ -194,18 +235,4 @@ func (p *Partition) ScanColumn(col int, fn func(rowID uint64, field []byte) bool
 			return
 		}
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

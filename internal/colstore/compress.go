@@ -1,0 +1,319 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+
+	"batchdb/internal/encoding"
+	"batchdb/internal/storage"
+)
+
+// Per-block encoded slabs for the column layout — the colstore
+// counterpart of olap's zone-map-attached vectors (olap/compress.go).
+//
+// Each numeric column's slab is shadowed, block by block, with an
+// encoded vector over the column's order-preserving keys (dictionary /
+// frame-of-reference / RLE, chosen by internal/encoding's stats pass).
+// The slab remains the source of truth: vectors only serve FilterBlocks,
+// which turns an interval-plus-IN-set predicate into an exact selection
+// bitmap without touching the slab. colstore has no lazy synopsis
+// activation, so encoding covers every numeric column eagerly.
+//
+// Maintenance follows the same exclusive-phase rule as the rest of the
+// package: inserts and overlapping patches mark a block stale, deletes
+// do not (the slab bytes — and hence the vector — are unchanged, and
+// dead slots' verdicts are don't-cares skipped at materialization),
+// and ReencodeDirty rebuilds stale blocks in the quiesced apply
+// window.
+type colEnc struct {
+	block int
+	shift uint
+	// cols lists the encoded (numeric) column ordinals; colPos maps a
+	// schema ordinal to its index in cols, -1 when not encoded.
+	cols   []int
+	colPos []int
+	// vecs[b*len(cols)+ci] is block b's vector for cols[ci]; nil when
+	// the block-column did not encode profitably.
+	vecs     []*encoding.Vector
+	stale    []bool
+	anyStale bool
+
+	vals []int64
+	sc   encoding.Scratch
+}
+
+// EnableCompression attaches per-block encoded vectors covering every
+// numeric column, with blockTuples slots per block (rounded down to a
+// power of two, minimum 64 so selection bitmaps stay word-aligned).
+// Must run in a quiesced window; all blocks start stale and are built
+// by the next ReencodeDirty.
+func (p *Partition) EnableCompression(blockTuples int) {
+	cols := p.schema.NumericColumns()
+	if blockTuples < 64 || len(cols) == 0 {
+		p.enc = nil
+		return
+	}
+	shift := uint(bits.Len(uint(blockTuples))) - 1
+	e := &colEnc{block: 1 << shift, shift: shift, cols: cols,
+		colPos: make([]int, len(p.schema.Columns))}
+	for i := range e.colPos {
+		e.colPos[i] = -1
+	}
+	for ci, c := range cols {
+		e.colPos[c] = ci
+	}
+	p.enc = e
+	e.grow(len(p.rowIDs))
+}
+
+// Compressed reports whether the partition carries encoded vectors.
+func (p *Partition) Compressed() bool { return p.enc != nil }
+
+// grow extends the per-block arrays to cover nslots slots; new blocks
+// start stale.
+func (e *colEnc) grow(nslots int) {
+	need := (nslots + e.block - 1) >> e.shift
+	for len(e.stale) < need {
+		e.stale = append(e.stale, true)
+		e.anyStale = true
+		for range e.cols {
+			e.vecs = append(e.vecs, nil)
+		}
+	}
+}
+
+func (e *colEnc) markStale(slot, nslots int) {
+	e.grow(nslots)
+	b := slot >> e.shift
+	e.stale[b] = true
+	e.anyStale = true
+}
+
+// markStaleIfOverlap flags the slot's block only when the row-format
+// patch range [lo, hi) overlaps an encoded column — patches confined
+// to string columns never invalidate vectors.
+func (p *Partition) markStaleIfOverlap(slot, lo, hi int) {
+	e := p.enc
+	for _, c := range e.cols {
+		if p.starts[c]+p.widths[c] > lo && p.starts[c] < hi {
+			e.markStale(slot, len(p.rowIDs))
+			return
+		}
+	}
+}
+
+// ordKey decodes slot i of encoded column ci into the order-preserving
+// key space (mirrors storage.Schema.OrdKey over slab bytes).
+func (p *Partition) ordKey(ci, i int) int64 {
+	col := p.enc.cols[ci]
+	w := p.widths[col]
+	field := p.cols[col][i*w:]
+	switch p.schema.Columns[col].Type {
+	case storage.Int32:
+		return int64(int32(binary.LittleEndian.Uint32(field)))
+	case storage.Float64:
+		return storage.OrdKeyFloat64(math.Float64frombits(binary.LittleEndian.Uint64(field)))
+	default: // Int64, Time
+		return int64(binary.LittleEndian.Uint64(field))
+	}
+}
+
+// blockSlots clamps block b's slot range to the allocated slots.
+func (p *Partition) blockSlots(b int) (lo, hi int) {
+	lo = b << p.enc.shift
+	hi = min(lo+p.enc.block, len(p.rowIDs))
+	return lo, hi
+}
+
+// ReencodeDirty rebuilds the encoded vectors of every stale block.
+// The column replica's apply loop calls it per partition inside the
+// quiesced window (after the round's entries are in), so scans never
+// see a stale vector.
+func (p *Partition) ReencodeDirty() {
+	e := p.enc
+	if e == nil || !e.anyStale {
+		return
+	}
+	for b, s := range e.stale {
+		if !s {
+			continue
+		}
+		p.encodeBlock(b)
+		e.stale[b] = false
+	}
+	e.anyStale = false
+}
+
+// encodeBlock rebuilds all of block b's vectors from the slabs. Dead
+// slots are encoded as the block's live minimum — their filter
+// verdicts are don't-cares — so tombstones cost no encoding width.
+func (p *Partition) encodeBlock(b int) {
+	e := p.enc
+	lo, hi := p.blockSlots(b)
+	base := b * len(e.cols)
+	if cap(e.vals) < hi-lo {
+		e.vals = make([]int64, hi-lo)
+	}
+	vals := e.vals[:hi-lo]
+	for ci, col := range e.cols {
+		live := 0
+		minV := int64(math.MaxInt64)
+		for i := lo; i < hi; i++ {
+			if p.rowIDs[i] == 0 {
+				continue
+			}
+			k := p.ordKey(ci, i)
+			vals[i-lo] = k
+			live++
+			if k < minV {
+				minV = k
+			}
+		}
+		if live == 0 {
+			e.vecs[base+ci] = nil
+			continue
+		}
+		for i := lo; i < hi; i++ {
+			if p.rowIDs[i] == 0 {
+				vals[i-lo] = minV
+			}
+		}
+		rawBits := 64
+		if p.schema.Columns[col].Type == storage.Int32 {
+			rawBits = 32
+		}
+		e.vecs[base+ci] = encoding.Encode(vals, rawBits, &e.sc)
+	}
+}
+
+// FilterBlocks evaluates `keyLo <= col <= keyHi && (set == nil || col
+// IN set)` over the slot range [lo, hi) directly on the encoded
+// vectors, writing the exact selection bitmap into sel (bit i ↔ slot
+// lo+i, dead slots don't-care; set sorted ascending). It returns false
+// — leaving sel undefined — when the encoded path cannot serve the
+// range exactly (compression disabled, misaligned range, stale block,
+// non-encoded column or block), in which case the caller scans the
+// slab tuple-at-a-time. sel must hold at least ceil((hi-lo)/64) words.
+func (p *Partition) FilterBlocks(lo, hi, col int, keyLo, keyHi int64, set []int64, sel []uint64) bool {
+	e := p.enc
+	if e == nil || col < 0 || col >= len(e.colPos) || e.colPos[col] < 0 {
+		return false
+	}
+	ci := e.colPos[col]
+	if hi > len(p.rowIDs) {
+		hi = len(p.rowIDs)
+	}
+	if lo < 0 || lo >= hi || lo&(e.block-1) != 0 {
+		return false
+	}
+	if hi&(e.block-1) != 0 && hi != len(p.rowIDs) {
+		return false
+	}
+	for b := lo >> e.shift; b<<e.shift < hi; b++ {
+		if e.stale[b] {
+			return false
+		}
+		if hasLive := e.vecs[b*len(e.cols)+ci] != nil; !hasLive {
+			// nil vector means either an all-dead block (fine: zero it) or
+			// an incompressible one (fallback). Disambiguate by scanning
+			// rowIDs — cheap relative to the slab scan being avoided.
+			blo, bhi := p.blockSlots(b)
+			for i := blo; i < bhi; i++ {
+				if p.rowIDs[i] != 0 {
+					return false
+				}
+			}
+		}
+	}
+	for b := lo >> e.shift; b<<e.shift < hi; b++ {
+		blo, bhi := p.blockSlots(b)
+		words := sel[(blo-lo)>>6 : (blo-lo)>>6+(bhi-blo+63)>>6]
+		v := e.vecs[b*len(e.cols)+ci]
+		if v == nil {
+			for i := range words {
+				words[i] = 0
+			}
+			continue
+		}
+		for i := range words {
+			words[i] = ^uint64(0)
+		}
+		v.FilterAnd(words, keyLo, keyHi, set)
+	}
+	return true
+}
+
+// ScanSelected visits live tuples in [lo, hi) whose bit is set in sel
+// (bit i ↔ slot lo+i; nil sel visits all), reassembling each into a
+// reused row-format scratch buffer — the materialization step after
+// FilterBlocks. The callback contract matches ScanRange, with the slot
+// offset relative to lo prepended.
+func (p *Partition) ScanSelected(lo, hi int, sel []uint64, fn func(off int, rowID uint64, tuple []byte) bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(p.rowIDs) {
+		hi = len(p.rowIDs)
+	}
+	tup := p.schema.NewTuple()
+	emit := func(i int) bool {
+		rid := p.rowIDs[i]
+		if rid == 0 {
+			return true
+		}
+		for c := range p.cols {
+			w := p.widths[c]
+			copy(tup[p.starts[c]:], p.cols[c][i*w:(i+1)*w])
+		}
+		return fn(i-lo, rid, tup)
+	}
+	if sel == nil {
+		for i := lo; i < hi; i++ {
+			if !emit(i) {
+				return
+			}
+		}
+		return
+	}
+	for wi, m := range sel {
+		for m != 0 {
+			j := bits.TrailingZeros64(m)
+			m &= m - 1
+			i := lo + wi<<6 + j
+			if i >= hi {
+				return
+			}
+			if !emit(i) {
+				return
+			}
+		}
+	}
+}
+
+// CompressedBytes reports the raw and encoded footprint of the encoded
+// columns (blocks that did not encode count raw on both sides), the
+// compression-ratio input of the compress benchmark.
+func (p *Partition) CompressedBytes() (raw, encoded int64) {
+	e := p.enc
+	if e == nil {
+		return 0, 0
+	}
+	for ci, col := range e.cols {
+		w := int64(p.widths[col])
+		for b := range e.stale {
+			lo, hi := p.blockSlots(b)
+			if hi == lo {
+				continue
+			}
+			rb := int64(hi-lo) * w
+			raw += rb
+			if v := e.vecs[b*len(e.cols)+ci]; v != nil && !e.stale[b] {
+				encoded += int64(v.EncodedBytes())
+			} else {
+				encoded += rb
+			}
+		}
+	}
+	return raw, encoded
+}

@@ -1,0 +1,72 @@
+package colstore
+
+import (
+	"testing"
+
+	"batchdb/internal/storetest"
+)
+
+// TestStoreConformance runs the shared partition conformance suite
+// (internal/storetest) against the column layout, bare and with encoded
+// vectors. The same suite runs against olap.Partition, pinning the two
+// layouts to one contract.
+func TestStoreConformance(t *testing.T) {
+	configs := []struct {
+		name string
+		mk   func() storetest.Store
+	}{
+		{"Bare", func() storetest.Store {
+			return NewPartition(storetest.Schema(), 16)
+		}},
+		{"Compressed", func() storetest.Store {
+			p := NewPartition(storetest.Schema(), 16)
+			p.EnableCompression(64)
+			return p
+		}},
+	}
+	for _, c := range configs {
+		t.Run(c.name, func(t *testing.T) { storetest.Run(t, c.mk) })
+	}
+}
+
+// TestInsertReservedRowID pins the tombstone-sentinel fix: RowID 0 is
+// how tombstones are marked in rowIDs, so inserting under it would
+// create a live-counted, indexed, yet scan-invisible row.
+func TestInsertReservedRowID(t *testing.T) {
+	p := NewPartition(wideSchema(), 8)
+	if err := p.Insert(0, sampleTuple(wideSchema(), 1)); err == nil {
+		t.Fatal("insert of reserved RowID 0 accepted")
+	}
+	if p.Live() != 0 || p.Slots() != 0 {
+		t.Fatalf("rejected insert left state: Live=%d Slots=%d", p.Live(), p.Slots())
+	}
+}
+
+// TestPatchDeadSlotRejected pins the stale-slot-handle fix: a patch
+// through a slot handle captured before a delete must be refused — the
+// slot is tombstoned (and may be recycled), so writing through it would
+// corrupt an unrelated row.
+func TestPatchDeadSlotRejected(t *testing.T) {
+	s := wideSchema()
+	p := NewPartition(s, 8)
+	p.Insert(1, sampleTuple(s, 1))
+	p.Insert(2, sampleTuple(s, 2))
+	slot, ok := p.Locate(1)
+	if !ok {
+		t.Fatal("Locate(1) failed")
+	}
+	if err := p.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.PatchSlot(slot, 0, []byte{0xFF}); err == nil {
+		t.Fatal("patch of tombstoned slot accepted")
+	}
+	// After the slot is recycled, the stale handle addresses row 3; the
+	// guard above is what kept the earlier patch from corrupting it.
+	p.Insert(3, sampleTuple(s, 3))
+	got, _ := p.Get(3)
+	want := sampleTuple(s, 3)
+	if string(got) != string(want) {
+		t.Fatal("recycled row corrupted")
+	}
+}

@@ -56,6 +56,26 @@ func TestLoadRowWithID(t *testing.T) {
 	}
 }
 
+// TestLoadRowWithIDReservedRowID pins the tombstone-sentinel fix:
+// RowID 0 marks dead slots in the OLAP partitions, so a restored row
+// under it would replicate as a live-counted but scan-invisible tuple.
+// AllocRowID starts at 1, so no legitimate checkpoint contains it.
+func TestLoadRowWithIDReservedRowID(t *testing.T) {
+	s, tbl := newLoadTable()
+	if err := tbl.LoadRowWithID(0, loadTup(tbl, 1, 11)); err == nil {
+		t.Fatal("load of reserved RowID 0 accepted")
+	}
+	// The rejected load must leave no trace: the key stays loadable.
+	if err := tbl.LoadRowWithID(7, loadTup(tbl, 1, 11)); err != nil {
+		t.Fatal(err)
+	}
+	ro := s.BeginROAt(0)
+	defer ro.Release()
+	if rec, ok := ro.GetRecord(tbl, 1); !ok || rec.RowID != 7 {
+		t.Fatalf("key 1 after rejected load: %+v %v", rec, ok)
+	}
+}
+
 func TestLoadRowWithIDVisibleToAllSnapshots(t *testing.T) {
 	s, tbl := newLoadTable()
 	if err := tbl.LoadRowWithID(5, loadTup(tbl, 1, 11)); err != nil {

@@ -1,6 +1,7 @@
 package mvcc
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"batchdb/internal/index"
@@ -125,6 +126,12 @@ func (t *Table) LoadRow(tup []byte) (uint64, error) {
 // exactly; the allocator is bumped past the largest restored RowID so
 // later inserts cannot collide.
 func (t *Table) LoadRowWithID(rowID uint64, tup []byte) error {
+	if rowID == 0 {
+		// AllocRowID starts at 1; RowID 0 is the OLAP partitions'
+		// tombstone sentinel. Restoring a row under it would replicate as
+		// a live-counted but scan-invisible tuple — reject it at load.
+		return fmt.Errorf("mvcc: load of reserved RowID 0 in table %s", t.Schema.Name)
+	}
 	key := t.KeyFn(tup)
 	c := t.getOrCreateChain(key)
 	if c.Head() != nil {

@@ -297,6 +297,12 @@ func (r *Replica) applyTable(t *Table, ws []*workerStream, sem chan struct{}) (*
 				// quiesced, per-partition-parallel window (and the same
 				// Step3 timing) — queries never see a dirty block.
 				p.ResummarizeDirty()
+				// Then rebuild the encoded vectors of blocks this round's
+				// inserts and patches staled, after the synopses are exact
+				// again (re-encoding reuses the block min as fill and FOR
+				// base) and in the same window — queries never see a stale
+				// vector either.
+				p.ReencodeDirty()
 			}
 			d := time.Since(t0)
 			mu.Lock()

@@ -1,0 +1,82 @@
+package olap
+
+import (
+	"testing"
+
+	"batchdb/internal/storage"
+)
+
+// benchSchema is a 4-int64-column schema whose columns cover the
+// dict/FOR/RLE sweet spots.
+func benchSchema() *storage.Schema {
+	return storage.NewSchema(2, "bench", []storage.Column{
+		{Name: "id", Type: storage.Int64},
+		{Name: "low_card", Type: storage.Int64},
+		{Name: "narrow", Type: storage.Int64},
+		{Name: "runs", Type: storage.Int64},
+	}, []int{0})
+}
+
+// benchPartition builds a compressed 4-column partition with nslots
+// live rows and all synopsis columns active.
+func benchPartition(b *testing.B, nslots int) *Partition {
+	s := benchSchema()
+	p := NewPartition(s, nslots)
+	p.EnableZoneMap(1024)
+	p.EnableCompression()
+	for i := 0; i < nslots; i++ {
+		tup := s.NewTuple()
+		s.PutInt64(tup, 0, int64(i))
+		s.PutInt64(tup, 1, int64(i%10)+1)        // dict/FOR-friendly
+		s.PutInt64(tup, 2, 1_000_000+int64(i)/7) // FOR-friendly
+		s.PutInt64(tup, 3, int64(i/997))         // RLE-friendly
+		if err := p.Insert(uint64(i+1), tup); err != nil {
+			b.Fatal(err)
+		}
+	}
+	p.ActivateSynopsisCols(^uint64(0))
+	p.ResummarizeDirty()
+	p.ReencodeDirty()
+	return p
+}
+
+// BenchmarkReencodeBlockFull prices one apply-window full re-encode of
+// a 1024-slot block across four active columns — the cost a block pays
+// on first encode (activation, journal overflow).
+func BenchmarkReencodeBlockFull(b *testing.B) {
+	p := benchPartition(b, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.enc.stale[0] = ^uint64(0)
+		p.enc.full[0] = ^uint64(0)
+		p.enc.anyStale = true
+		p.ReencodeDirty()
+	}
+}
+
+// BenchmarkReencodeBlockIncremental prices the journaled path: one
+// point patch dirties the block, and re-encode decodes the old vectors
+// instead of re-gathering the rows — the steady-state maintenance unit
+// the warm-apply overhead budget bounds.
+func BenchmarkReencodeBlockIncremental(b *testing.B) {
+	p := benchPartition(b, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.enc.markStaleIfOverlap(p, 17, 8, 8)
+		p.ReencodeDirty()
+	}
+}
+
+// BenchmarkFilterRange prices the per-morsel encoded-domain predicate
+// evaluation of one 1024-slot block (interval on a FOR column).
+func BenchmarkFilterRange(b *testing.B) {
+	p := benchPartition(b, 1024)
+	sel := make([]uint64, 16)
+	ranges := []ColRange{{Col: 1, Lo: 3, Hi: 5}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !p.FilterRange(0, 1024, ranges, sel) {
+			b.Fatal("refused")
+		}
+	}
+}

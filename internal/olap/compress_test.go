@@ -1,0 +1,149 @@
+package olap
+
+import (
+	"testing"
+
+	"batchdb/internal/proplog"
+)
+
+// TestReplicaCompressionLifecycle drives a compressed replica through
+// the full maintenance cycle — load, synopsis activation, apply rounds
+// with inserts/patches/deletes — and proves the encoded vectors are
+// fresh (never stale) after every quiesced window, with FilterRange
+// agreeing with the raw rows throughout.
+func TestReplicaCompressionLifecycle(t *testing.T) {
+	s := kvSchema()
+	r := NewReplica(2)
+	r.EnableZoneMaps(64)
+	r.EnableCompression()
+	tbl := r.CreateTable(s, 64)
+
+	for i := int64(1); i <= 300; i++ {
+		if err := r.LoadTuple(1, uint64(i), tuple(s, i, i%17)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Query interest in column v, then the quiesced activation sweep:
+	// it must both build the synopses and encode every block.
+	tbl.RequestSynopses([]ColRange{{Col: 1, Lo: 0, Hi: 16}})
+	r.ActivateSynopses()
+	for _, p := range tbl.Partitions {
+		if !p.Compressed() {
+			t.Fatal("partition not compressed after EnableCompression")
+		}
+		if p.enc.anyStale {
+			t.Fatal("stale vectors after activation sweep")
+		}
+	}
+
+	checkParity := func(stage string) {
+		t.Helper()
+		served := 0
+		for _, p := range tbl.Partitions {
+			if p.enc.anyStale {
+				t.Fatalf("%s: stale vectors outside a quiesced window", stage)
+			}
+			r := []ColRange{{Col: 1, Lo: 3, Hi: 9}}
+			for b := 0; b*64 < p.Slots(); b++ {
+				lo, hi := b*64, min((b+1)*64, p.Slots())
+				var sel [1]uint64
+				if !p.FilterRange(lo, hi, r, sel[:]) {
+					continue
+				}
+				served++
+				for i := lo; i < hi; i++ {
+					if p.rowIDs[i] == 0 {
+						continue
+					}
+					v := s.GetInt64(p.data[i*p.tupleSize:(i+1)*p.tupleSize], 1)
+					want := v >= 3 && v <= 9
+					got := sel[(i-lo)>>6]>>(uint(i-lo)&63)&1 == 1
+					if got != want {
+						t.Fatalf("%s: slot %d verdict %v, raw %v (v=%d)", stage, i, got, want, v)
+					}
+				}
+			}
+		}
+		if served == 0 {
+			t.Fatalf("%s: FilterRange served no blocks — parity check is vacuous", stage)
+		}
+	}
+	checkParity("activated")
+
+	// Apply rounds: each mixes inserts (growing new blocks and recycling
+	// freed slots), patches on the encoded column, and deletes. The
+	// apply step re-encodes inside the same quiesced window that
+	// resummarizes, so vectors must be fresh after every round.
+	vid := uint64(0)
+	next := uint64(1000)
+	var live []uint64
+	for i := int64(1); i <= 300; i++ {
+		live = append(live, uint64(i))
+	}
+	for round := 0; round < 5; round++ {
+		buf := proplog.NewBuffer(0)
+		for i := 0; i < 40; i++ {
+			vid++
+			switch i % 4 {
+			case 0, 1: // insert (recycles slots freed by earlier deletes)
+				buf.Add(1, mkEntry(vid, proplog.Insert, next, 0, tuple(s, int64(next), int64(i%23))))
+				live = append(live, next)
+				next++
+			case 2: // patch the encoded column of a live row
+				rid := live[(round*37+i)%len(live)]
+				buf.Add(1, mkEntry(vid, proplog.Update, rid, uint32(s.Offset(1)), u64le(int64(i%13))))
+			default: // delete a live row
+				j := (round*53 + i) % len(live)
+				rid := live[j]
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+				buf.Add(1, mkEntry(vid, proplog.Delete, rid, 0, nil))
+			}
+		}
+		r.ApplyUpdates([]proplog.Batch{buf.Take()}, vid)
+		if _, err := r.ApplyPending(vid); err != nil {
+			t.Fatal(err)
+		}
+		checkParity("applied")
+	}
+
+	// CompressionStats reflects the encoded reality: blocks counted,
+	// encoded footprint no larger than raw for this low-cardinality data.
+	stats := tbl.CompressionStats()
+	if len(stats) == 0 {
+		t.Fatal("no compression stats")
+	}
+	for _, cs := range stats {
+		if cs.Blocks <= 0 {
+			t.Fatalf("column %d: %d blocks", cs.Col, cs.Blocks)
+		}
+		if cs.EncodedBytes > cs.RawBytes {
+			t.Fatalf("column %d: encoded %d > raw %d", cs.Col, cs.EncodedBytes, cs.RawBytes)
+		}
+		kinds := 0
+		for _, n := range cs.Kinds {
+			kinds += n
+		}
+		if kinds != cs.Blocks {
+			t.Fatalf("column %d: kind counts %v sum %d != blocks %d", cs.Col, cs.Kinds, kinds, cs.Blocks)
+		}
+	}
+}
+
+// TestEnableCompressionRequiresZoneMaps pins the layering rule: the
+// encoded vectors ride on the zone-map block structure, so without zone
+// maps (or with sub-64-slot blocks) EnableCompression is a no-op.
+func TestEnableCompressionRequiresZoneMaps(t *testing.T) {
+	s := kvSchema()
+	p := NewPartition(s, 16)
+	p.EnableCompression()
+	if p.Compressed() {
+		t.Fatal("compression attached without zone maps")
+	}
+	p2 := NewPartition(s, 16)
+	p2.EnableZoneMap(32) // below the 64-slot bitmap-alignment floor
+	p2.EnableCompression()
+	if p2.Compressed() {
+		t.Fatal("compression attached on sub-64-slot blocks")
+	}
+}

@@ -149,6 +149,14 @@ type Engine struct {
 	// by the pruning ablation benchmark and the on/off parity tests.
 	DisablePruning bool
 
+	// DisableVectorized turns off the compressed-block predicate
+	// kernels: morsels fall back to tuple-at-a-time kernel evaluation
+	// even when encoded vectors could serve the predicate exactly.
+	// Zone-map pruning is unaffected. Used by the compression ablation
+	// benchmark and the on/off parity tests. Implied by DisablePruning,
+	// since the encoded vectors only cover synopsis-active columns.
+	DisableVectorized bool
+
 	// sem bounds the total number of in-flight leaf tasks (morsels,
 	// shard merges) across everything the engine runs concurrently, so
 	// parallel build construction still respects the worker budget.
@@ -285,12 +293,17 @@ func (e *Engine) forEach(n int, fn func(worker, task int)) {
 // scans and build-side scans both run through it. begin runs once per
 // morsel on the worker that claimed it and returns the per-tuple
 // visitor, or nil to skip the morsel without touching its tuples — the
-// zone-map pruning hook.
-func (e *Engine) forEachMorsel(ms []morsel, begin func(worker int, m morsel) func(rowID uint64, tup []byte) bool) {
+// zone-map pruning hook. The second return is an optional selection
+// bitmap (bit i ↔ slot m.lo+i): when non-nil only the selected live
+// tuples are materialized — the compressed-block fast path, where the
+// bitmap came from predicate kernels over the encoded vectors and
+// everything it rejects is already disproved. The visitor's off is the
+// tuple's slot offset relative to m.lo, for per-query bitmap tests.
+func (e *Engine) forEachMorsel(ms []morsel, begin func(worker int, m morsel) (func(off int, rowID uint64, tup []byte) bool, []uint64)) {
 	e.forEach(len(ms), func(worker, i int) {
 		m := ms[i]
-		if fn := begin(worker, m); fn != nil {
-			m.part.ScanRange(m.lo, m.hi, fn)
+		if fn, sel := begin(worker, m); fn != nil {
+			m.part.ScanSelected(m.lo, m.hi, sel, fn)
 		}
 	})
 }
@@ -466,14 +479,14 @@ func (e *Engine) constructBuild(t *olap.Table, keyFn func(tup []byte) uint64) *b
 	for i := range local {
 		local[i] = make([][]kv, nshards)
 	}
-	e.forEachMorsel(ms, func(worker int, _ morsel) func(uint64, []byte) bool {
+	e.forEachMorsel(ms, func(worker int, _ morsel) (func(int, uint64, []byte) bool, []uint64) {
 		buckets := local[worker]
-		return func(_ uint64, tup []byte) bool {
+		return func(_ int, _ uint64, tup []byte) bool {
 			k := keyFn(tup)
 			si := (k * hashMul) >> shift
 			buckets[si] = append(buckets[si], kv{k, tup})
 			return true
-		}
+		}, nil
 	})
 	e.forEach(nshards, func(_, si int) {
 		n := 0
@@ -596,13 +609,23 @@ func (e *Engine) scanDriver(qs []*Query, rs []*Result, prepared map[buildID]*bui
 		joined [][]byte
 		// active holds the current morsel's per-query block verdicts.
 		active []bool
+		// qvec marks queries whose declarative Where was evaluated for
+		// the current morsel on the encoded blocks: sel[qi] then holds
+		// the exact selection bitmap and the compiled kernel is skipped
+		// (the residual DriverPred still runs). union is the OR of all
+		// bitmaps when every active query vectorized — the only tuples
+		// worth materializing.
+		qvec  []bool
+		sel   [][]uint64
+		union []uint64
 		// Pruning stats, summed into the engine counters at merge.
-		blocksScanned, blocksSkipped, tuplesPruned int64
+		blocksScanned, blocksSkipped, tuplesPruned, blocksVectorized int64
 	}
 	partials := make([]partial, nw)
 	prune := anyRanges && !e.DisablePruning
+	vectorize := prune && !e.DisableVectorized
 	t0 := time.Now()
-	e.forEachMorsel(ms, func(worker int, m morsel) func(uint64, []byte) bool {
+	e.forEachMorsel(ms, func(worker int, m morsel) (func(int, uint64, []byte) bool, []uint64) {
 		pt := &partials[worker]
 		if pt.vals == nil {
 			pt.vals = make([][]float64, len(qs))
@@ -612,6 +635,7 @@ func (e *Engine) scanDriver(qs []*Query, rs []*Result, prepared map[buildID]*bui
 			}
 			pt.joined = make([][]byte, 0, 8)
 			pt.active = make([]bool, len(qs))
+			pt.qvec = make([]bool, len(qs))
 		}
 		// Block verdicts: offer this morsel's tuples only to queries
 		// whose pushed-down ranges the block synopses cannot disprove.
@@ -627,15 +651,63 @@ func (e *Engine) scanDriver(qs []*Query, rs []*Result, prepared map[buildID]*bui
 		if !any {
 			pt.blocksSkipped++
 			pt.tuplesPruned += int64(m.part.LiveInRange(m.lo, m.hi))
-			return nil
+			return nil, nil
 		}
 		pt.blocksScanned++
-		return func(_ uint64, tup []byte) bool {
+		// Vectorized fast path: translate each active query's pushed-down
+		// ranges into an exact per-slot bitmap on the encoded vectors —
+		// no tuple is decoded to evaluate the declarative Where. Queries
+		// the encoded path cannot serve (no pushed-down ranges, or
+		// FilterRange declined the morsel) keep their kernels.
+		var sel []uint64
+		if vectorize {
+			words := (m.hi - m.lo + 63) >> 6
+			if len(pt.union) < words {
+				pt.union = make([]uint64, words)
+				pt.sel = make([][]uint64, len(qs))
+				for qi := range pt.sel {
+					pt.sel[qi] = make([]uint64, words)
+				}
+			}
+			allVec := true
+			for qi := range qs {
+				pt.qvec[qi] = pt.active[qi] && len(ranges[qi]) > 0 &&
+					m.part.FilterRange(m.lo, m.hi, ranges[qi], pt.sel[qi][:words])
+				if pt.active[qi] && !pt.qvec[qi] {
+					allVec = false
+				}
+			}
+			if allVec {
+				// Every active query has an exact bitmap: materialize only
+				// the union of their survivors. An empty union finishes the
+				// morsel without touching a single tuple.
+				pt.blocksVectorized++
+				sel = pt.union[:words]
+				anyBit := uint64(0)
+				for w := range sel {
+					sel[w] = 0
+					for qi := range qs {
+						if pt.qvec[qi] {
+							sel[w] |= pt.sel[qi][w]
+						}
+					}
+					anyBit |= sel[w]
+				}
+				if anyBit == 0 {
+					return nil, nil
+				}
+			}
+		}
+		return func(off int, _ uint64, tup []byte) bool {
 			for qi, q := range qs {
 				if !pt.active[qi] {
 					continue
 				}
-				if k := kernels[qi]; k != nil && !k(tup) {
+				if pt.qvec[qi] {
+					if pt.sel[qi][off>>6]>>(uint(off)&63)&1 == 0 {
+						continue
+					}
+				} else if k := kernels[qi]; k != nil && !k(tup) {
 					continue
 				}
 				if q.DriverPred != nil && !q.DriverPred(tup) {
@@ -673,17 +745,18 @@ func (e *Engine) scanDriver(qs []*Query, rs []*Result, prepared map[buildID]*bui
 				}
 			}
 			return true
-		}
+		}, sel
 	})
 	if scanNS != nil {
 		*scanNS += int64(time.Since(t0))
 	}
 	t1 := time.Now()
-	var bScan, bSkip, tPrune int64
+	var bScan, bSkip, tPrune, bVec int64
 	for _, p := range partials {
 		bScan += p.blocksScanned
 		bSkip += p.blocksSkipped
 		tPrune += p.tuplesPruned
+		bVec += p.blocksVectorized
 		if p.vals == nil {
 			continue
 		}
@@ -701,6 +774,7 @@ func (e *Engine) scanDriver(qs []*Query, rs []*Result, prepared map[buildID]*bui
 		e.stats.ExecBlocksScanned.Add(uint64(bScan))
 		e.stats.ExecBlocksSkipped.Add(uint64(bSkip))
 		e.stats.ExecTuplesPruned.Add(uint64(tPrune))
+		e.stats.ExecBlocksVectorized.Add(uint64(bVec))
 	}
 	if mergeNS != nil {
 		*mergeNS += int64(time.Since(t1))

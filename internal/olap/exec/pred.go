@@ -14,6 +14,7 @@ package exec
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"batchdb/internal/olap"
 	"batchdb/internal/storage"
@@ -124,16 +125,10 @@ func inPred(col int, ks []int64, isFloat bool) Pred {
 	if len(ks) == 0 {
 		return Pred{Col: col, lo: 1, hi: 0, set: []int64{}, isFloat: isFloat}
 	}
-	lo, hi := ks[0], ks[0]
-	for _, k := range ks[1:] {
-		if k < lo {
-			lo = k
-		}
-		if k > hi {
-			hi = k
-		}
-	}
-	return Pred{Col: col, lo: lo, hi: hi, set: ks, isFloat: isFloat}
+	// Sorted sets let the compressed-block filter binary-search
+	// membership; order is irrelevant to IN semantics.
+	slices.Sort(ks)
+	return Pred{Col: col, lo: ks[0], hi: ks[len(ks)-1], set: ks, isFloat: isFloat}
 }
 
 // compilePred lowers p to a typed comparison kernel over tuples of s.
@@ -205,7 +200,9 @@ func compileWhere(s *storage.Schema, preds []Pred) (func(tup []byte) bool, []ola
 			return nil, nil, err
 		}
 		kernels[i] = k
-		ranges[i] = olap.ColRange{Col: p.Col, Lo: p.lo, Hi: p.hi}
+		// Set rides along for the compressed-block filter (exact IN
+		// membership); synopsis pruning uses only the [Lo, Hi] hull.
+		ranges[i] = olap.ColRange{Col: p.Col, Lo: p.lo, Hi: p.hi, Set: p.set}
 	}
 	if len(kernels) == 1 {
 		return kernels[0], ranges, nil

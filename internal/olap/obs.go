@@ -43,6 +43,8 @@ func (st *SchedulerStats) Register(reg *obs.Registry, labels ...obs.Label) {
 		"Morsels skipped by zone-map verdicts.", &st.ExecBlocksSkipped, labels...)
 	reg.ObserveCounter("batchdb_olap_tuples_pruned_total",
 		"Live tuples inside skipped morsels.", &st.ExecTuplesPruned, labels...)
+	reg.ObserveCounter("batchdb_olap_blocks_vectorized_total",
+		"Scanned morsels evaluated on compressed-block kernels.", &st.ExecBlocksVectorized, labels...)
 	reg.GaugeFunc("batchdb_olap_busy_seconds",
 		"Cumulative dispatcher busy time (seconds).",
 		func() float64 { return st.Busy.Busy().Seconds() }, labels...)

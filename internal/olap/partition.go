@@ -17,6 +17,7 @@ package olap
 
 import (
 	"fmt"
+	"math/bits"
 
 	"batchdb/internal/storage"
 )
@@ -48,6 +49,10 @@ type Partition struct {
 	// zm holds the optional per-block min/max synopses (zonemap.go);
 	// nil when zone maps are disabled.
 	zm *zoneMap
+
+	// enc holds the optional per-block encoded column vectors
+	// (compress.go); nil when compression is disabled. Requires zm.
+	enc *encStore
 }
 
 // NewPartition creates an empty partition sized for capacityHint tuples.
@@ -70,6 +75,11 @@ func NewPartition(schema *storage.Schema, capacityHint int) *Partition {
 // deleted"). Inserting an already-present RowID is a replica-divergence
 // bug and returns an error.
 func (p *Partition) Insert(rowID uint64, tuple []byte) error {
+	if rowID == 0 {
+		// RowID 0 is the tombstone sentinel: a row stored under it would
+		// be counted live and indexed yet invisible to every scan.
+		return fmt.Errorf("olap: insert of reserved RowID 0 in table %s", p.schema.Name)
+	}
 	if _, dup := p.index[rowID]; dup {
 		return fmt.Errorf("olap: duplicate insert of RowID %d in table %s", rowID, p.schema.Name)
 	}
@@ -88,6 +98,9 @@ func (p *Partition) Insert(rowID uint64, tuple []byte) error {
 	p.live++
 	if p.zm != nil {
 		p.zmInsert(slot)
+		if p.enc != nil {
+			p.enc.markStale(p, slot)
+		}
 	}
 	return nil
 }
@@ -100,10 +113,20 @@ func (p *Partition) Locate(rowID uint64) (int32, bool) {
 	return slot, ok
 }
 
-// PatchSlot applies one field patch to an already-located slot.
+// PatchSlot applies one field patch to an already-located slot. The
+// slot must hold a live tuple: patching a tombstoned or free-listed
+// slot would silently corrupt whatever tuple later recycles it (and,
+// with zone maps active, corrupt synopsis supports through a dead
+// tuple's values), so it is rejected.
 func (p *Partition) PatchSlot(slot int32, offset uint32, data []byte) error {
+	if slot < 0 || int(slot) >= len(p.rowIDs) || p.rowIDs[slot] == 0 {
+		return fmt.Errorf("olap: patch of dead slot %d in table %s", slot, p.schema.Name)
+	}
 	if int(offset)+len(data) > p.tupleSize {
 		return fmt.Errorf("olap: update beyond tuple bounds (table %s, offset %d, size %d)", p.schema.Name, offset, len(data))
+	}
+	if p.enc != nil {
+		p.enc.markStaleIfOverlap(p, slot, offset, len(data))
 	}
 	if p.zm != nil && len(p.zm.actCols) > 0 {
 		p.zmPatchSlot(slot, offset, data)
@@ -183,6 +206,54 @@ func (p *Partition) ScanRange(lo, hi int, fn func(rowID uint64, tuple []byte) bo
 		}
 		if !fn(rid, p.data[i*ts:(i+1)*ts]) {
 			return
+		}
+	}
+}
+
+// ScanSelected visits live tuples in the slot range [lo, hi) whose
+// bit is set in sel (bit i of sel corresponds to slot lo+i); a nil sel
+// visits every live slot in the range. The callback additionally
+// receives the slot offset i relative to lo, so block-aware consumers
+// can index per-morsel selection bitmaps. It is the materialization
+// step of the compressed scan path: the executor filters whole encoded
+// blocks into sel without decoding, then touches only the surviving
+// tuples here. Dead slots are skipped even when selected — a dead
+// slot's encoded verdict is a don't-care.
+func (p *Partition) ScanSelected(lo, hi int, sel []uint64, fn func(off int, rowID uint64, tuple []byte) bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(p.rowIDs) {
+		hi = len(p.rowIDs)
+	}
+	ts := p.tupleSize
+	if sel == nil {
+		for i := lo; i < hi; i++ {
+			rid := p.rowIDs[i]
+			if rid == 0 {
+				continue // tombstone
+			}
+			if !fn(i-lo, rid, p.data[i*ts:(i+1)*ts]) {
+				return
+			}
+		}
+		return
+	}
+	for wi, m := range sel {
+		for m != 0 {
+			j := bits.TrailingZeros64(m)
+			m &= m - 1
+			i := lo + wi<<6 + j
+			if i >= hi {
+				return
+			}
+			rid := p.rowIDs[i]
+			if rid == 0 {
+				continue
+			}
+			if !fn(i-lo, rid, p.data[i*ts:(i+1)*ts]) {
+				return
+			}
 		}
 	}
 }

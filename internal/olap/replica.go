@@ -27,6 +27,11 @@ type Table struct {
 	// partitions with their synopses.
 	zmBlock int
 
+	// compress records whether the table's partitions carry per-block
+	// encoded column vectors (compress.go); retained, like zmBlock, so
+	// resync reloads rebuild partitions compressed.
+	compress bool
+
 	// wantedSyn accumulates the synopsis columns queries have pushed
 	// predicates on (a bitmask over the partitions' synopsis column
 	// list). Written with atomic ORs from the executor's compile path —
@@ -142,6 +147,8 @@ type Replica struct {
 	// zmBlock is the zone-map block size applied to tables created from
 	// now on (and, via EnableZoneMaps, to existing ones).
 	zmBlock int
+	// compress mirrors zmBlock for the encoded-vector layer.
+	compress bool
 }
 
 // NewReplica creates a replica whose tables are split into parts
@@ -169,11 +176,14 @@ func (r *Replica) SetApplyWorkers(n int) {
 
 // CreateTable registers a replicated relation. All DDL must precede use.
 func (r *Replica) CreateTable(schema *storage.Schema, capacityHint int) *Table {
-	t := &Table{Schema: schema, capHint: capacityHint / r.parts, zmBlock: r.zmBlock}
+	t := &Table{Schema: schema, capHint: capacityHint / r.parts, zmBlock: r.zmBlock, compress: r.compress}
 	for i := 0; i < r.parts; i++ {
 		p := NewPartition(schema, t.capHint)
 		if t.zmBlock > 0 {
 			p.EnableZoneMap(t.zmBlock)
+			if t.compress {
+				p.EnableCompression()
+			}
 		}
 		t.Partitions = append(t.Partitions, p)
 	}
@@ -200,6 +210,24 @@ func (r *Replica) EnableZoneMaps(blockTuples int) {
 		t.zmBlock = blockTuples
 		for _, p := range t.Partitions {
 			p.EnableZoneMap(blockTuples)
+		}
+	}
+}
+
+// EnableCompression attaches per-block encoded column vectors
+// (compress.go) to every partition of every table, and to tables
+// created or rebuilt later. Requires zone maps (EnableZoneMaps first)
+// with blocks of at least 64 slots; partitions without them are left
+// uncompressed. Vectors cover the active synopsis columns and are
+// built — and kept fresh — in the quiesced windows that already
+// maintain the synopses, so enabling compression adds no new phases.
+// Must run in a quiesced window.
+func (r *Replica) EnableCompression() {
+	r.compress = true
+	for _, t := range r.order {
+		t.compress = true
+		for _, p := range t.Partitions {
+			p.EnableCompression()
 		}
 	}
 }
@@ -242,22 +270,31 @@ func (t *Table) RequestSynopses(ranges []ColRange) {
 // start of every round; callers that run query batches without an
 // interleaved apply (benchmarks, tests) can invoke it directly in any
 // quiesced window.
+// It also re-encodes any stale compressed blocks in partitions the
+// apply step will not visit this round (fresh activations, initial
+// load, reload rebuilds), so every non-stale vector a query batch sees
+// is current.
 func (r *Replica) ActivateSynopses() {
 	for _, t := range r.order {
 		w := t.wantedSyn.Load()
-		if w == 0 {
-			continue
-		}
 		var wg sync.WaitGroup
 		for _, p := range t.Partitions {
-			if p.zm == nil || p.zm.active&w == w {
+			if p.zm == nil {
+				continue
+			}
+			activate := w != 0 && p.zm.active&w != w
+			reencode := p.enc != nil && p.enc.anyStale
+			if !activate && !reencode {
 				continue
 			}
 			wg.Add(1)
-			go func(p *Partition) {
+			go func(p *Partition, activate bool) {
 				defer wg.Done()
-				p.ActivateSynopsisCols(w)
-			}(p)
+				if activate {
+					p.ActivateSynopsisCols(w)
+				}
+				p.ReencodeDirty()
+			}(p, activate)
 		}
 		wg.Wait()
 	}
@@ -393,6 +430,12 @@ func (rl *Reload) LoadTuple(id storage.TableID, rowID uint64, tup []byte) error 
 	if rl.r.tables[id] == nil {
 		return fmt.Errorf("olap: reload of unknown table %d", id)
 	}
+	if rowID == 0 {
+		// RowID 0 is the partitions' tombstone sentinel; staging it would
+		// surface as silent divergence (a live-counted, scan-invisible
+		// row) only after the reload installs. Fail at the source instead.
+		return fmt.Errorf("olap: reload of reserved RowID 0 into table %d", id)
+	}
 	rl.rows[id] = append(rl.rows[id], reloadRow{rowID: rowID, tup: tup})
 	return nil
 }
@@ -454,6 +497,9 @@ func (r *Replica) applyReload(rl *Reload) error {
 			parts[i] = NewPartition(t.Schema, t.capHint)
 			if t.zmBlock > 0 {
 				parts[i].EnableZoneMap(t.zmBlock)
+				if t.compress {
+					parts[i].EnableCompression()
+				}
 			}
 		}
 		t.Partitions = parts

@@ -60,6 +60,11 @@ type SchedulerStats struct {
 	ExecBlocksScanned metrics.Counter
 	ExecBlocksSkipped metrics.Counter
 	ExecTuplesPruned  metrics.Counter
+	// ExecBlocksVectorized counts scanned morsels whose predicate
+	// evaluation ran on the compressed-block kernels (every active
+	// query's selection bitmap came from FilterRange; only survivors
+	// were materialized from the raw rows).
+	ExecBlocksVectorized metrics.Counter
 	Busy              metrics.BusyTracker
 }
 

@@ -15,9 +15,16 @@ import (
 // (IN-lists to their convex hull) before asking partitions which slot
 // blocks might match; a block whose [min, max] misses any conjunct's
 // interval cannot contain a qualifying tuple.
+//
+// Set, when non-nil, additionally requires membership (an IN-list,
+// sorted ascending); [Lo, Hi] then hold its convex hull. RangeMayMatch
+// prunes on the hull alone — still sound — while the compressed-block
+// filter (FilterRange) evaluates the membership exactly, which is what
+// lets the executor skip the per-tuple kernel for vectorized blocks.
 type ColRange struct {
 	Col    int
 	Lo, Hi int64
+	Set    []int64
 }
 
 // maxSynopsisCols caps the per-block bookkeeping (and lets the dirty
@@ -179,6 +186,16 @@ func (p *Partition) ActivateSynopsisCols(wanted uint64) {
 				ci: int32(ci), typ: z.types[ci],
 			})
 		}
+	}
+	if p.enc != nil {
+		// Encoded vectors cover exactly the active column set; a wider
+		// set means every block must re-encode. The caller's quiesced
+		// window runs ReencodeDirty right after activation.
+		for b := range p.enc.stale {
+			p.enc.stale[b] = ^uint64(0)
+			p.enc.full[b] = ^uint64(0)
+		}
+		p.enc.anyStale = true
 	}
 }
 

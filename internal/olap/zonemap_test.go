@@ -87,6 +87,11 @@ func TestZoneMapRandomApplyRounds(t *testing.T) {
 			s := zmTestSchema()
 			p := NewPartition(s, 64)
 			p.EnableZoneMap(64)
+			// Encoded vectors ride on the zone-map blocks; re-encoding is
+			// deliberately skipped on some rounds below so FilterRange is
+			// exercised against a mix of fresh, stale and never-encoded
+			// blocks.
+			p.EnableCompression()
 			nextRow := uint64(1)
 			var liveRows []uint64
 
@@ -145,6 +150,12 @@ func TestZoneMapRandomApplyRounds(t *testing.T) {
 					}
 				}
 				p.ResummarizeDirty()
+				// Leave the vectors stale every third round: FilterRange
+				// must then refuse the affected blocks (the executor falls
+				// back to kernels) instead of answering from old encodings.
+				if round%3 != 2 {
+					p.ReencodeDirty()
+				}
 				zmCheck(t, p)
 
 				// No false negatives: for a random active column and random
@@ -159,6 +170,11 @@ func TestZoneMapRandomApplyRounds(t *testing.T) {
 					col := z.cols[c.ci]
 					lo := int64(rng.Intn(31) - 15)
 					r := []ColRange{{Col: col, Lo: lo, Hi: lo + int64(rng.Intn(8))}}
+					if rng.Intn(3) == 0 {
+						// Sometimes an IN-set instead of a plain interval.
+						set := []int64{lo, lo + int64(rng.Intn(4)) + 1}
+						r[0].Lo, r[0].Hi, r[0].Set = set[0], set[1], set
+					}
 					for b := range z.live {
 						blo, bhi := p.blockSlots(b)
 						if p.RangeMayMatch(blo, bhi, r) {
@@ -169,9 +185,40 @@ func TestZoneMapRandomApplyRounds(t *testing.T) {
 								continue
 							}
 							k := s.OrdKey(p.data[i*p.tupleSize:(i+1)*p.tupleSize], col)
-							if k >= r[0].Lo && k <= r[0].Hi {
+							if k >= r[0].Lo && k <= r[0].Hi && (r[0].Set == nil || k == r[0].Set[0] || k == r[0].Set[1]) {
 								t.Fatalf("block %d disproved but slot %d matches col %d key %d in [%d,%d]",
 									b, i, col, k, r[0].Lo, r[0].Hi)
+							}
+						}
+					}
+					// Vectorized verdicts are exact: wherever FilterRange
+					// serves a block, its bitmap must agree bit-for-bit with
+					// the raw rows on live slots (dead bits are don't-cares).
+					var sel [1]uint64
+					for b := range z.live {
+						blo, bhi := p.blockSlots(b)
+						if !p.FilterRange(blo, bhi, r, sel[:]) {
+							ci := z.colPos[r[0].Col]
+							if p.enc != nil && p.enc.stale[b]&(1<<uint(ci)) == 0 {
+								// Refusals must come from the queried column being
+								// stale or its vector not building — never from a
+								// fresh, encoded block-column.
+								if p.enc.vecs[b*len(z.cols)+ci] != nil {
+									t.Fatalf("block %d: FilterRange refused a fresh encoded block", b)
+								}
+							}
+							continue
+						}
+						for i := blo; i < bhi; i++ {
+							if p.rowIDs[i] == 0 {
+								continue
+							}
+							k := s.OrdKey(p.data[i*p.tupleSize:(i+1)*p.tupleSize], r[0].Col)
+							want := k >= r[0].Lo && k <= r[0].Hi && (r[0].Set == nil || k == r[0].Set[0] || k == r[0].Set[1])
+							got := sel[(i-blo)>>6]>>(uint(i-blo)&63)&1 == 1
+							if got != want {
+								t.Fatalf("block %d slot %d: vectorized verdict %v, raw %v (col %d key %d)",
+									b, i, got, want, r[0].Col, k)
 							}
 						}
 					}

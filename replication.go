@@ -163,6 +163,9 @@ func (db *DB) AttachWorkloadReplica(workers, partitions int) (*WorkloadReplica, 
 			mt = exec.DefaultMorselTuples
 		}
 		rep.EnableZoneMaps(mt)
+		if !db.cfg.DisableCompression {
+			rep.EnableCompression()
+		}
 	}
 	var analytical []TableID
 	for _, t := range db.order {
@@ -182,6 +185,7 @@ func (db *DB) AttachWorkloadReplica(workers, partitions int) (*WorkloadReplica, 
 	if db.cfg.MorselTuples > 0 {
 		w.execE.MorselTuples = db.cfg.MorselTuples
 	}
+	w.execE.DisableVectorized = db.cfg.DisableCompression || db.cfg.DisableZoneMaps
 	w.sched = olap.NewScheduler[*Query, Result](rep, db.engine, w.execE.RunBatch)
 	w.execE.AttachStats(w.sched.Stats())
 	db.repMu.Lock()
@@ -220,7 +224,12 @@ type ReplicaNodeConfig struct {
 	MorselTuples int
 	// DisableZoneMaps turns off the replica's per-block min/max
 	// synopses and the morsel skipping they enable (default on).
+	// Implies DisableCompression.
 	DisableZoneMaps bool
+	// DisableCompression turns off the replica's per-block encoded
+	// column vectors and the vectorized predicate kernels over them
+	// (default on).
+	DisableCompression bool
 	// Retry governs dialing (and, after a connection loss, redialing)
 	// the primary; the zero value gives 5 attempts from a 25ms base
 	// delay with exponential backoff and jitter.
@@ -279,6 +288,9 @@ func ConnectReplica(primaryAddr string, cfg ReplicaNodeConfig, tables []ReplicaT
 			mt = exec.DefaultMorselTuples
 		}
 		rep.EnableZoneMaps(mt)
+		if !cfg.DisableCompression {
+			rep.EnableCompression()
+		}
 	}
 	for _, t := range tables {
 		hint := t.CapacityHint
@@ -304,6 +316,7 @@ func ConnectReplica(primaryAddr string, cfg ReplicaNodeConfig, tables []ReplicaT
 	if cfg.MorselTuples > 0 {
 		n.execE.MorselTuples = cfg.MorselTuples
 	}
+	n.execE.DisableVectorized = cfg.DisableCompression || cfg.DisableZoneMaps
 	n.sched = olap.NewScheduler[*Query, Result](rep, sup, n.execE.RunBatch)
 	n.execE.AttachStats(n.sched.Stats())
 	if cfg.Metrics != nil {
