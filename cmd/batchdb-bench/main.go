@@ -13,6 +13,7 @@
 //	batchdb-bench -exp prune      # zone-map morsel skipping vs selectivity
 //	batchdb-bench -exp compress   # compressed-block kernels vs tuple-at-a-time
 //	batchdb-bench -exp freshness  # OLAP snapshot freshness lag vs batch size
+//	batchdb-bench -exp chaos      # fleet router under kill/sever fault injection
 //	batchdb-bench -exp all
 //
 // Numbers marked "projected" combine host measurements with the
@@ -36,7 +37,7 @@ import (
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment: fig5a|fig5b|fig6|table1|fig7|fig8|fig9|olapscale|prune|compress|freshness|all")
+	expFlag   = flag.String("exp", "all", "experiment: fig5a|fig5b|fig6|table1|fig7|fig8|fig9|olapscale|prune|compress|freshness|chaos|all")
 	jsonFlag  = flag.String("json", "", "write the olapscale/prune summary as JSON to this file (e.g. BENCH_OLAP.json)")
 	durFlag   = flag.Duration("duration", 2*time.Second, "measurement window per cell")
 	warmFlag  = flag.Duration("warmup", 500*time.Millisecond, "warmup per cell")
@@ -63,9 +64,10 @@ func main() {
 		"prune":     prune,
 		"compress":  compress,
 		"freshness": freshness,
+		"chaos":     chaos,
 	}
 	if *expFlag == "all" {
-		for _, name := range []string{"fig5a", "fig5b", "fig6", "table1", "fig7", "fig8", "fig9", "olapscale", "prune", "compress", "freshness"} {
+		for _, name := range []string{"fig5a", "fig5b", "fig6", "table1", "fig7", "fig8", "fig9", "olapscale", "prune", "compress", "freshness", "chaos"} {
 			exps[name]()
 		}
 		return
@@ -736,6 +738,54 @@ func freshness() {
 	fmt.Println("lag high: peak (commit watermark - installed VID) in transactions since warmup.")
 	fmt.Println("paper shape: staleness is bounded by one batch round (~query latency), not by TC;")
 	fmt.Println("bigger shared batches trade bounded extra staleness for shared-scan throughput")
+}
+
+// chaos: the fleet router's robustness contract under repeated kill and
+// sever injection — success rate within the deadline, zero unflagged
+// staleness-bound violations, and the router's healthy-path overhead vs
+// direct node dispatch (BENCH_CHAOS.json with -json).
+func chaos() {
+	header("Chaos: 3-replica fleet under kill/sever injection (deadline 2s, staleness bound 1s)")
+	opts := benchkit.ChaosOpts{
+		Scale: scale(*wFlag), OLTPWorkers: 4, OLAPWorkers: 4, Partitions: 8,
+		Replicas: 3, TxnClients: 4, AnalyticalClients: 6,
+		Duration: 4 * *durFlag, Warmup: *warmFlag, Seed: *seedFlag,
+	}
+	if *quickFlag {
+		opts.Scale = scale(1)
+		opts.Duration = 2 * time.Second
+		opts.AnalyticalClients = 4
+		opts.OverheadProbes = 20
+	}
+	res, err := benchkit.RunChaos(opts)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("faults injected:   %d kills, %d severs\n", res.Kills, res.Severs)
+	fmt.Printf("queries:           %d routed, %d answered, %d rejected, %d shed\n",
+		res.Queries, res.Answered, res.Rejected, res.Shed)
+	fmt.Printf("success rate:      %.2f%%  (target >= 99%%)\n", 100*res.SuccessRate)
+	fmt.Printf("staleness bound:   %d served stale-flagged, %d unflagged violations (target 0)\n",
+		res.StaleServed, res.BoundViolations)
+	fmt.Printf("recovery machine:  %d ejections, %d probes, %d readmits, %d retries, %d hedges (%d won)\n",
+		res.Ejections, res.Probes, res.Readmits, res.Retries, res.Hedges, res.HedgeWins)
+	fmt.Printf("routed latency:    p50=%.2fms p99=%.2fms under chaos\n", ms(res.QueryP50), ms(res.QueryP99))
+	fmt.Printf("healthy overhead:  direct p50=%.2fms routed p50=%.2fms (%+.1f%%, target <= 5%%)\n",
+		ms(res.DirectP50), ms(res.RoutedP50), 100*res.OverheadFrac)
+	fmt.Printf("oltp under chaos:  %.0f txn/s\n", res.TxnPerSec)
+	fmt.Println("contract: every query returns within its deadline; answers beyond the bound are")
+	fmt.Println("flagged Stale or rejected typed, never silent; the breaker ejects dead members and")
+	fmt.Println("probes them back in once they recover")
+	if *jsonFlag != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*jsonFlag, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonFlag)
+	}
 }
 
 func fail(err error) {

@@ -14,7 +14,15 @@
 //	QUERY <Q2|Q3|...|Q20>         run one CH analytical query
 //	CHECKPOINT                    force a checkpoint (data-dir mode)
 //	STATS                         one-line rendering of the metrics registry
+//	FLEET                         per-member health and routing state (fleet mode)
+//	KILL <i>                      sever member i's replication feed (fleet drill)
 //	QUIT
+//
+// With -fleet N the analytical side becomes a router-fronted fleet of N
+// remote replica nodes (each bootstrapped over the replication
+// transport); QUERY is then routed under -query-deadline and
+// -max-staleness, retried across members on failure, and answers beyond
+// the bound come back flagged stale rather than silently old.
 //
 // With -metrics-addr set, the same registry is served over HTTP as
 // Prometheus text at /metrics (liveness at /healthz).
@@ -22,6 +30,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -34,11 +43,15 @@ import (
 
 	"batchdb/internal/chbench"
 	"batchdb/internal/checkpoint"
+	"batchdb/internal/fleet"
+	"batchdb/internal/fleet/node"
 	"batchdb/internal/mvcc"
+	"batchdb/internal/network"
 	"batchdb/internal/obs"
 	"batchdb/internal/olap"
 	"batchdb/internal/olap/exec"
 	"batchdb/internal/oltp"
+	"batchdb/internal/replica"
 	"batchdb/internal/tpcc"
 )
 
@@ -56,6 +69,11 @@ type serverConfig struct {
 	zonemaps    bool
 	compress    bool
 	metricsAddr string
+	// Fleet mode: N router-fronted remote replica nodes instead of the
+	// single in-process replica.
+	fleet         int
+	queryDeadline time.Duration
+	maxStaleness  time.Duration
 }
 
 // server is one running batchdb-server instance: the engine pair, the
@@ -68,6 +86,12 @@ type server struct {
 	reg    *obs.Registry
 	msrv   *obs.Server
 	ln     net.Listener
+	// Fleet mode (nil/empty otherwise): the replication feed listener,
+	// the member nodes, the router, and the per-query budget.
+	repLn  *network.Listener
+	nodes  []*node.Node
+	router *fleet.Router[*exec.Query, exec.Result]
+	budget fleet.Budget
 }
 
 func main() {
@@ -83,6 +107,9 @@ func main() {
 	flag.BoolVar(&cfg.zonemaps, "zonemaps", true, "maintain per-block zone maps on the replica (morsel skipping for pushed-down predicates)")
 	flag.BoolVar(&cfg.compress, "compress", true, "maintain per-block encoded column vectors on the replica (vectorized predicate kernels; requires -zonemaps)")
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "HTTP metrics endpoint address (/metrics + /healthz; empty = disabled)")
+	flag.IntVar(&cfg.fleet, "fleet", 0, "route QUERY across N remote replica nodes (0 = single in-process replica)")
+	flag.DurationVar(&cfg.queryDeadline, "query-deadline", 2*time.Second, "fleet mode: per-query routing deadline")
+	flag.DurationVar(&cfg.maxStaleness, "max-staleness", time.Second, "fleet mode: snapshot-age bound; older answers come back flagged stale")
 	flag.Parse()
 
 	s, err := newServer(cfg)
@@ -143,53 +170,66 @@ func newServer(cfg serverConfig) (*server, error) {
 				info.CheckpointVID, info.Replayed, info.ReplayTime, info.FellBack, info.WatermarkVID)
 		}
 	}
-	rep, err := chbench.NewReplica(db, 8)
-	if err != nil {
-		return nil, err
-	}
-	engine.SetSink(rep)
-	rep.SetApplyWorkers(cfg.olapWorkers)
-	ex := exec.NewEngine(rep, cfg.olapWorkers)
-	if cfg.morsel > 0 {
-		ex.MorselTuples = cfg.morsel
-	}
-	if cfg.zonemaps {
-		// Block size = morsel size, so block verdicts map one-to-one onto
-		// morsels. Columns activate lazily as queries push predicates on
-		// them (the scheduler's apply rounds pick up the requests).
-		mt := ex.MorselTuples
-		if mt <= 0 {
-			mt = exec.DefaultMorselTuples
-		}
-		rep.EnableZoneMaps(mt)
-		if cfg.compress {
-			rep.EnableCompression()
-		} else {
-			ex.DisableVectorized = true
-		}
-	} else {
-		ex.DisablePruning = true
-		ex.DisableVectorized = true
-	}
-	sched := olap.NewScheduler(rep, engine, ex.RunBatch)
-	ex.AttachStats(sched.Stats())
-
-	s := &server{db: db, engine: engine, sched: sched, dur: dur, reg: obs.NewRegistry()}
+	s := &server{db: db, engine: engine, dur: dur, reg: obs.NewRegistry()}
+	s.budget = fleet.Budget{MaxStaleness: cfg.maxStaleness, StalePolicy: fleet.StaleServe}
 	engine.RegisterMetrics(s.reg)
-	sched.RegisterMetrics(s.reg, obs.L("class", "chbench"))
 	if dur != nil {
 		obs.RegisterDurability(s.reg, dur.Stats())
 	}
+
+	if cfg.fleet > 0 {
+		// Fleet mode: the engine feeds N remote replica nodes over the
+		// replication transport; QUERY routes across them.
+		engine.Start()
+		if err := s.startFleet(cfg); err != nil {
+			s.close()
+			return nil, err
+		}
+	} else {
+		rep, err := chbench.NewReplica(db, 8)
+		if err != nil {
+			return nil, err
+		}
+		engine.SetSink(rep)
+		rep.SetApplyWorkers(cfg.olapWorkers)
+		ex := exec.NewEngine(rep, cfg.olapWorkers)
+		if cfg.morsel > 0 {
+			ex.MorselTuples = cfg.morsel
+		}
+		if cfg.zonemaps {
+			// Block size = morsel size, so block verdicts map one-to-one onto
+			// morsels. Columns activate lazily as queries push predicates on
+			// them (the scheduler's apply rounds pick up the requests).
+			mt := ex.MorselTuples
+			if mt <= 0 {
+				mt = exec.DefaultMorselTuples
+			}
+			rep.EnableZoneMaps(mt)
+			if cfg.compress {
+				rep.EnableCompression()
+			} else {
+				ex.DisableVectorized = true
+			}
+		} else {
+			ex.DisablePruning = true
+			ex.DisableVectorized = true
+		}
+		sched := olap.NewScheduler(rep, engine, ex.RunBatch)
+		ex.AttachStats(sched.Stats())
+		s.sched = sched
+		sched.RegisterMetrics(s.reg, obs.L("class", "chbench"))
+		sched.Start()
+		engine.Start()
+	}
+
 	if cfg.metricsAddr != "" {
 		msrv, err := obs.Serve(cfg.metricsAddr, s.reg)
 		if err != nil {
+			s.close()
 			return nil, err
 		}
 		s.msrv = msrv
 	}
-
-	sched.Start()
-	engine.Start()
 	if dur != nil {
 		dur.StartRunner(engine, checkpoint.Policy{EveryVIDs: cfg.ckptVIDs})
 	}
@@ -200,6 +240,83 @@ func newServer(cfg serverConfig) (*server, error) {
 	}
 	s.ln = ln
 	return s, nil
+}
+
+// startFleet binds the replication feed, bootstraps cfg.fleet remote
+// replica nodes from the primary's snapshot, and fronts them with the
+// fault-tolerant router. The engine must already be started (the
+// publisher serves live syncs).
+func (s *server) startFleet(cfg serverConfig) error {
+	repLn, err := network.Listen("127.0.0.1:0", nil)
+	if err != nil {
+		return err
+	}
+	s.repLn = repLn
+	// Every (re)connecting node gets a publisher on the live feed plus a
+	// fresh snapshot — reconnect after KILL resyncs automatically.
+	go func() {
+		for {
+			conn, err := repLn.Accept()
+			if err != nil {
+				return
+			}
+			pub := replica.NewPublisher(conn, s.engine)
+			s.engine.AddSink(pub)
+			go func() {
+				pub.Serve()
+				s.engine.RemoveSink(pub)
+			}()
+			go func() {
+				if _, err := replica.ShipSnapshot(conn, s.db.Store, chbench.Tables(), 4096); err != nil {
+					conn.Close()
+				}
+			}()
+		}
+	}()
+	log.Printf("replication feed on %s (%d nodes)", repLn.Addr(), cfg.fleet)
+
+	backends := make([]fleet.Backend[*exec.Query, exec.Result], 0, cfg.fleet)
+	for i := 0; i < cfg.fleet; i++ {
+		rep := chbench.EmptyReplica(s.db, 8)
+		disableVec := !cfg.zonemaps || !cfg.compress
+		if cfg.zonemaps {
+			mt := cfg.morsel
+			if mt <= 0 {
+				mt = exec.DefaultMorselTuples
+			}
+			rep.EnableZoneMaps(mt)
+			if cfg.compress {
+				rep.EnableCompression()
+			}
+		}
+		n, err := node.Connect(repLn.Addr(), rep, node.Config{
+			Workers:           cfg.olapWorkers,
+			MorselTuples:      cfg.morsel,
+			DisableVectorized: disableVec,
+			Retry:             network.RetryPolicy{Attempts: 50, BaseDelay: 10 * time.Millisecond},
+			ReconnectPause:    50 * time.Millisecond,
+			Metrics:           s.reg,
+			MetricsLabels:     []obs.Label{obs.L("class", "chbench"), obs.L("member", strconv.Itoa(i))},
+		})
+		if err != nil {
+			return fmt.Errorf("fleet node %d: %w", i, err)
+		}
+		if !cfg.zonemaps {
+			n.Engine().DisablePruning = true
+		}
+		s.nodes = append(s.nodes, n)
+		backends = append(backends, n)
+	}
+	router, err := fleet.NewRouter[*exec.Query, exec.Result](backends, fleet.Config{
+		Deadline:       cfg.queryDeadline,
+		EjectStaleness: cfg.maxStaleness,
+	})
+	if err != nil {
+		return err
+	}
+	s.router = router
+	router.RegisterMetrics(s.reg, obs.L("class", "chbench"))
+	return nil
 }
 
 // serveLoop accepts client connections until the listener closes.
@@ -224,7 +341,18 @@ func (s *server) close() {
 	if s.dur != nil {
 		s.dur.StopRunner()
 	}
-	s.sched.Close()
+	if s.router != nil {
+		s.router.Close()
+	}
+	for _, n := range s.nodes {
+		n.Close()
+	}
+	if s.repLn != nil {
+		s.repLn.Close()
+	}
+	if s.sched != nil {
+		s.sched.Close()
+	}
 	s.engine.Close()
 }
 
@@ -287,12 +415,51 @@ func (s *server) serve(conn net.Conn) {
 			if len(fields) > 1 {
 				name = strings.ToUpper(fields[1])
 			}
+			if s.router != nil {
+				res, meta, err := s.router.Query(context.Background(), gen.ByName(name), s.budget)
+				if err != nil || res.Err != nil {
+					fmt.Fprintf(out, "ERR\t%v%v\n", err, res.Err)
+					break
+				}
+				fmt.Fprintf(out, "OK\t%s rows=%d values=%v member=%d attempts=%d stale=%v staleness=%v\n",
+					name, res.Rows, res.Values, meta.Backend, meta.Attempts, meta.Stale,
+					time.Duration(meta.StalenessNanos).Round(time.Millisecond))
+				break
+			}
 			res, err := s.sched.Query(gen.ByName(name))
 			if err != nil || res.Err != nil {
 				fmt.Fprintf(out, "ERR\t%v%v\n", err, res.Err)
 				break
 			}
 			fmt.Fprintf(out, "OK\t%s rows=%d values=%v\n", name, res.Rows, res.Values)
+		case "KILL":
+			if s.router == nil {
+				fmt.Fprintln(out, "ERR\tKILL requires -fleet mode")
+				break
+			}
+			i := int(argN(fields, 1, 0))
+			if i < 0 || i >= len(s.nodes) {
+				fmt.Fprintf(out, "ERR\tno member %d\n", i)
+				break
+			}
+			s.nodes[i].KillConnection()
+			fmt.Fprintf(out, "OK\tsevered member %d's feed; it reconnects and resyncs\n", i)
+		case "FLEET":
+			if s.router == nil {
+				fmt.Fprintln(out, "ERR\tFLEET requires -fleet mode")
+				break
+			}
+			st := s.router.Stats()
+			fmt.Fprintf(out, "OK\tqueries=%d answered=%d rejected=%d shed=%d retries=%d ejections=%d readmits=%d ejected_now=%d",
+				st.Queries.Load(), st.Answered.Load(), st.Rejected.Load(), st.Shed.Load(),
+				st.Retries.Load(), st.Ejections.Load(), st.Readmits.Load(), s.router.EjectedCount())
+			for i := range s.nodes {
+				h := s.router.MemberHealth(i)
+				fmt.Fprintf(out, " member%d[connected=%v vid=%d staleness=%v queue=%d]",
+					i, h.Connected, h.InstalledVID,
+					time.Duration(h.StalenessNanos).Round(time.Millisecond), h.QueueDepth)
+			}
+			fmt.Fprintln(out)
 		default:
 			fmt.Fprintf(out, "ERR\tunknown command %q\n", fields[0])
 		}

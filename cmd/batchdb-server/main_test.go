@@ -185,6 +185,60 @@ func TestServerStatsFromRegistry(t *testing.T) {
 	}
 }
 
+// TestServerFleetMode boots the server with -fleet 2 and drives the
+// routed analytical path over the protocol: QUERY reports routing
+// metadata, KILL severs a member's feed without losing query service,
+// and FLEET renders per-member health.
+func TestServerFleetMode(t *testing.T) {
+	s, err := newServer(serverConfig{
+		listen:        "127.0.0.1:0",
+		warehouses:    1,
+		olapWorkers:   2,
+		zonemaps:      true,
+		compress:      true,
+		fleet:         2,
+		queryDeadline: 10 * time.Second,
+		maxStaleness:  5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	go s.serveLoop()
+	t.Cleanup(s.close)
+	rw, closeConn := dialServer(t, s)
+	defer closeConn()
+
+	if r := roundTrip(t, rw, "PAYMENT 1 1 42"); !strings.HasPrefix(r, "OK\tvid=") {
+		t.Fatalf("PAYMENT: %q", r)
+	}
+	r := roundTrip(t, rw, "QUERY Q10")
+	if !strings.HasPrefix(r, "OK\tQ10") || !strings.Contains(r, "member=") {
+		t.Fatalf("routed QUERY: %q", r)
+	}
+	// Drill: sever member 0's replication feed. The router retries onto
+	// the healthy member (or the killed one after resync), so query
+	// service continues.
+	if r := roundTrip(t, rw, "KILL 0"); !strings.HasPrefix(r, "OK") {
+		t.Fatalf("KILL 0: %q", r)
+	}
+	if r := roundTrip(t, rw, "QUERY Q12"); !strings.HasPrefix(r, "OK\tQ12") {
+		t.Fatalf("QUERY after KILL: %q", r)
+	}
+	if r := roundTrip(t, rw, "KILL 9"); !strings.HasPrefix(r, "ERR") {
+		t.Fatalf("KILL 9 (out of range): %q", r)
+	}
+	fl := roundTrip(t, rw, "FLEET")
+	if !strings.HasPrefix(fl, "OK\t") || !strings.Contains(fl, "member0[") || !strings.Contains(fl, "member1[") {
+		t.Fatalf("FLEET: %q", fl)
+	}
+	// The fleet's router and per-member instruments land in the same
+	// registry STATS renders.
+	stats := roundTrip(t, rw, "STATS")
+	if !strings.Contains(stats, "batchdb_fleet_queries_total") {
+		t.Errorf("STATS missing batchdb_fleet_queries_total: %q", stats)
+	}
+}
+
 // TestServerQueryReply exercises the analytical path: a named CH query
 // over a freshly loaded warehouse must return rows through the
 // batch-at-a-time scheduler.

@@ -1,0 +1,129 @@
+package batchdb
+
+import (
+	"context"
+
+	"batchdb/internal/fleet"
+	"batchdb/internal/obs"
+)
+
+// Re-exported fleet types so callers configure routing without
+// importing internal packages.
+type (
+	// FleetBudget is the per-query SLO: deadline, staleness bound, and
+	// what to do when the bound cannot be met.
+	FleetBudget = fleet.Budget
+	// RouterConfig parameterizes the fleet router (deadlines, retry and
+	// hedge policy, breaker thresholds, load shedding).
+	RouterConfig = fleet.Config
+	// RouteMeta describes how one query was routed (which member
+	// answered, attempts, hedging, snapshot provenance, Stale flag).
+	RouteMeta = fleet.Meta
+)
+
+// Staleness policies for FleetBudget/RouterConfig.
+const (
+	StaleReject = fleet.StaleReject
+	StaleServe  = fleet.StaleServe
+)
+
+// Typed fleet routing errors (match with errors.Is).
+var (
+	ErrFleetOverloaded     = fleet.ErrOverloaded
+	ErrFleetNoHealthy      = fleet.ErrNoHealthy
+	ErrFleetStalenessUnmet = fleet.ErrStalenessUnmet
+	ErrFleetExhausted      = fleet.ErrExhausted
+	ErrFleetClosed         = fleet.ErrClosed
+)
+
+// FleetConfig parameterizes ConnectFleet.
+type FleetConfig struct {
+	// Replicas is the fleet size (default 3).
+	Replicas int
+	// Node parameterizes each replica node (partitions, workers,
+	// transport, faults). Node.Metrics also receives the router's
+	// instruments.
+	Node ReplicaNodeConfig
+	// Router parameterizes routing; the zero value gives 2s deadlines,
+	// 3 attempts, StaleReject, and hedging off.
+	Router RouterConfig
+}
+
+// Fleet is a router-fronted set of remote OLAP replica nodes: clients
+// submit queries to the fleet, never to a node. The router owns health
+// gating (circuit breaker + freshness + queue depth), bounded
+// retry/hedging under per-query budgets, staleness-bound enforcement,
+// and load shedding — the dispatch tier of ROADMAP item 1.
+type Fleet struct {
+	nodes  []*ReplicaNode
+	router *fleet.Router[*Query, Result]
+}
+
+// ConnectFleet dials the primary's replication address once per
+// replica, bootstraps each node, and fronts them with a router. Nodes
+// that fail to bootstrap abort the whole fleet (partial fleets would
+// silently shrink capacity; callers retry instead).
+func ConnectFleet(primaryAddr string, cfg FleetConfig, tables []ReplicaTable) (*Fleet, error) {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 3
+	}
+	f := &Fleet{}
+	backends := make([]fleet.Backend[*Query, Result], 0, cfg.Replicas)
+	for i := 0; i < cfg.Replicas; i++ {
+		n, err := ConnectReplica(primaryAddr, cfg.Node, tables)
+		if err != nil {
+			f.closeNodes()
+			return nil, err
+		}
+		f.nodes = append(f.nodes, n)
+		backends = append(backends, n.n)
+	}
+	router, err := fleet.NewRouter[*Query, Result](backends, cfg.Router)
+	if err != nil {
+		f.closeNodes()
+		return nil, err
+	}
+	f.router = router
+	if cfg.Node.Metrics != nil {
+		router.RegisterMetrics(cfg.Node.Metrics)
+	}
+	return f, nil
+}
+
+// Query routes one analytical query through the fleet under budget b.
+// The returned RouteMeta reports which node answered, the attempt and
+// hedge counts, and the answer's snapshot provenance; Meta.Stale marks
+// an answer served beyond the requested bound under StaleServe.
+func (f *Fleet) Query(ctx context.Context, q *Query, b FleetBudget) (Result, RouteMeta, error) {
+	return f.router.Query(ctx, q, b)
+}
+
+// Nodes exposes the fleet's members (fault hooks, per-node stats).
+func (f *Fleet) Nodes() []*ReplicaNode { return f.nodes }
+
+// Stats returns the router's counters.
+func (f *Fleet) Stats() *fleet.Stats { return f.router.Stats() }
+
+// Router exposes the underlying router (member health, ejected count).
+func (f *Fleet) Router() *fleet.Router[*Query, Result] { return f.router }
+
+// RegisterMetrics exposes the router's instruments through reg (the
+// nodes register theirs via ReplicaNodeConfig.Metrics at connect time).
+func (f *Fleet) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	f.router.RegisterMetrics(reg, labels...)
+}
+
+// Close stops routing, then closes every node.
+func (f *Fleet) Close() {
+	if f.router != nil {
+		f.router.Close()
+	}
+	f.closeNodes()
+}
+
+func (f *Fleet) closeNodes() {
+	for _, n := range f.nodes {
+		n.Close()
+	}
+	f.nodes = nil
+}

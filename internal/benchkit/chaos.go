@@ -1,0 +1,373 @@
+package benchkit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"batchdb/internal/chbench"
+	"batchdb/internal/fleet"
+	"batchdb/internal/fleet/node"
+	"batchdb/internal/metrics"
+	"batchdb/internal/mvcc"
+	"batchdb/internal/network"
+	"batchdb/internal/olap/exec"
+	"batchdb/internal/oltp"
+	"batchdb/internal/replica"
+	"batchdb/internal/tpcc"
+)
+
+// ChaosOpts parameterizes the fleet fault-injection experiment: a TPC-C
+// primary feeding a router-fronted fleet of remote OLAP replicas while
+// connections are killed and severed at random (ISSUE 7 acceptance).
+type ChaosOpts struct {
+	Scale       tpcc.Scale
+	OLTPWorkers int
+	OLAPWorkers int
+	Partitions  int
+	// Replicas is the fleet size (paper-model: one replica per OLAP
+	// socket; default 3).
+	Replicas int
+	// TxnClients and AnalyticalClients are closed-loop client counts.
+	TxnClients        int
+	AnalyticalClients int
+	Duration          time.Duration
+	Warmup            time.Duration
+	Seed              int64
+	// Deadline is the per-query routing deadline; MaxStaleness the
+	// per-query snapshot-age bound (StaleServe: older answers come back
+	// flagged, never silently).
+	Deadline     time.Duration
+	MaxStaleness time.Duration
+	// FaultEvery is the mean period between injected faults (kill or
+	// one-shot sever on a random member).
+	FaultEvery time.Duration
+	// OverheadProbes is the number of query pairs used to price the
+	// router against direct node dispatch on the healthy path.
+	OverheadProbes int
+}
+
+// ChaosResult reports the robustness contract the router must hold
+// under fault injection.
+type ChaosResult struct {
+	// Routing outcome counts over the measured window.
+	Queries  uint64
+	Answered uint64
+	Rejected uint64
+	Shed     uint64
+	// SuccessRate is Answered/Queries (acceptance: >= 0.99 under
+	// kill/sever chaos with 3 replicas).
+	SuccessRate float64
+	// StaleServed counts answers beyond the bound that were served
+	// flagged; BoundViolations counts answers beyond the bound that
+	// were NOT flagged (acceptance: zero).
+	StaleServed     uint64
+	BoundViolations uint64
+	// Fault-injection and recovery machinery counts.
+	Kills     uint64
+	Severs    uint64
+	Ejections uint64
+	Probes    uint64
+	Readmits  uint64
+	Retries   uint64
+	Hedges    uint64
+	HedgeWins uint64
+	// Routed query latency under chaos.
+	QueryP50, QueryP99 time.Duration
+	// Healthy-path overhead: median direct node query vs median routed
+	// query before any fault is injected (acceptance: <= 5%).
+	DirectP50    time.Duration
+	RoutedP50    time.Duration
+	OverheadFrac float64
+	// OLTP side stays alive through the chaos.
+	TxnPerSec float64
+}
+
+func (o *ChaosOpts) defaults() {
+	if o.Replicas <= 0 {
+		o.Replicas = 3
+	}
+	if o.Deadline <= 0 {
+		o.Deadline = 2 * time.Second
+	}
+	if o.MaxStaleness <= 0 {
+		o.MaxStaleness = 1 * time.Second
+	}
+	if o.FaultEvery <= 0 {
+		o.FaultEvery = 80 * time.Millisecond
+	}
+	if o.OverheadProbes <= 0 {
+		o.OverheadProbes = 60
+	}
+}
+
+// RunChaos executes the fleet fault-injection experiment.
+func RunChaos(o ChaosOpts) (ChaosResult, error) {
+	o.defaults()
+	db := tpcc.NewDB(o.Scale)
+	if err := tpcc.Generate(db, o.Seed); err != nil {
+		return ChaosResult{}, err
+	}
+	engine, err := oltp.New(db.Store, oltp.Config{
+		Workers:       o.OLTPWorkers,
+		Replicated:    tpcc.ReplicatedTables(),
+		FieldSpecific: true,
+		PushPeriod:    20 * time.Millisecond,
+	})
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	tpcc.RegisterProcs(engine, db, true)
+
+	// Replication accept loop: every (re)connecting node gets a
+	// publisher on the live feed plus a fresh snapshot — the same
+	// contract as the root API's ServeReplicas.
+	ln, err := network.Listen("127.0.0.1:0", nil)
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			pub := replica.NewPublisher(conn, engine)
+			engine.AddSink(pub)
+			go func() {
+				pub.Serve()
+				engine.RemoveSink(pub)
+			}()
+			go func() {
+				if _, err := replica.ShipSnapshot(conn, db.Store, chbench.Tables(), 4096); err != nil {
+					conn.Close()
+				}
+			}()
+		}
+	}()
+	engine.Start()
+
+	nodes := make([]*node.Node, o.Replicas)
+	backends := make([]fleet.Backend[*exec.Query, exec.Result], o.Replicas)
+	for i := range nodes {
+		rep := chbench.EmptyReplica(db, o.Partitions)
+		n, err := node.Connect(ln.Addr(), rep, node.Config{
+			Workers:        o.OLAPWorkers,
+			Retry:          network.RetryPolicy{Attempts: 50, BaseDelay: 5 * time.Millisecond},
+			ReconnectPause: 10 * time.Millisecond,
+		})
+		if err != nil {
+			ln.Close()
+			engine.Close()
+			return ChaosResult{}, fmt.Errorf("node %d: %w", i, err)
+		}
+		nodes[i] = n
+		backends[i] = n
+	}
+	router, err := fleet.NewRouter[*exec.Query, exec.Result](backends, fleet.Config{
+		Deadline:         o.Deadline,
+		MaxAttempts:      3,
+		FailureThreshold: 3,
+		ProbeBackoff:     20 * time.Millisecond,
+		EjectStaleness:   o.MaxStaleness,
+	})
+	if err != nil {
+		ln.Close()
+		engine.Close()
+		return ChaosResult{}, err
+	}
+	defer func() {
+		router.Close()
+		for _, n := range nodes {
+			n.Close()
+		}
+		ln.Close()
+		engine.Close()
+	}()
+
+	// Healthy-path overhead: interleaved direct-vs-routed probes on the
+	// same freshly generated queries, before any fault. The probe router
+	// fronts only node 0 — the node the direct calls hit — so both sides
+	// pay the same batch sync round on the same member and the delta is
+	// pure router machinery (health reads, breaker, budget bookkeeping).
+	var res ChaosResult
+	var directHist, routedHist metrics.Histogram
+	probeGen := chbench.NewGen(db.Schemas, o.Seed+555)
+	budget := fleet.Budget{MaxStaleness: o.MaxStaleness, StalePolicy: fleet.StaleServe}
+	probeRouter, err := fleet.NewRouter[*exec.Query, exec.Result](backends[:1], fleet.Config{
+		Deadline: o.Deadline,
+	})
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	for i := 0; i < o.OverheadProbes; i++ {
+		q := probeGen.Next()
+		start := time.Now()
+		if _, err := nodes[0].QueryContext(context.Background(), q); err != nil {
+			return ChaosResult{}, fmt.Errorf("direct probe: %w", err)
+		}
+		directHist.RecordSince(start)
+		start = time.Now()
+		if _, _, err := probeRouter.Query(context.Background(), q, budget); err != nil {
+			return ChaosResult{}, fmt.Errorf("routed probe: %w", err)
+		}
+		routedHist.RecordSince(start)
+	}
+	probeRouter.Close()
+	res.DirectP50 = time.Duration(directHist.Percentile(50))
+	res.RoutedP50 = time.Duration(routedHist.Percentile(50))
+	if res.DirectP50 > 0 {
+		res.OverheadFrac = float64(res.RoutedP50-res.DirectP50) / float64(res.DirectP50)
+	}
+	// Snapshot so chaos-phase counters start clean of the probe phase.
+	baseRejected := router.Stats().Rejected.Load()
+	baseShed := router.Stats().Shed.Load()
+
+	var (
+		txnCount                                atomic.Uint64
+		queries, answered, staleServed, bounded atomic.Uint64
+		kills, severs                           atomic.Uint64
+		qryHist                                 metrics.Histogram
+		failure                                 error
+		failOnce                                sync.Once
+	)
+	stop := make(chan struct{})
+	measuring := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for c := 0; c < o.TxnClients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			drv := tpcc.NewDriver(db.Scale, seed)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				proc, args := drv.Next()
+				r := engine.Exec(proc, args)
+				switch {
+				case r.Err == nil, errors.Is(r.Err, tpcc.ErrRollback), errors.Is(r.Err, mvcc.ErrConflict):
+					select {
+					case <-measuring:
+						if r.Err == nil {
+							txnCount.Add(1)
+						}
+					default:
+					}
+				case errors.Is(r.Err, oltp.ErrClosed):
+					return
+				default:
+					failOnce.Do(func() { failure = r.Err })
+					return
+				}
+			}
+		}(o.Seed + int64(c) + 1)
+	}
+
+	for c := 0; c < o.AnalyticalClients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			gen := chbench.NewGen(db.Schemas, seed)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := gen.Next()
+				start := time.Now()
+				r, meta, err := router.Query(context.Background(), q, budget)
+				measured := false
+				select {
+				case <-measuring:
+					measured = true
+				default:
+				}
+				if measured {
+					queries.Add(1)
+				}
+				if err != nil {
+					continue // typed rejection within the deadline, not a hang
+				}
+				if r.Err != nil {
+					failOnce.Do(func() { failure = r.Err })
+					return
+				}
+				if measured {
+					answered.Add(1)
+					qryHist.RecordSince(start)
+					if meta.Stale {
+						staleServed.Add(1)
+					} else if meta.StalenessNanos > int64(o.MaxStaleness) {
+						bounded.Add(1)
+					}
+				}
+			}
+		}(o.Seed + 10000 + int64(c))
+	}
+
+	// Fault injector: repeated kills and one-shot severs on random
+	// members — the acceptance-criteria fault mix.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rnd := rand.New(rand.NewSource(o.Seed + 99))
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(o.FaultEvery/2 + time.Duration(rnd.Int63n(int64(o.FaultEvery)))):
+			}
+			n := nodes[rnd.Intn(len(nodes))]
+			if rnd.Intn(2) == 0 {
+				n.KillConnection()
+				kills.Add(1)
+			} else {
+				n.InjectFault(network.SeverAfter(network.FaultRecv, 1+rnd.Intn(50)))
+				severs.Add(1)
+			}
+		}
+	}()
+
+	time.Sleep(o.Warmup)
+	close(measuring)
+	t0 := time.Now()
+	time.Sleep(o.Duration)
+	elapsed := time.Since(t0)
+	close(stop)
+	wg.Wait()
+	if failure != nil {
+		return ChaosResult{}, failure
+	}
+
+	st := router.Stats()
+	res.Queries = queries.Load()
+	res.Answered = answered.Load()
+	res.Rejected = st.Rejected.Load() - baseRejected
+	res.Shed = st.Shed.Load() - baseShed
+	if res.Queries > 0 {
+		res.SuccessRate = float64(res.Answered) / float64(res.Queries)
+	}
+	res.StaleServed = staleServed.Load()
+	res.BoundViolations = bounded.Load()
+	res.Kills = kills.Load()
+	res.Severs = severs.Load()
+	res.Ejections = st.Ejections.Load()
+	res.Probes = st.Probes.Load()
+	res.Readmits = st.Readmits.Load()
+	res.Retries = st.Retries.Load()
+	res.Hedges = st.Hedges.Load()
+	res.HedgeWins = st.HedgeWins.Load()
+	res.QueryP50 = time.Duration(qryHist.Percentile(50))
+	res.QueryP99 = time.Duration(qryHist.Percentile(99))
+	res.TxnPerSec = float64(txnCount.Load()) / elapsed.Seconds()
+	return res, nil
+}

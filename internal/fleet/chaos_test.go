@@ -1,0 +1,319 @@
+// Chaos soak: a 3-node fleet under a live OLTP feed while connections
+// are killed, severed, and delayed at random. Asserts the router's
+// robustness contract — no lost answers (every query returns within its
+// deadline), no silently stale results (anything beyond the bound is
+// flagged Stale or rejected), and counter/gauge consistency — then that
+// the fleet converges back to fresh answers once the chaos stops.
+//
+// External test package: it wires real nodes (internal/fleet/node),
+// which imports internal/fleet.
+package fleet_test
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"batchdb/internal/fleet"
+	"batchdb/internal/fleet/node"
+	"batchdb/internal/mvcc"
+	"batchdb/internal/network"
+	"batchdb/internal/olap"
+	"batchdb/internal/olap/exec"
+	"batchdb/internal/oltp"
+	"batchdb/internal/replica"
+	"batchdb/internal/storage"
+)
+
+func putArgs(k, v int64) []byte {
+	b := make([]byte, 16)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(k) >> (8 * i))
+		b[8+i] = byte(uint64(v) >> (8 * i))
+	}
+	return b
+}
+
+// chaosPrimary is a served kv primary: a "put" procedure, a replication
+// accept loop, and a live push feed — the same wiring as the root API's
+// ServeReplicas, scaled down to one table.
+type chaosPrimary struct {
+	engine *oltp.Engine
+	schema *storage.Schema
+	addr   string
+}
+
+func newChaosPrimary(t *testing.T) *chaosPrimary {
+	t.Helper()
+	schema := storage.NewSchema(1, "kv", []storage.Column{
+		{Name: "k", Type: storage.Int64},
+		{Name: "v", Type: storage.Int64},
+	}, []int{0})
+	store := mvcc.NewStore()
+	tbl := store.CreateTable(schema, func(tup []byte) uint64 {
+		return uint64(schema.GetInt64(tup, 0))
+	}, 4096)
+	engine, err := oltp.New(store, oltp.Config{Workers: 2, PushPeriod: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Register("put", func(tx *mvcc.Txn, args []byte) ([]byte, error) {
+		tup := schema.NewTuple()
+		schema.PutInt64(tup, 0, schema.GetInt64(args, 0))
+		schema.PutInt64(tup, 1, schema.GetInt64(args, 1))
+		_, err := tx.Insert(tbl, tup)
+		return nil, err
+	})
+	l, err := network.Listen("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			pub := replica.NewPublisher(conn, engine)
+			engine.AddSink(pub)
+			go func() {
+				pub.Serve()
+				engine.RemoveSink(pub)
+			}()
+			go func() {
+				if _, err := replica.ShipSnapshot(conn, engine.Store(), []storage.TableID{1}, 64); err != nil {
+					conn.Close()
+				}
+			}()
+		}
+	}()
+	engine.Start()
+	t.Cleanup(func() {
+		l.Close()
+		engine.Close()
+	})
+	return &chaosPrimary{engine: engine, schema: schema, addr: l.Addr()}
+}
+
+func (p *chaosPrimary) connectNode(t *testing.T) *node.Node {
+	t.Helper()
+	rep := olap.NewReplica(2)
+	rep.CreateTable(p.schema, 4096)
+	n, err := node.Connect(p.addr, rep, node.Config{
+		Workers:        2,
+		Retry:          network.RetryPolicy{Attempts: 30, BaseDelay: 5 * time.Millisecond},
+		ReconnectPause: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	return n
+}
+
+func TestChaosSoak(t *testing.T) {
+	soak := 4 * time.Second
+	clients := 6
+	if testing.Short() {
+		soak = 1500 * time.Millisecond
+		clients = 4
+	}
+	seed := time.Now().UnixNano()
+	t.Logf("chaos seed %d", seed)
+
+	p := newChaosPrimary(t)
+	const replicas = 3
+	nodes := make([]*node.Node, replicas)
+	backends := make([]fleet.Backend[*exec.Query, exec.Result], replicas)
+	for i := range nodes {
+		nodes[i] = p.connectNode(t)
+		backends[i] = nodes[i]
+	}
+	// The bound is short enough that a held-down replica's answers
+	// exceed it mid-soak, and the deadline short enough that a wedged
+	// replica times out — so staleness enforcement, retries, and the
+	// breaker all see real traffic.
+	const bound = 600 * time.Millisecond
+	router, err := fleet.NewRouter[*exec.Query, exec.Result](backends, fleet.Config{
+		Deadline:         1 * time.Second,
+		MaxAttempts:      3,
+		RetryBackoff:     2 * time.Millisecond,
+		FailureThreshold: 3,
+		ProbeBackoff:     20 * time.Millisecond,
+		EjectStaleness:   bound,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// OLTP writers: a monotone stream of inserts with unique keys, so a
+	// replica's row count never exceeds the primary's at any moment.
+	var nextKey, written atomic.Int64
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := nextKey.Add(1)
+				if r := p.engine.Exec("put", putArgs(k, k)); r.Err != nil {
+					t.Errorf("put: %v", r.Err)
+					return
+				}
+				written.Add(1)
+			}
+		}()
+	}
+
+	// Chaos injector: every few milliseconds, hit a random node with a
+	// connection kill, a one-shot sever, a held-down outage longer than
+	// the staleness bound (exercising stale gating/serving), or a wedge
+	// delay longer than the query deadline (exercising timeouts, retry,
+	// and the breaker).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rnd := rand.New(rand.NewSource(seed))
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Duration(20+rnd.Intn(60)) * time.Millisecond):
+			}
+			n := nodes[rnd.Intn(len(nodes))]
+			switch rnd.Intn(4) {
+			case 0:
+				n.KillConnection()
+			case 1:
+				n.InjectFault(network.SeverAfter(network.FaultRecv, 1+rnd.Intn(20)))
+			case 2:
+				// Hold the node down past the staleness bound: repeated
+				// kills defeat its reconnect loop for outage long.
+				outage := bound + time.Duration(rnd.Intn(600))*time.Millisecond
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					end := time.Now().Add(outage)
+					for time.Now().Before(end) {
+						n.KillConnection()
+						select {
+						case <-stop:
+							return
+						case <-time.After(10 * time.Millisecond):
+						}
+					}
+				}()
+			case 3:
+				n.InjectFault(network.DelayAll(network.FaultRecv,
+					time.Duration(500+rnd.Intn(1500))*time.Millisecond))
+			}
+		}
+	}()
+
+	// Query clients: closed loop against the router. Every call must
+	// return (the deadline guarantees it); successes must be consistent
+	// (count ≤ rows written) and never silently beyond the bound.
+	countQ := func() *exec.Query {
+		return &exec.Query{Name: "count", Driver: 1, Aggs: []exec.AggSpec{{Kind: exec.Count}}}
+	}
+	var launched, returned, answered, staleServed, boundViolations, tooMany atomic.Int64
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				launched.Add(1)
+				res, meta, err := router.Query(context.Background(), countQ(), fleet.Budget{
+					MaxStaleness: bound,
+					StalePolicy:  fleet.StaleServe,
+				})
+				returned.Add(1)
+				if err != nil {
+					continue // typed rejection, not a lost answer
+				}
+				answered.Add(1)
+				if meta.Stale {
+					staleServed.Add(1)
+				} else if meta.StalenessNanos > int64(bound) {
+					boundViolations.Add(1)
+				}
+				if res.Err == nil && int64(res.Values[0]) > written.Load() {
+					tooMany.Add(1)
+				}
+			}
+		}()
+	}
+
+	time.Sleep(soak)
+	close(stop)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("workload did not drain: a query was lost past its deadline")
+	}
+
+	if launched.Load() != returned.Load() {
+		t.Fatalf("lost answers: launched %d, returned %d", launched.Load(), returned.Load())
+	}
+	if answered.Load() == 0 {
+		t.Fatal("no query answered during the soak")
+	}
+	if v := boundViolations.Load(); v != 0 {
+		t.Fatalf("%d results exceeded the staleness bound without a Stale flag", v)
+	}
+	if v := tooMany.Load(); v != 0 {
+		t.Fatalf("%d results counted rows the primary never committed", v)
+	}
+	st := router.Stats()
+	if st.Queries.Load() != st.Answered.Load()+st.Rejected.Load()+st.Shed.Load() {
+		t.Fatalf("counter drift: queries %d != answered %d + rejected %d + shed %d",
+			st.Queries.Load(), st.Answered.Load(), st.Rejected.Load(), st.Shed.Load())
+	}
+	if int(st.Ejections.Load())-int(st.Readmits.Load()) != router.EjectedCount() {
+		t.Fatalf("breaker gauge drift: ejections %d, readmits %d, currently ejected %d",
+			st.Ejections.Load(), st.Readmits.Load(), router.EjectedCount())
+	}
+	if st.HedgeWins.Load() > st.Hedges.Load() {
+		t.Fatal("hedge wins exceed hedges")
+	}
+	t.Logf("soak: %d queries, %d answered (%d stale-served), %d rejected; %d ejections, %d probes, %d readmits, %d retries",
+		st.Queries.Load(), st.Answered.Load(), staleServed.Load(), st.Rejected.Load(),
+		st.Ejections.Load(), st.Probes.Load(), st.Readmits.Load(), st.Retries.Load())
+
+	// After the chaos stops, the fleet must converge: faults cleared,
+	// every node reconnects, and a bounded-staleness query succeeds
+	// fresh.
+	for _, n := range nodes {
+		n.InjectFault(nil)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		res, meta, err := router.Query(context.Background(), countQ(), fleet.Budget{
+			MaxStaleness: bound,
+		})
+		if err == nil && !meta.Stale && res.Err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet did not recover after chaos: err=%v meta=%+v", err, meta)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"batchdb/internal/obs"
 	"batchdb/internal/olap"
 	"batchdb/internal/storage"
 )
@@ -117,6 +118,25 @@ type Result struct {
 	// predicates and probes.
 	Rows int64
 	Err  error
+
+	// SnapshotVID is the snapshot version the batch executed on.
+	SnapshotVID uint64
+	// StalenessNanos is the wall-clock age of that snapshot at batch
+	// start (from the scheduler's freshness tracker, when attached via
+	// AttachFreshness) — how far behind the primary this answer may be.
+	StalenessNanos int64
+	// Degraded marks an answer computed while the replica's feed from
+	// the primary was down: the snapshot cannot advance until resync, so
+	// the staleness above keeps growing. Stamped by the replica node,
+	// not the engine (the engine doesn't know about transports).
+	Degraded bool
+}
+
+// SnapshotMeta reports the answer's snapshot provenance. The fleet
+// router discovers it through a structural interface, so exec stays
+// free of router imports.
+func (r Result) SnapshotMeta() (vid uint64, stalenessNanos int64, degraded bool) {
+	return r.SnapshotVID, r.StalenessNanos, r.Degraded
 }
 
 // DefaultMorselTuples is the scan-range granularity when the engine's
@@ -164,6 +184,10 @@ type Engine struct {
 
 	// stats, when attached, receives per-batch phase timings.
 	stats *olap.SchedulerStats
+
+	// fresh, when attached, stamps each Result with the snapshot's
+	// wall-clock staleness.
+	fresh *obs.Freshness
 
 	mu     sync.Mutex
 	builds map[buildID]*buildEntry
@@ -217,6 +241,11 @@ func NewEngine(replica *olap.Replica, workers int) *Engine {
 // RunBatch records its per-phase timings (build-prepare, scan, merge)
 // there.
 func (e *Engine) AttachStats(st *olap.SchedulerStats) { e.stats = st }
+
+// AttachFreshness points the engine at the scheduler's freshness
+// tracker so every Result is stamped with the wall-clock staleness of
+// the snapshot it was computed on. Set before the first RunBatch.
+func (e *Engine) AttachFreshness(f *obs.Freshness) { e.fresh = f }
 
 // morsel is one unit of scan work: a slot range of one partition.
 type morsel struct {
@@ -313,9 +342,15 @@ func (e *Engine) forEachMorsel(ms []morsel, begin func(worker int, m morsel) (fu
 // called by the scheduler with updates quiesced.
 func (e *Engine) RunBatch(queries []*Query, snap uint64) []Result {
 	results := make([]Result, len(queries))
+	var stale int64
+	if e.fresh != nil {
+		stale = e.fresh.StalenessNanos()
+	}
 	for i, q := range queries {
 		results[i].Query = q
 		results[i].Values = make([]float64, len(q.Aggs))
+		results[i].SnapshotVID = snap
+		results[i].StalenessNanos = stale
 	}
 
 	// Stage 1: ensure every needed join build exists and is current.

@@ -79,4 +79,7 @@ func (s *Scheduler[Q, R]) RegisterMetrics(reg *obs.Registry, labels ...obs.Label
 	s.stats.Register(reg, labels...)
 	s.replica.RegisterMetrics(reg, labels...)
 	s.fresh.Register(reg, labels...)
+	reg.GaugeFunc("batchdb_olap_queue_depth",
+		"Queries waiting in the dispatcher's admission queue.",
+		func() float64 { return float64(s.QueueDepth()) }, labels...)
 }

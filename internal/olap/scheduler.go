@@ -1,8 +1,10 @@
 package olap
 
 import (
+	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"batchdb/internal/metrics"
@@ -65,7 +67,7 @@ type SchedulerStats struct {
 	// query's selection bitmap came from FilterRange; only survivors
 	// were materialized from the raw rows).
 	ExecBlocksVectorized metrics.Counter
-	Busy              metrics.BusyTracker
+	Busy                 metrics.BusyTracker
 }
 
 // Scheduler is the OLAP dispatcher (paper Fig. 1 right, §5 "Query
@@ -83,6 +85,8 @@ type Scheduler[Q, R any] struct {
 	closing   chan struct{}
 	closed    chan struct{}
 	closeOnce sync.Once
+	started   atomic.Bool
+	lifeMu    sync.Mutex // arbitrates Start vs Close: exactly one party closes `closed`
 	maxBatch  int
 
 	stats SchedulerStats
@@ -133,33 +137,89 @@ func (s *Scheduler[Q, R]) LastApply() ApplyStats {
 	return s.lastApply
 }
 
-// Start launches the dispatcher loop.
-func (s *Scheduler[Q, R]) Start() { go s.loop() }
+// Start launches the dispatcher loop. Extra calls are no-ops, and so is
+// Start after Close: once closed, no loop may run (it would race the
+// already-closed `closed` channel queries unblock on).
+func (s *Scheduler[Q, R]) Start() {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	select {
+	case <-s.closing:
+		return
+	default:
+	}
+	if s.started.Swap(true) {
+		return
+	}
+	go s.loop()
+}
 
 // Close stops the dispatcher after the current batch. It is idempotent:
-// extra calls wait for the same shutdown instead of panicking.
+// extra calls wait for the same shutdown instead of panicking. Closing
+// a scheduler that was never started does not block (there is no loop
+// to wait for) — Close closes `closed` itself so queries that slipped
+// into the queue still unblock with ErrSchedulerClosed either way.
 func (s *Scheduler[Q, R]) Close() {
-	s.closeOnce.Do(func() { close(s.closing) })
+	s.lifeMu.Lock()
+	s.closeOnce.Do(func() {
+		close(s.closing)
+		if !s.started.Load() {
+			close(s.closed) // no loop will ever run to close it
+		}
+	})
+	s.lifeMu.Unlock()
 	<-s.closed
 }
 
-// ErrSchedulerClosed reports a query submitted after Close.
+// ErrSchedulerClosed reports a query submitted after (or racing) Close.
 var ErrSchedulerClosed = errors.New("olap: scheduler closed")
+
+// QueueDepth returns the number of queries waiting to join a batch —
+// the dispatcher's admission queue depth, one of the health signals a
+// fleet router gates replica selection on.
+func (s *Scheduler[Q, R]) QueueDepth() int { return len(s.queue) }
 
 // Query submits one analytical query and waits for its result.
 func (s *Scheduler[Q, R]) Query(q Q) (R, error) {
+	return s.QueryContext(context.Background(), q)
+}
+
+// QueryContext submits one analytical query and waits for its result,
+// honoring ctx during both the enqueue and the wait. It returns
+// ctx.Err() when the context expires first and ErrSchedulerClosed when
+// Close wins the race — never blocking past either signal. A request
+// abandoned by its caller is still executed with its batch; the reply
+// is buffered, so the dispatcher never blocks on a departed caller.
+func (s *Scheduler[Q, R]) QueryContext(ctx context.Context, q Q) (R, error) {
 	var zero R
 	reply := make(chan R, 1)
 	select {
 	case s.queue <- schedReq[Q, R]{q: q, reply: reply, arrived: time.Now()}:
 	case <-s.closing:
 		return zero, ErrSchedulerClosed
+	case <-ctx.Done():
+		return zero, ctx.Err()
 	}
 	select {
 	case r := <-reply:
 		return r, nil
 	case <-s.closed:
+		// Both channels may be ready (the loop answered the batch and
+		// shut down); prefer the computed answer over reporting a close
+		// — dropping it here would lose a result the caller paid for.
+		select {
+		case r := <-reply:
+			return r, nil
+		default:
+		}
 		return zero, ErrSchedulerClosed
+	case <-ctx.Done():
+		select {
+		case r := <-reply:
+			return r, nil
+		default:
+		}
+		return zero, ctx.Err()
 	}
 }
 

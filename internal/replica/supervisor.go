@@ -56,6 +56,9 @@ type Status struct {
 	// Degraded is the cumulative time without a live connection,
 	// including the current outage if disconnected now.
 	Degraded time.Duration
+	// CurrentOutage is the duration of the outage in progress (zero when
+	// connected) — the health signal a fleet router ejects on.
+	CurrentOutage time.Duration
 	// LastError is the most recent connection or bootstrap error.
 	LastError error
 }
@@ -174,7 +177,8 @@ func (s *Supervisor) Status() Status {
 		LastError:    s.lastErr,
 	}
 	if !s.degradedSince.IsZero() {
-		st.Degraded += time.Since(s.degradedSince)
+		st.CurrentOutage = time.Since(s.degradedSince)
+		st.Degraded += st.CurrentOutage
 	}
 	return st
 }

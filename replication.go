@@ -1,11 +1,14 @@
 package batchdb
 
 import (
+	"context"
 	"errors"
 	"time"
 
 	"fmt"
 
+	"batchdb/internal/fleet"
+	"batchdb/internal/fleet/node"
 	"batchdb/internal/metrics"
 	"batchdb/internal/network"
 	"batchdb/internal/obs"
@@ -256,31 +259,20 @@ type ReplicaNodeConfig struct {
 // primary-local replica (paper §6, "Distributed (RDMA) Replicas").
 //
 // The node's connection is supervised: if it drops, the node keeps
-// serving queries from its last consistent snapshot (degraded mode,
-// visible via Status) while reconnecting with backoff and resyncing
-// from a fresh snapshot.
+// serving queries from its last consistent snapshot — explicitly:
+// results carry their snapshot VID and wall-clock staleness, and are
+// marked Degraded while the feed is down — while the supervisor
+// reconnects with backoff and resyncs from a fresh snapshot.
+//
+// ReplicaNode wraps internal/fleet/node.Node, the unit the fleet router
+// (ConnectFleet) fans queries across.
 type ReplicaNode struct {
-	sup   *replica.Supervisor
-	rep   *olap.Replica
-	execE *exec.Engine
-	sched *olap.Scheduler[*Query, Result]
+	n *node.Node
 }
 
-// ConnectReplica dials a primary's replication address, bootstraps, and
-// starts serving queries.
-func ConnectReplica(primaryAddr string, cfg ReplicaNodeConfig, tables []ReplicaTable) (*ReplicaNode, error) {
-	if cfg.Partitions <= 0 {
-		cfg.Partitions = 4
-	}
-	if cfg.Workers <= 0 {
-		cfg.Workers = 4
-	}
-	if cfg.Transport.SendTimeout <= 0 {
-		cfg.Transport.SendTimeout = 10 * time.Second
-	}
-	if cfg.Transport.GrantTimeout <= 0 {
-		cfg.Transport.GrantTimeout = 10 * time.Second
-	}
+// newNodeReplica builds the columnar replica a node serves from,
+// per-table, with the synopsis/compression layers cfg selects.
+func newNodeReplica(cfg ReplicaNodeConfig, tables []ReplicaTable) *olap.Replica {
 	rep := olap.NewReplica(cfg.Partitions)
 	if !cfg.DisableZoneMaps {
 		mt := cfg.MorselTuples
@@ -299,67 +291,82 @@ func ConnectReplica(primaryAddr string, cfg ReplicaNodeConfig, tables []ReplicaT
 		}
 		rep.CreateTable(t.Schema, hint)
 	}
-	sup := replica.NewSupervisor(primaryAddr, rep, replica.SupervisorConfig{
-		Retry:          cfg.Retry,
-		Transport:      cfg.Transport,
-		ReconnectPause: cfg.ReconnectPause,
-		Fault:          cfg.Fault,
-	})
-	sup.Start()
-	if _, err := sup.WaitBootstrap(); err != nil {
-		sup.Close()
+	return rep
+}
+
+func (cfg ReplicaNodeConfig) nodeConfig(labels ...obs.Label) node.Config {
+	return node.Config{
+		Workers:           cfg.Workers,
+		MorselTuples:      cfg.MorselTuples,
+		DisableVectorized: cfg.DisableCompression || cfg.DisableZoneMaps,
+		Retry:             cfg.Retry,
+		Transport:         cfg.Transport,
+		ReconnectPause:    cfg.ReconnectPause,
+		Fault:             cfg.Fault,
+		Metrics:           cfg.Metrics,
+		MetricsLabels:     labels,
+	}
+}
+
+// ConnectReplica dials a primary's replication address, bootstraps, and
+// starts serving queries.
+func ConnectReplica(primaryAddr string, cfg ReplicaNodeConfig, tables []ReplicaTable) (*ReplicaNode, error) {
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 4
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	rep := newNodeReplica(cfg, tables)
+	n, err := node.Connect(primaryAddr, rep, cfg.nodeConfig(obs.L("class", "remote")))
+	if err != nil {
 		return nil, err
 	}
-	n := &ReplicaNode{sup: sup, rep: rep}
-	rep.SetApplyWorkers(cfg.Workers)
-	n.execE = exec.NewEngine(rep, cfg.Workers)
-	if cfg.MorselTuples > 0 {
-		n.execE.MorselTuples = cfg.MorselTuples
-	}
-	n.execE.DisableVectorized = cfg.DisableCompression || cfg.DisableZoneMaps
-	n.sched = olap.NewScheduler[*Query, Result](rep, sup, n.execE.RunBatch)
-	n.execE.AttachStats(n.sched.Stats())
-	if cfg.Metrics != nil {
-		n.sched.RegisterMetrics(cfg.Metrics, obs.L("class", "remote"))
-		sup.RegisterMetrics(cfg.Metrics, obs.L("class", "remote"))
-	}
-	n.sched.Start()
-	return n, nil
+	return &ReplicaNode{n: n}, nil
 }
 
 // Query submits one analytical query to this replica node.
-func (n *ReplicaNode) Query(q *Query) (Result, error) { return n.sched.Query(q) }
+func (n *ReplicaNode) Query(q *Query) (Result, error) { return n.n.Query(q) }
+
+// QueryContext submits one analytical query, honoring ctx during both
+// enqueue and wait. While the node is degraded (feed to the primary
+// down) the result is marked Degraded and carries its snapshot VID and
+// wall-clock staleness, so callers can tell how old the answer is.
+func (n *ReplicaNode) QueryContext(ctx context.Context, q *Query) (Result, error) {
+	return n.n.QueryContext(ctx, q)
+}
+
+// Health reports the node's routing-relevant health signals (connection
+// state, snapshot freshness, scheduler queue depth).
+func (n *ReplicaNode) Health() fleet.Health { return n.n.Health() }
 
 // Stats returns the node's dispatcher counters.
-func (n *ReplicaNode) Stats() *olap.SchedulerStats { return n.sched.Stats() }
+func (n *ReplicaNode) Stats() *olap.SchedulerStats { return n.n.Stats() }
 
 // Replica exposes the node's local replica state.
-func (n *ReplicaNode) Replica() *olap.Replica { return n.rep }
+func (n *ReplicaNode) Replica() *olap.Replica { return n.n.Replica() }
 
 // TransportStats returns the node's network counters accumulated across
 // every connection it established (eager vs rendezvous messages, buffer
 // reuse, retries, severed connections).
-func (n *ReplicaNode) TransportStats() *network.Stats { return n.sup.NetStats() }
+func (n *ReplicaNode) TransportStats() *network.Stats { return n.n.TransportStats() }
 
 // ReplicaStats returns the node's robustness counters (reconnects,
 // resyncs, degraded time).
-func (n *ReplicaNode) ReplicaStats() *replica.Stats { return n.sup.Stats() }
+func (n *ReplicaNode) ReplicaStats() *replica.Stats { return n.n.ReplicaStats() }
 
 // Status reports the replication channel's health: whether the node is
 // connected or serving degraded (stale but consistent) data, how often
 // it reconnected and resynced, and the cumulative degraded time.
-func (n *ReplicaNode) Status() replica.Status { return n.sup.Status() }
+func (n *ReplicaNode) Status() replica.Status { return n.n.Status() }
 
 // KillConnection severs the node's current connection to the primary —
 // a fault hook for tests and operational drills. The node reconnects
 // and resyncs automatically.
-func (n *ReplicaNode) KillConnection() { n.sup.KillConnection() }
+func (n *ReplicaNode) KillConnection() { n.n.KillConnection() }
 
 // InjectFault installs a fault policy on the node's current connection.
-func (n *ReplicaNode) InjectFault(p network.FaultPolicy) { n.sup.InjectFault(p) }
+func (n *ReplicaNode) InjectFault(p network.FaultPolicy) { n.n.InjectFault(p) }
 
 // Close disconnects and stops the node.
-func (n *ReplicaNode) Close() {
-	n.sched.Close()
-	n.sup.Close()
-}
+func (n *ReplicaNode) Close() { n.n.Close() }
