@@ -14,6 +14,7 @@
 //	batchdb-bench -exp compress   # compressed-block kernels vs tuple-at-a-time
 //	batchdb-bench -exp freshness  # OLAP snapshot freshness lag vs batch size
 //	batchdb-bench -exp chaos      # fleet router under kill/sever fault injection
+//	batchdb-bench -exp mqo        # shared aggregation pipelines vs query-at-a-time
 //	batchdb-bench -exp all
 //
 // Numbers marked "projected" combine host measurements with the
@@ -37,7 +38,7 @@ import (
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment: fig5a|fig5b|fig6|table1|fig7|fig8|fig9|olapscale|prune|compress|freshness|chaos|all")
+	expFlag   = flag.String("exp", "all", "experiment: fig5a|fig5b|fig6|table1|fig7|fig8|fig9|olapscale|prune|compress|freshness|chaos|mqo|all")
 	jsonFlag  = flag.String("json", "", "write the olapscale/prune summary as JSON to this file (e.g. BENCH_OLAP.json)")
 	durFlag   = flag.Duration("duration", 2*time.Second, "measurement window per cell")
 	warmFlag  = flag.Duration("warmup", 500*time.Millisecond, "warmup per cell")
@@ -65,9 +66,10 @@ func main() {
 		"compress":  compress,
 		"freshness": freshness,
 		"chaos":     chaos,
+		"mqo":       mqo,
 	}
 	if *expFlag == "all" {
-		for _, name := range []string{"fig5a", "fig5b", "fig6", "table1", "fig7", "fig8", "fig9", "olapscale", "prune", "compress", "freshness", "chaos"} {
+		for _, name := range []string{"fig5a", "fig5b", "fig6", "table1", "fig7", "fig8", "fig9", "olapscale", "prune", "compress", "freshness", "chaos", "mqo"} {
 			exps[name]()
 		}
 		return
@@ -778,6 +780,52 @@ func chaos() {
 	fmt.Println("probes them back in once they recover")
 	if *jsonFlag != "" {
 		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*jsonFlag, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonFlag)
+	}
+}
+
+// mqo: the batch planner's shared aggregation pipelines vs
+// query-at-a-time on the same batches, swept over batch size and
+// overlap fraction, plus the cost-based admission model
+// (BENCH_MQO.json with -json).
+func mqo() {
+	header("Multi-query optimization: shared pipelines vs query-at-a-time (CH Q5 batches)")
+	opts := benchkit.MQOOpts{Scale: scale(*wFlag), Seed: *seedFlag}
+	if *quickFlag {
+		opts.Scale = scale(1)
+		opts.Reps = 2
+		opts.BatchSizes = []int{4, 8}
+		opts.Overlaps = []float64{0, 1}
+	}
+	sum, err := benchkit.RunMQO(opts)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("host: GOMAXPROCS=%d NumCPU=%d; template %s, %d partitions, %d workers, best of %d\n",
+		sum.GOMAXPROCS, sum.NumCPU, sum.Template, sum.Partitions, sum.Workers, sum.Reps)
+	fmt.Printf("\n%-8s %9s %11s %14s %15s %9s\n",
+		"batch", "overlap", "share rate", "shared(ms/q)", "private(ms/q)", "speedup")
+	for _, p := range sum.Sweep {
+		fmt.Printf("%-8d %8.0f%% %10.0f%% %14.3f %15.3f %8.2fx\n",
+			p.BatchSize, 100*p.Overlap, 100*p.ShareRate,
+			float64(p.SharedNSPerQuery)/1e6, float64(p.PrivateNSPerQuery)/1e6, p.Speedup)
+	}
+	a := sum.Admission
+	fmt.Printf("\nadmission: budget=%.2fms (~2.5 x %.2fms historical scan/query): %d-query batch ->\n",
+		float64(a.BudgetNS)/1e6, a.PerQueryScanNS/1e6, a.BatchSize)
+	fmt.Printf("  first round admits %d, then the carry loop drains it in %d rounds (%d splits, %d deferrals)\n",
+		a.AdmittedFirst, a.Rounds, a.Splits, a.Deferred)
+	fmt.Println("overlap-f cells leave f of the batch under one ShareKey; the rest run the same")
+	fmt.Println("template privately, so speedup isolates the shared pipeline's CPU saving and the")
+	fmt.Println("overlap=0 row prices pure planner overhead (must stay ~1.0)")
+	if *jsonFlag != "" {
+		data, err := json.MarshalIndent(sum, "", "  ")
 		if err != nil {
 			fail(err)
 		}

@@ -68,6 +68,8 @@ type serverConfig struct {
 	morsel      int
 	zonemaps    bool
 	compress    bool
+	sharing     bool
+	batchBudget time.Duration
 	metricsAddr string
 	// Fleet mode: N router-fronted remote replica nodes instead of the
 	// single in-process replica.
@@ -106,6 +108,8 @@ func main() {
 	flag.IntVar(&cfg.morsel, "morsel-tuples", 0, "scan morsel size in tuples (0 = default)")
 	flag.BoolVar(&cfg.zonemaps, "zonemaps", true, "maintain per-block zone maps on the replica (morsel skipping for pushed-down predicates)")
 	flag.BoolVar(&cfg.compress, "compress", true, "maintain per-block encoded column vectors on the replica (vectorized predicate kernels; requires -zonemaps)")
+	flag.BoolVar(&cfg.sharing, "olap-sharing", true, "merge same-template batch queries into shared aggregation pipelines")
+	flag.DurationVar(&cfg.batchBudget, "olap-batch-budget", 0, "cost-model bound on one dispatch round's estimated execution time; oversized batches are split and the tail deferred (0 = admit everything)")
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "HTTP metrics endpoint address (/metrics + /healthz; empty = disabled)")
 	flag.IntVar(&cfg.fleet, "fleet", 0, "route QUERY across N remote replica nodes (0 = single in-process replica)")
 	flag.DurationVar(&cfg.queryDeadline, "query-deadline", 2*time.Second, "fleet mode: per-query routing deadline")
@@ -214,8 +218,16 @@ func newServer(cfg serverConfig) (*server, error) {
 			ex.DisablePruning = true
 			ex.DisableVectorized = true
 		}
+		ex.DisableSharing = !cfg.sharing
 		sched := olap.NewScheduler(rep, engine, ex.RunBatch)
 		ex.AttachStats(sched.Stats())
+		if cfg.batchBudget > 0 {
+			// Cost-based admission: the engine's estimate is fed by the
+			// phase histograms the scheduler records, so the hook
+			// self-calibrates to whatever sharing and pruning save.
+			ex.AdmitBudget = cfg.batchBudget
+			sched.SetAdmit(ex.AdmitBatch)
+		}
 		s.sched = sched
 		sched.RegisterMetrics(s.reg, obs.L("class", "chbench"))
 		sched.Start()

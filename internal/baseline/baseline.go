@@ -279,6 +279,14 @@ func (e *Engine) runQuery(r queryReq) {
 			return
 		}
 	}
+	summands := make([]func([]byte, [][]byte) float64, len(q.Aggs))
+	for ai := range q.Aggs {
+		if summands[ai], err = q.Aggs[ai].Summand(driver.Schema); err != nil {
+			res.Err = err
+			r.reply <- res
+			return
+		}
+	}
 	joined := make([][]byte, 0, 8)
 	driver.ScanChains(func(c *mvcc.Chain) bool {
 		rec := tx.ReadChain(c)
@@ -307,7 +315,7 @@ func (e *Engine) runQuery(r queryReq) {
 		for ai := range q.Aggs {
 			switch q.Aggs[ai].Kind {
 			case exec.Sum:
-				res.Values[ai] += q.Aggs[ai].Value(tup, joined)
+				res.Values[ai] += summands[ai](tup, joined)
 			case exec.Count:
 				res.Values[ai]++
 			}

@@ -1,0 +1,289 @@
+package benchkit
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"slices"
+	"time"
+
+	"batchdb/internal/chbench"
+	"batchdb/internal/olap"
+	"batchdb/internal/olap/exec"
+	"batchdb/internal/tpcc"
+)
+
+// mqoTemplate is the CH query the sweep instantiates: Q5 is the
+// workload's deepest shared shape — a full order-line scan through a
+// seven-probe join chain into a GROUP BY customer nation — so pipeline
+// merging has the most per-tuple work to deduplicate and query-at-a-
+// time has the most to lose.
+const mqoTemplate = "Q5"
+
+// MQOOpts parameterizes the multi-query-optimization benchmark: a
+// batch-size × overlap-fraction sweep of CH-style batches, each cell
+// timed with the batch planner's pipeline sharing on vs off on the same
+// snapshot, plus a cost-model admission demo fed from the sweep's own
+// phase histograms.
+type MQOOpts struct {
+	Scale      tpcc.Scale
+	Partitions int
+	// Workers is the engine worker count (identical in both modes, so
+	// wall-clock ratios equal CPU ratios).
+	Workers int
+	// Reps is the timed repetitions per (cell, mode) — best-of.
+	Reps         int
+	MorselTuples int
+	// BatchSizes and Overlaps span the sweep grid. Overlap is the
+	// fraction of the batch sharing one template instance-for-instance
+	// (equal ShareKey); the rest run the same template under uniquified
+	// keys, so every cell does identical logical work and ns/query is
+	// comparable across the row.
+	BatchSizes []int
+	Overlaps   []float64
+	// AdmitBatchSize is the batch the admission demo offers to the cost
+	// model after the sweep has populated the histograms.
+	AdmitBatchSize int
+	Seed           int64
+}
+
+// MQOPoint is one cell of the sweep.
+type MQOPoint struct {
+	BatchSize int     `json:"batch_size"`
+	Overlap   float64 `json:"overlap"`
+	// SharedQueries is how many of the batch's queries the planner
+	// actually placed in multi-member cohorts (stats-counted);
+	// ShareRate is that over the batch size.
+	SharedQueries int64   `json:"shared_queries"`
+	ShareRate     float64 `json:"share_rate"`
+	// SharedNSPerQuery / PrivateNSPerQuery are best-of-reps wall time
+	// per query with sharing on / off (DisableSharing). Worker count is
+	// identical, so Speedup = private/shared is the batch CPU reduction.
+	SharedNSPerQuery  int64   `json:"shared_ns_per_query"`
+	PrivateNSPerQuery int64   `json:"private_ns_per_query"`
+	Speedup           float64 `json:"speedup"`
+}
+
+// MQOAdmission records the cost-based admission demo: what
+// Engine.AdmitBatch, calibrated by the sweep's own scan histograms,
+// does to an oversized batch under a deliberately tight budget.
+type MQOAdmission struct {
+	// PerQueryScanNS is the historical scan estimate the model divides
+	// the budget by; BudgetNS the budget offered.
+	PerQueryScanNS float64 `json:"per_query_scan_ns"`
+	BudgetNS       int64   `json:"budget_ns"`
+	BatchSize      int     `json:"batch_size"`
+	// AdmittedFirst is the first dispatch round's size; Rounds, Splits
+	// and Deferred replay the scheduler's carry loop to exhaustion
+	// (deferred queries go ahead of new arrivals in the next round).
+	AdmittedFirst int `json:"admitted_first_round"`
+	Rounds        int `json:"rounds"`
+	Splits        int `json:"splits"`
+	Deferred      int `json:"deferred"`
+}
+
+// MQOSummary is the JSON record written to BENCH_MQO.json.
+type MQOSummary struct {
+	GOMAXPROCS   int    `json:"gomaxprocs"`
+	NumCPU       int    `json:"num_cpu"`
+	Note         string `json:"note"`
+	Warehouses   int    `json:"warehouses"`
+	Partitions   int    `json:"partitions"`
+	Workers      int    `json:"workers"`
+	MorselTuples int    `json:"morsel_tuples"`
+	Template     string `json:"template"`
+	Reps         int    `json:"reps"`
+
+	Sweep     []MQOPoint   `json:"sweep"`
+	Admission MQOAdmission `json:"admission"`
+}
+
+// RunMQO measures shared-pipeline execution against query-at-a-time on
+// identical batches and demonstrates the cost-based admission model.
+// Every cell's shared and private runs are verified to produce
+// identical per-query results (rows, aggregates and groups) before
+// their timings are accepted.
+func RunMQO(o MQOOpts) (*MQOSummary, error) {
+	if o.Scale.Warehouses == 0 {
+		o.Scale = tpcc.BenchScale(4)
+	}
+	if o.Partitions <= 0 {
+		o.Partitions = 8
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.Reps <= 0 {
+		o.Reps = 7
+	}
+	if o.MorselTuples <= 0 {
+		o.MorselTuples = 1024
+	}
+	if len(o.BatchSizes) == 0 {
+		o.BatchSizes = []int{4, 8, 16}
+	}
+	if len(o.Overlaps) == 0 {
+		o.Overlaps = []float64{0, 0.5, 1}
+	}
+	if o.AdmitBatchSize <= 0 {
+		o.AdmitBatchSize = 16
+	}
+
+	db := tpcc.NewDB(o.Scale)
+	if err := tpcc.Generate(db, o.Seed); err != nil {
+		return nil, err
+	}
+	rep, err := chbench.NewReplica(db, o.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	eng := exec.NewEngine(rep, o.Workers)
+	eng.MorselTuples = o.MorselTuples
+	var stats olap.SchedulerStats
+	eng.AttachStats(&stats)
+
+	sum := &MQOSummary{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Note: "every cell runs batch_size instances of CH " + mqoTemplate + " (randomized region " +
+			"predicates) on one snapshot; an overlap-f cell leaves f of them under the template's " +
+			"ShareKey (mergeable into one cohort) and uniquifies the rest, so private work is " +
+			"constant across a row and speedup isolates what pipeline sharing saves. Worker count " +
+			"is identical in both modes, so wall ratios are CPU ratios. overlap=0 prices pure " +
+			"planner overhead (must stay within noise of 1.0); the admission section replays the " +
+			"scheduler's carry loop under a budget of ~2.5 historical per-query scan times",
+		Warehouses: o.Scale.Warehouses, Partitions: o.Partitions,
+		Workers: o.Workers, MorselTuples: o.MorselTuples,
+		Template: mqoTemplate, Reps: o.Reps,
+	}
+
+	// One generator for the whole sweep keeps cells deterministic given
+	// (Seed, grid). runBatch mirrors the scheduler's bookkeeping — the
+	// engine records the phase histograms, the dispatcher the query
+	// count — so the admission model below is fed exactly what a live
+	// scheduler would feed it.
+	g := chbench.NewGen(db.Schemas, o.Seed+1)
+	runBatch := func(qs []*exec.Query, private bool) ([]exec.Result, error) {
+		eng.DisableSharing = private
+		res := eng.RunBatch(qs, 0)
+		stats.Queries.Add(uint64(len(qs)))
+		for i := range res {
+			if res[i].Err != nil {
+				return nil, fmt.Errorf("benchkit: mqo %s[%d]: %w", qs[i].Name, i, res[i].Err)
+			}
+		}
+		return res, nil
+	}
+
+	for _, n := range o.BatchSizes {
+		for _, f := range o.Overlaps {
+			shared := int(math.Round(f * float64(n)))
+			qs := make([]*exec.Query, n)
+			for i := range qs {
+				q := g.ByName(mqoTemplate)
+				if i >= shared {
+					q.ShareKey = fmt.Sprintf("%s!%d", q.ShareKey, i)
+				}
+				qs[i] = q
+			}
+
+			// Counted run: planner share decisions, plus result capture
+			// for the parity check.
+			qs0 := stats.ExecQueriesShared.Load()
+			resShared, err := runBatch(qs, false)
+			if err != nil {
+				return nil, err
+			}
+			sharedQueries := int64(stats.ExecQueriesShared.Load() - qs0)
+			resPrivate, err := runBatch(qs, true)
+			if err != nil {
+				return nil, err
+			}
+			for i := range resShared {
+				if !mqoResultsMatch(&resShared[i], &resPrivate[i]) {
+					return nil, fmt.Errorf("benchkit: mqo n=%d f=%.2f: sharing changed query %d: %d/%v (%d groups) vs %d/%v (%d groups)",
+						n, f, i, resShared[i].Rows, resShared[i].Values, len(resShared[i].Groups),
+						resPrivate[i].Rows, resPrivate[i].Values, len(resPrivate[i].Groups))
+				}
+			}
+
+			timed := func(private bool) (time.Duration, error) {
+				wall := bestOf(o.Reps, func() error {
+					_, err := runBatch(qs, private)
+					return err
+				})
+				if wall < 0 {
+					return 0, fmt.Errorf("benchkit: mqo n=%d f=%.2f timed run failed", n, f)
+				}
+				return wall, nil
+			}
+			wallShared, err := timed(false)
+			if err != nil {
+				return nil, err
+			}
+			wallPrivate, err := timed(true)
+			if err != nil {
+				return nil, err
+			}
+
+			pt := MQOPoint{
+				BatchSize: n, Overlap: f,
+				SharedQueries:     sharedQueries,
+				ShareRate:         float64(sharedQueries) / float64(n),
+				SharedNSPerQuery:  int64(wallShared) / int64(n),
+				PrivateNSPerQuery: int64(wallPrivate) / int64(n),
+			}
+			if wallShared > 0 {
+				pt.Speedup = float64(wallPrivate) / float64(wallShared)
+			}
+			sum.Sweep = append(sum.Sweep, pt)
+		}
+	}
+
+	// Admission demo: the sweep's runs are the history. Offer an
+	// oversized all-shared batch under a budget of ~2.5 per-query scan
+	// estimates and replay the dispatcher's carry loop: each round
+	// admits a prefix, the rest are deferred ahead of new arrivals.
+	nq := stats.Queries.Load()
+	adm := MQOAdmission{BatchSize: o.AdmitBatchSize}
+	if nq > 0 {
+		adm.PerQueryScanNS = float64(stats.ExecScan.Sum()) / float64(nq)
+	}
+	budget := time.Duration(stats.ExecBuildPrepare.Mean() + 2.5*adm.PerQueryScanNS)
+	adm.BudgetNS = int64(budget)
+	eng.AdmitBudget = budget
+	batch := make([]*exec.Query, o.AdmitBatchSize)
+	for i := range batch {
+		batch[i] = g.ByName(mqoTemplate)
+	}
+	for remaining := len(batch); remaining > 0; {
+		k := eng.AdmitBatch(batch[:remaining])
+		if adm.Rounds == 0 {
+			adm.AdmittedFirst = k
+		}
+		adm.Rounds++
+		if k < remaining {
+			adm.Splits++
+			adm.Deferred += remaining - k
+		}
+		remaining -= k
+	}
+	eng.AdmitBudget = 0
+	sum.Admission = adm
+	return sum, nil
+}
+
+// mqoResultsMatch verifies a query's shared and private results agree:
+// total rows, aggregate values and the full per-group breakdown.
+func mqoResultsMatch(a, b *exec.Result) bool {
+	if a.Rows != b.Rows || !aggsClose(a.Values, b.Values) || len(a.Groups) != len(b.Groups) {
+		return false
+	}
+	for i := range a.Groups {
+		ga, gb := &a.Groups[i], &b.Groups[i]
+		if ga.Rows != gb.Rows || !slices.Equal(ga.Key, gb.Key) || !aggsClose(ga.Values, gb.Values) {
+			return false
+		}
+	}
+	return true
+}

@@ -55,8 +55,18 @@ func (g *Gen) Next() *exec.Query {
 	return g.ByName(QueryNames[g.rng.Intn(len(QueryNames))])
 }
 
-// ByName builds a specific query with randomized predicates.
+// ByName builds a specific query with randomized predicates. Every
+// instance carries its template name as exec.Query.ShareKey: two
+// instances of the same template differ only in predicate constants,
+// which is exactly the interchangeability the batch planner's shared
+// pipelines require.
 func (g *Gen) ByName(name string) *exec.Query {
+	q := g.byName(name)
+	q.ShareKey = name
+	return q
+}
+
+func (g *Gen) byName(name string) *exec.Query {
 	switch name {
 	case "Q2":
 		return g.q2()
@@ -220,12 +230,12 @@ func (g *Gen) supplierOfStock(pred func([]byte) bool) exec.Probe {
 
 // --- aggregates ----------------------------------------------------------
 
-func (g *Gen) sumOlAmount() exec.AggSpec {
-	ols := g.s.OrderLine
-	return exec.AggSpec{Kind: exec.Sum, Value: func(d []byte, _ [][]byte) float64 {
-		return ols.GetFloat64(d, tpcc.OLAmount)
-	}}
-}
+// Sums over driver columns are declarative (exec.SumCol) rather than
+// closures: the compiled typed kernel computes the same value, and the
+// declarative form is what lets the encoded-block aggregate kernels
+// answer whole morsels and lets merged cohorts verify aggregate
+// equality structurally.
+func (g *Gen) sumOlAmount() exec.AggSpec { return exec.SumCol(tpcc.OLAmount) }
 
 func countStar() exec.AggSpec { return exec.AggSpec{Kind: exec.Count} }
 
@@ -249,9 +259,7 @@ func (g *Gen) q2() *exec.Query {
 				return rs.GetString(t, tpcc.RName) == rName
 			}),
 		},
-		Aggs: []exec.AggSpec{{Kind: exec.Sum, Value: func(d []byte, _ [][]byte) float64 {
-			return float64(ss.GetInt64(d, tpcc.SQuantity))
-		}}},
+		Aggs: []exec.AggSpec{exec.SumCol(tpcc.SQuantity)},
 	}
 }
 
@@ -297,7 +305,9 @@ func (g *Gen) q5() *exec.Query {
 				return rs.GetString(t, tpcc.RName) == rName
 			}),
 		},
-		Aggs: []exec.AggSpec{g.sumOlAmount()},
+		// GROUP BY n_name: one revenue row per customer nation.
+		GroupBy: []exec.GroupCol{{From: 2, Col: tpcc.NNationKey}},
+		Aggs:    []exec.AggSpec{g.sumOlAmount()},
 	}
 }
 
@@ -320,6 +330,12 @@ func (g *Gen) q7() *exec.Query {
 			g.nationOf(func(_ []byte, j [][]byte) int64 { // joined[4]: sn
 				return sus.GetInt64(j[3], tpcc.SUNationKey)
 			}, func(t []byte) bool { return ns.GetString(t, tpcc.NName) == nName }),
+		},
+		// GROUP BY supp_nation, cust_nation (customer nation first so
+		// Q7 instances prefix-share group keys with Q5-style rollups).
+		GroupBy: []exec.GroupCol{
+			{From: 2, Col: tpcc.NNationKey},
+			{From: 4, Col: tpcc.NNationKey},
 		},
 		Aggs: []exec.AggSpec{g.sumOlAmount()},
 	}
@@ -379,7 +395,7 @@ func (g *Gen) q10() *exec.Query {
 
 func (g *Gen) q11() *exec.Query {
 	nName := g.randNation()
-	ss, ns, sus := g.s.Stock, g.s.Nation, g.s.Supplier
+	ns, sus := g.s.Nation, g.s.Supplier
 	return &exec.Query{
 		Name:   "Q11",
 		Driver: tpcc.TStock,
@@ -389,9 +405,7 @@ func (g *Gen) q11() *exec.Query {
 				return sus.GetInt64(j[0], tpcc.SUNationKey)
 			}, func(t []byte) bool { return ns.GetString(t, tpcc.NName) == nName }),
 		},
-		Aggs: []exec.AggSpec{{Kind: exec.Sum, Value: func(d []byte, _ [][]byte) float64 {
-			return float64(ss.GetInt64(d, tpcc.SOrderCnt))
-		}}},
+		Aggs: []exec.AggSpec{exec.SumCol(tpcc.SOrderCnt)},
 	}
 }
 
@@ -404,7 +418,9 @@ func (g *Gen) q12() *exec.Query {
 		Driver: tpcc.TOrderLine,
 		Where:  []exec.Pred{exec.CmpInt(tpcc.OLDeliveryD, exec.GE, date)},
 		Probes: []exec.Probe{ord},
-		Aggs:   []exec.AggSpec{countStar()},
+		// GROUP BY o_carrier_id: one order-count row per carrier.
+		GroupBy: []exec.GroupCol{{From: 0, Col: tpcc.OCarrierID}},
+		Aggs:    []exec.AggSpec{countStar()},
 	}
 }
 
@@ -458,9 +474,7 @@ func (g *Gen) q17() *exec.Query {
 		},
 		Aggs: []exec.AggSpec{
 			g.sumOlAmount(),
-			{Kind: exec.Sum, Value: func(d []byte, _ [][]byte) float64 {
-				return float64(ols.GetInt64(d, tpcc.OLQuantity))
-			}},
+			exec.SumCol(tpcc.OLQuantity),
 		},
 	}
 }

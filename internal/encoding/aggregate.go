@@ -1,0 +1,108 @@
+// Vectorized aggregate kernels over the encoded block forms: SUM is
+// computed directly on the packed payload — closed-form for constant
+// and RLE runs, a streamed field walk for FOR and dictionary blocks —
+// so a block whose every tuple qualifies never materializes a row.
+// Like the filter kernels, everything runs in the order-preserving
+// int64 key space; float columns hand SumConv an inverse mapping
+// because ord keys are order- but not value-preserving.
+package encoding
+
+// SumInt returns the sum of every position's value. The values must be
+// value-preserving ord keys (integer and time columns — not floats,
+// whose ord keys are a bit-level bijection; use SumConv). Arithmetic
+// wraps like any int64 sum of the decoded values would.
+func (v *Vector) SumInt() int64 {
+	switch v.kind {
+	case FOR:
+		sum := int64(v.n) * v.base
+		if v.width == 0 {
+			return sum
+		}
+		for i, bit := 0, 0; i < v.n; i, bit = i+1, bit+int(v.width) {
+			w, off := bit>>6, uint(bit&63)
+			x := v.packed[w] >> off
+			if off+v.width > 64 {
+				x |= v.packed[w+1] << (64 - off)
+			}
+			sum += int64(x & v.mask)
+		}
+		return sum
+	case Dict:
+		if v.width == 0 {
+			return int64(v.n) * v.dict[0]
+		}
+		var sum int64
+		for i, bit := 0, 0; i < v.n; i, bit = i+1, bit+int(v.width) {
+			w, off := bit>>6, uint(bit&63)
+			x := v.packed[w] >> off
+			if off+v.width > 64 {
+				x |= v.packed[w+1] << (64 - off)
+			}
+			sum += v.dict[x&v.mask]
+		}
+		return sum
+	default: // RLE: one multiply per run
+		var sum int64
+		pos := int32(0)
+		for r, val := range v.runVals {
+			end := v.runEnds[r]
+			sum += int64(end-pos) * val
+			pos = end
+		}
+		return sum
+	}
+}
+
+// SumConv returns the sum of conv(value) over every position — the
+// float-column sum, with conv the ord-key inverse
+// (storage.Float64FromOrdKey). Constant and RLE blocks convert once
+// per run; dictionary blocks convert once per distinct value by
+// counting code occurrences; FOR blocks convert per position (still
+// without touching row storage).
+func (v *Vector) SumConv(conv func(int64) float64) float64 {
+	switch v.kind {
+	case FOR:
+		if v.width == 0 {
+			return float64(v.n) * conv(v.base)
+		}
+		var sum float64
+		for i, bit := 0, 0; i < v.n; i, bit = i+1, bit+int(v.width) {
+			w, off := bit>>6, uint(bit&63)
+			x := v.packed[w] >> off
+			if off+v.width > 64 {
+				x |= v.packed[w+1] << (64 - off)
+			}
+			sum += conv(v.base + int64(x&v.mask))
+		}
+		return sum
+	case Dict:
+		if v.width == 0 {
+			return float64(v.n) * conv(v.dict[0])
+		}
+		var counts [maxDictSize]int32
+		for i, bit := 0, 0; i < v.n; i, bit = i+1, bit+int(v.width) {
+			w, off := bit>>6, uint(bit&63)
+			x := v.packed[w] >> off
+			if off+v.width > 64 {
+				x |= v.packed[w+1] << (64 - off)
+			}
+			counts[x&v.mask]++
+		}
+		var sum float64
+		for c, n := range counts[:len(v.dict)] {
+			if n != 0 {
+				sum += float64(n) * conv(v.dict[c])
+			}
+		}
+		return sum
+	default: // RLE
+		var sum float64
+		pos := int32(0)
+		for r, val := range v.runVals {
+			end := v.runEnds[r]
+			sum += float64(end-pos) * conv(val)
+			pos = end
+		}
+		return sum
+	}
+}

@@ -1,0 +1,94 @@
+package encoding
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// genVectors produces one vector of every encoding kind the aggregate
+// kernels must serve, each paired with its raw values.
+func genVectors(rng *rand.Rand) map[string][]int64 {
+	n := 200 + rng.Intn(300)
+	cases := map[string][]int64{}
+
+	forVals := make([]int64, n)
+	base := rng.Int63n(1_000_000) - 500_000
+	for i := range forVals {
+		forVals[i] = base + rng.Int63n(1000)
+	}
+	cases["for"] = forVals
+
+	dictVals := make([]int64, n)
+	domain := make([]int64, 5+rng.Intn(20))
+	for i := range domain {
+		domain[i] = rng.Int63n(1 << 40)
+	}
+	for i := range dictVals {
+		dictVals[i] = domain[rng.Intn(len(domain))]
+	}
+	cases["dict"] = dictVals
+
+	rleVals := make([]int64, 0, n)
+	for len(rleVals) < n {
+		v := rng.Int63n(1 << 30)
+		run := 1 + rng.Intn(40)
+		for j := 0; j < run && len(rleVals) < n; j++ {
+			rleVals = append(rleVals, v)
+		}
+	}
+	cases["rle"] = rleVals
+
+	constVals := make([]int64, n)
+	cv := rng.Int63n(1 << 50)
+	for i := range constVals {
+		constVals[i] = cv
+	}
+	cases["const"] = constVals
+	return cases
+}
+
+func TestSumIntMatchesDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var sc Scratch
+	for trial := 0; trial < 50; trial++ {
+		for name, vals := range genVectors(rng) {
+			v := Encode(vals, 64, &sc)
+			var want int64
+			for _, x := range vals {
+				want += x
+			}
+			if got := v.SumInt(); got != want {
+				t.Fatalf("trial %d %s (kind %v): SumInt = %d, want %d", trial, name, v.Kind(), got, want)
+			}
+		}
+	}
+	// Explicit constant vector (width-0 FOR closed form).
+	c := Constant(137, 42)
+	if got := c.SumInt(); got != 137*42 {
+		t.Fatalf("constant SumInt = %d, want %d", got, 137*42)
+	}
+}
+
+func TestSumConvMatchesDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	var sc Scratch
+	conv := func(k int64) float64 { return float64(k) * 0.5 }
+	for trial := 0; trial < 50; trial++ {
+		for name, vals := range genVectors(rng) {
+			v := Encode(vals, 64, &sc)
+			var want float64
+			for _, x := range vals {
+				want += conv(x)
+			}
+			got := v.SumConv(conv)
+			if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+				t.Fatalf("trial %d %s (kind %v): SumConv = %f, want %f", trial, name, v.Kind(), got, want)
+			}
+		}
+	}
+	c := Constant(64, 7)
+	if got := c.SumConv(conv); got != 64*3.5 {
+		t.Fatalf("constant SumConv = %f, want %f", got, 64*3.5)
+	}
+}

@@ -1,0 +1,174 @@
+package olap
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSchedulerAdmissionSplit pins the cost-based admission hook: a
+// queued-up dispatch round larger than the admitted prefix must be
+// split, with the deferred queries carried to the immediately following
+// rounds (ahead of new arrivals) and every caller still answered.
+func TestSchedulerAdmissionSplit(t *testing.T) {
+	s := kvSchema()
+	r := NewReplica(2)
+	r.CreateTable(s, 64)
+	p := &fakePrimary{replica: r, schema: s}
+
+	var mu sync.Mutex
+	batchSizes := []int{}
+	block := make(chan struct{})
+	run := func(queries []int, snap uint64) []int64 {
+		mu.Lock()
+		batchSizes = append(batchSizes, len(queries))
+		mu.Unlock()
+		if len(batchSizes) == 1 {
+			<-block // hold the first batch so the rest queue up
+		}
+		out := make([]int64, len(queries))
+		for i, q := range queries {
+			out[i] = int64(q) * 2
+		}
+		return out
+	}
+	sched := NewScheduler(r, p, run)
+	sched.SetAdmit(func(queries []int) int { return 2 })
+	sched.Start()
+	defer sched.Close()
+
+	var wg sync.WaitGroup
+	results := make([]int64, 6)
+	ask := func(i int) {
+		defer wg.Done()
+		v, err := sched.Query(i + 1)
+		if err != nil {
+			t.Errorf("query %d: %v", i, err)
+			return
+		}
+		results[i] = v
+	}
+	wg.Add(1)
+	go ask(0) // first batch (size 1, held)
+	time.Sleep(50 * time.Millisecond)
+	for i := 1; i < 6; i++ {
+		wg.Add(1)
+		go ask(i)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(block) // release: the queued 5 must run as rounds of ≤2
+	wg.Wait()
+
+	for i, v := range results {
+		if v != int64(i+1)*2 {
+			t.Fatalf("query %d answered %d, want %d", i, v, (i+1)*2)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(batchSizes) != 4 || batchSizes[0] != 1 ||
+		batchSizes[1] != 2 || batchSizes[2] != 2 || batchSizes[3] != 1 {
+		t.Fatalf("batch sizes = %v, want [1 2 2 1]", batchSizes)
+	}
+	st := sched.Stats()
+	if st.AdmitSplits.Load() != 2 {
+		t.Fatalf("AdmitSplits = %d, want 2", st.AdmitSplits.Load())
+	}
+	if st.AdmitDeferred.Load() != 4 {
+		t.Fatalf("AdmitDeferred = %d, want 4 (3 then 1)", st.AdmitDeferred.Load())
+	}
+}
+
+// TestSchedulerAdmitClamped proves a misbehaving hook cannot stall the
+// dispatcher: non-positive or oversized answers are clamped.
+func TestSchedulerAdmitClamped(t *testing.T) {
+	s := kvSchema()
+	r := NewReplica(1)
+	r.CreateTable(s, 16)
+	sched := NewScheduler(r, StaticPrimary(0), func(q []int, _ uint64) []int {
+		return make([]int, len(q))
+	})
+	sched.SetAdmit(func(queries []int) int { return -3 })
+	sched.Start()
+	defer sched.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := sched.Query(1); err != nil {
+				t.Errorf("query: %v", err)
+			}
+		}()
+	}
+	wg.Wait() // completes only if every query was eventually admitted
+}
+
+// TestSumLiveRange exercises the encoded-block aggregate reader
+// directly against a raw recomputation: fully-live blocks are served
+// for both int and float columns, and any block with a dead slot
+// refuses (the encoded image hides which slots died).
+func TestSumLiveRange(t *testing.T) {
+	s := zmTestSchema()
+	r := NewReplica(1)
+	r.EnableZoneMaps(64)
+	r.EnableCompression()
+	tbl := r.CreateTable(s, 64)
+	const n = 256
+	for i := int64(1); i <= n; i++ {
+		tup := s.NewTuple()
+		s.PutInt64(tup, 0, i)
+		s.PutInt32(tup, 1, int32(i%7))
+		s.PutFloat64(tup, 2, float64(i%5)*0.25) // few distinct values: always encodes
+		s.PutInt64(tup, 5, i*3)
+		if err := r.LoadTuple(900, uint64(i), tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl.RequestSynopses([]ColRange{{Col: 2}, {Col: 5}})
+	r.ActivateSynopses()
+	p := tbl.Partitions[0]
+
+	check := func(lo, hi, col int) {
+		t.Helper()
+		sum, rows, ok := p.SumLiveRange(lo, hi, col)
+		if !ok {
+			t.Fatalf("SumLiveRange(%d,%d,col=%d) refused on fully-live blocks", lo, hi, col)
+		}
+		var wantSum float64
+		var wantRows int64
+		for i := lo; i < hi; i++ {
+			tup, live := p.Get(uint64(i + 1)) // rowID = slot+1 under sequential load
+			if !live {
+				continue
+			}
+			wantRows++
+			if col == 2 {
+				wantSum += s.GetFloat64(tup, 2)
+			} else {
+				wantSum += float64(s.GetInt64(tup, col))
+			}
+		}
+		if rows != wantRows || math.Abs(sum-wantSum) > 1e-9*(1+math.Abs(wantSum)) {
+			t.Fatalf("SumLiveRange(%d,%d,col=%d) = (%f,%d), want (%f,%d)", lo, hi, col, sum, rows, wantSum, wantRows)
+		}
+	}
+	check(0, 256, 2) // float column: ord-key decode path
+	check(0, 256, 5) // int column
+	check(64, 192, 5)
+
+	if _, _, ok := p.SumLiveRange(3, 64, 5); ok {
+		t.Fatal("unaligned lo accepted")
+	}
+	if _, _, ok := p.SumLiveRange(0, 64, 3); ok {
+		t.Fatal("synopsis-less column accepted")
+	}
+
+	// Kill one tuple: its block must refuse, aligned neighbors still serve.
+	p.Delete(10)
+	if _, _, ok := p.SumLiveRange(0, 64, 5); ok {
+		t.Fatal("partially-live block served an encoded sum")
+	}
+	check(64, 128, 5)
+}

@@ -483,6 +483,58 @@ func (p *Partition) FilterRange(lo, hi int, ranges []ColRange, sel []uint64) boo
 	return true
 }
 
+// SumLiveRange computes the sum of column col over the slot range
+// [lo, hi) directly on the encoded blocks, returning the true column
+// sum (float columns are converted back from their ord keys per
+// distinct value or run) and the number of tuples it covers. Like
+// FilterRange, the range must be block-aligned and every covered
+// column vector current; additionally every non-empty block must be
+// fully live — dead slots are encoded as the block's synopsis min, so
+// a partially live block's encoded sum would count phantom values.
+// It returns ok=false, with sum/rows undefined, when any block cannot
+// be served; the caller falls back to tuple-at-a-time aggregation,
+// per-block when morsel size equals block size.
+func (p *Partition) SumLiveRange(lo, hi, col int) (sum float64, rows int64, ok bool) {
+	e, z := p.enc, p.zm
+	if e == nil {
+		return 0, 0, false
+	}
+	if hi > len(p.rowIDs) {
+		hi = len(p.rowIDs)
+	}
+	if lo < 0 || lo >= hi || lo&(z.block-1) != 0 {
+		return 0, 0, false
+	}
+	if hi&(z.block-1) != 0 && hi != len(p.rowIDs) {
+		return 0, 0, false
+	}
+	if col < 0 || col >= len(z.colPos) {
+		return 0, 0, false
+	}
+	ci := z.colPos[col]
+	if ci < 0 || z.active&(1<<uint(ci)) == 0 {
+		return 0, 0, false
+	}
+	isFloat := z.types[ci] == storage.Float64
+	for b := lo >> z.shift; b<<z.shift < hi; b++ {
+		blo, bhi := p.blockSlots(b)
+		if z.live[b] == 0 {
+			continue
+		}
+		v := e.vecs[b*e.nc+ci]
+		if int(z.live[b]) != bhi-blo || e.stale[b]&(1<<uint(ci)) != 0 || v == nil {
+			return 0, 0, false
+		}
+		if isFloat {
+			sum += v.SumConv(storage.Float64FromOrdKey)
+		} else {
+			sum += float64(v.SumInt())
+		}
+		rows += int64(bhi - blo)
+	}
+	return sum, rows, true
+}
+
 // ColCompression aggregates one column's encoded footprint across the
 // blocks of a partition or table (the compression-ratio report of the
 // compress benchmark). RawBytes counts the column's raw fixed-width

@@ -33,6 +33,7 @@ package exec
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,12 +54,19 @@ const (
 
 // AggSpec is one output aggregate of a query. For Sum, Value extracts
 // the summand from the matched row combination; for Count, Value is
-// ignored.
+// ignored. SumCol builds the declarative form — a driver-column
+// summand the engine compiles to a typed kernel and, when a whole
+// morsel qualifies, computes directly on the encoded column blocks.
 type AggSpec struct {
 	Kind AggKind
 	// Value receives the driver tuple and the tuples joined so far (in
 	// probe order).
 	Value func(driver []byte, joined [][]byte) float64
+	// col, colSet carry the declarative driver-column summand installed
+	// by SumCol; the zero value (plain struct-literal construction)
+	// keeps the closure path.
+	col    int
+	colSet bool
 }
 
 // Probe is one hash-join step: the driver row (plus previously joined
@@ -108,6 +116,19 @@ type Query struct {
 	Probes []Probe
 	// Aggs produce the output values.
 	Aggs []AggSpec
+	// GroupBy, when non-empty, partitions the surviving combinations by
+	// the named columns (at most MaxGroupCols); the aggregates are then
+	// reported per group in Result.Groups, with Result.Values/Rows
+	// holding the totals across groups.
+	GroupBy []GroupCol
+	// ShareKey opts the query into batch-planner pipeline merging:
+	// queries with equal non-empty ShareKeys promise that their
+	// BuildKey/ProbeKey/aggregate closures are interchangeable (same
+	// template, differing only in predicate constants, residual
+	// filters, and group-by prefix depth), so the planner may run them
+	// as one cohort that pays the probe chain and summand extraction
+	// once per tuple. Empty (the default) never merges.
+	ShareKey string
 }
 
 // Result carries one query's aggregate outputs, in AggSpec order.
@@ -117,7 +138,11 @@ type Result struct {
 	// Rows is the number of row combinations that survived all
 	// predicates and probes.
 	Rows int64
-	Err  error
+	// Groups holds the per-group aggregates when the query has a
+	// GroupBy, sorted lexicographically by key; Values and Rows above
+	// then hold the totals across all groups.
+	Groups []GroupResult
+	Err    error
 
 	// SnapshotVID is the snapshot version the batch executed on.
 	SnapshotVID uint64
@@ -175,7 +200,20 @@ type Engine struct {
 	// Zone-map pruning is unaffected. Used by the compression ablation
 	// benchmark and the on/off parity tests. Implied by DisablePruning,
 	// since the encoded vectors only cover synopsis-active columns.
+	// Also disables the encoded-block aggregate kernels.
 	DisableVectorized bool
+
+	// DisableSharing turns off batch-planner pipeline merging and
+	// predicate-overlap co-scheduling: every query runs as its own
+	// cohort in one shared scan pass, exactly the pre-planner
+	// behavior. Used by the MQO ablation benchmark and the
+	// shared-vs-private parity tests.
+	DisableSharing bool
+
+	// AdmitBudget bounds the estimated execution time of one batch for
+	// the AdmitBatch admission hook; <= 0 (the default) admits
+	// everything.
+	AdmitBudget time.Duration
 
 	// sem bounds the total number of in-flight leaf tasks (morsels,
 	// shard merges) across everything the engine runs concurrently, so
@@ -539,17 +577,12 @@ func (e *Engine) constructBuild(t *olap.Table, keyFn func(tup []byte) uint64) *b
 	return b
 }
 
-// scanDriver performs one shared scan over the driver table of qs,
-// evaluating every query on every live tuple its predicates might
-// accept. The scan is morsel-driven: slot ranges are pulled off a
-// work-stealing cursor by up to `workers` goroutines, so a skewed
-// partition layout cannot idle workers. Before scanning a morsel, each
-// query's pushed-down Where ranges are tested against the partition's
-// block synopses: a morsel that disproves every query's AND-list is
-// skipped without touching its tuples, and the per-query verdicts gate
-// which queries each tuple is offered to. Per-worker partial aggregates
-// are merged at the end; the scan and merge wall times are accumulated
-// into scanNS/mergeNS.
+// scanDriver plans and executes one driver table's share of the batch:
+// every query is compiled to its plan (plan.go), the batch planner
+// merges plans into cohorts and co-schedules the cohorts into scan
+// passes (planner.go), and each pass runs the morsel-driven shared
+// scan (scanPass). A compile error fails only that query; the rest of
+// the batch proceeds without it.
 func (e *Engine) scanDriver(qs []*Query, rs []*Result, prepared map[buildID]*build, scanNS, mergeNS *int64) {
 	t := e.replica.Table(qs[0].Driver)
 	if t == nil {
@@ -559,77 +592,75 @@ func (e *Engine) scanDriver(qs []*Query, rs []*Result, prepared map[buildID]*bui
 		}
 		return
 	}
-	// Compile each query's declarative driver filter. A compile error
-	// fails only that query; the shared scan proceeds for the rest.
-	alive := make([]bool, len(qs))
-	kernels := make([]func([]byte) bool, len(qs))
-	ranges := make([][]olap.ColRange, len(qs))
-	anyRanges := false
-	for qi, q := range qs {
-		k, rg, err := compileWhere(t.Schema, q.Where)
-		if err != nil {
-			rs[qi].Err = err
-			continue
-		}
-		alive[qi] = true
-		kernels[qi], ranges[qi] = k, rg
-		anyRanges = anyRanges || len(rg) > 0
-		if len(rg) > 0 && !e.DisablePruning {
-			// Record which columns this query filters on, so the next
-			// quiesced window activates their block synopses — the first
-			// scan runs unpruned, every later one skips blocks.
-			t.RequestSynopses(rg)
+	plans := make([]*qplan, 0, len(qs))
+	for i, q := range qs {
+		if p := e.compilePlan(t, q, rs[i], prepared); p != nil {
+			plans = append(plans, p)
 		}
 	}
-	// Resolve each probe to either a shared build or the target table's
-	// incremental PK index, folding the probe's compiled Where and its
-	// residual Pred into one filter. The prepared map was pinned for
-	// this batch, so no lock is needed here.
-	type lookup struct {
-		b       *build
-		pkTable *olap.Table
-		pred    func(tup []byte) bool
-	}
-	lookups := make([][]lookup, len(qs))
-	for qi, q := range qs {
-		if !alive[qi] {
-			continue
-		}
-		lookups[qi] = make([]lookup, len(q.Probes))
-		for pi := range q.Probes {
-			p := &q.Probes[pi]
-			pt := e.replica.Table(p.Table)
-			if pt == nil {
-				rs[qi].Err = fmt.Errorf("exec: probe into unknown table %d", p.Table)
-				alive[qi] = false
-				break
-			}
-			wherePred, _, err := compileWhere(pt.Schema, p.Where)
-			if err != nil {
-				rs[qi].Err = err
-				alive[qi] = false
-				break
-			}
-			lk := lookup{pred: andPred(wherePred, p.Pred)}
-			if pt.HasPKIndex() && p.BuildKeyID == "pk" {
-				lk.pkTable = pt
-			} else if lk.b = prepared[buildID{p.Table, p.BuildKeyID}]; lk.b == nil {
-				rs[qi].Err = fmt.Errorf("exec: missing build for table %d key %q", p.Table, p.BuildKeyID)
-				alive[qi] = false
-				break
-			}
-			lookups[qi][pi] = lk
-		}
-	}
-
-	anyAlive := false
-	for _, a := range alive {
-		anyAlive = anyAlive || a
-	}
-	if !anyAlive {
+	if len(plans) == 0 {
 		return
 	}
+	cohorts := formCohorts(plans, e.DisableSharing)
+	if e.stats != nil {
+		for _, c := range cohorts {
+			if len(c.members) > 1 {
+				e.stats.ExecCohortsShared.Inc()
+				e.stats.ExecQueriesShared.Add(uint64(len(c.members)))
+			}
+		}
+	}
+	for _, sg := range e.formScanGroups(t, cohorts) {
+		e.scanPass(t, sg, scanNS, mergeNS)
+	}
+}
 
+// gacc accumulates one group key's per-member aggregate lanes inside a
+// cohort: rows[mi] and vals[mi*naggs+ai] belong to member mi. Workers
+// accumulate at the cohort's finest group-by arity; coarser members
+// are rolled up to their own arity at merge time.
+type gacc struct {
+	rows []int64
+	vals []float64
+}
+
+// allSet reports whether the first n bits of sel are all ones.
+func allSet(sel []uint64, n int) bool {
+	full := n >> 6
+	for w := 0; w < full; w++ {
+		if sel[w] != ^uint64(0) {
+			return false
+		}
+	}
+	if tail := uint(n & 63); tail != 0 {
+		m := ^uint64(0) >> (64 - tail)
+		if sel[full]&m != m {
+			return false
+		}
+	}
+	return true
+}
+
+// scanPass performs one shared morsel-driven scan over the driver
+// table for the scan group's cohorts. Per morsel, each member gets a
+// zone-map verdict; a morsel every member's AND-list disproves is
+// skipped whole. Members the encoded blocks can serve exactly get
+// selection bitmaps (FilterRange), and pure driver-side aggregations
+// whose bitmap covers every tuple are answered outright by the
+// encoded-block aggregate kernels without materializing a row. The
+// surviving tuples run the cohort pipelines: per-member predicates
+// gate a per-tuple live mask, the representative's probe chain and
+// summand extraction run once per cohort, and each live member
+// accumulates into its scalar lanes or the cohort's group map.
+// Per-worker partials merge at the end; scan and merge wall times
+// accumulate into scanNS/mergeNS.
+//
+// Pruned-tuple accounting is exact: every scan pass attributes each
+// live tuple to exactly one of offered-to-the-visitor, answered by the
+// aggregate kernels, or pruned — so ExecTuplesPruned ≡ live − offered
+// − answered per pass, never double-counting a tuple that both a
+// zone-map verdict and an empty FilterRange bitmap rejected.
+func (e *Engine) scanPass(t *olap.Table, sg *scanGroup, scanNS, mergeNS *int64) {
 	ms := e.morsels(t.Partitions)
 	nw := e.workers
 	if nw > len(ms) {
@@ -638,49 +669,64 @@ func (e *Engine) scanDriver(qs []*Query, rs []*Result, prepared map[buildID]*bui
 	if nw < 1 {
 		nw = 1
 	}
+	nm := len(sg.flat)
+	prune := sg.anyRanges && !e.DisablePruning
+	vectorize := prune && !e.DisableVectorized
+	aggFast := sg.anyVecAgg && !e.DisablePruning && !e.DisableVectorized
+
 	type partial struct {
 		vals   [][]float64
 		rows   []int64
 		joined [][]byte
-		// active holds the current morsel's per-query block verdicts.
-		active []bool
-		// qvec marks queries whose declarative Where was evaluated for
-		// the current morsel on the encoded blocks: sel[qi] then holds
-		// the exact selection bitmap and the compiled kernel is skipped
-		// (the residual DriverPred still runs). union is the OR of all
-		// bitmaps when every active query vectorized — the only tuples
-		// worth materializing.
-		qvec  []bool
-		sel   [][]uint64
-		union []uint64
-		// Pruning stats, summed into the engine counters at merge.
-		blocksScanned, blocksSkipped, tuplesPruned, blocksVectorized int64
+		// groups[ci] is cohort ci's group map (nil until first hit, and
+		// always nil for ungrouped cohorts).
+		groups []map[groupKey]*gacc
+		// aggScratch holds the representative's summands for the tuple
+		// (and the aggregate kernels' block sums), extracted once per
+		// cohort and fanned out to the live members.
+		aggScratch []float64
+		// active holds the morsel's per-member block verdicts; qvec
+		// marks members whose Where was evaluated on the encoded blocks
+		// (sel[fi] then holds the exact bitmap); aggDone marks members
+		// the aggregate kernels already answered for this morsel;
+		// liveNow is the per-tuple member mask.
+		active, qvec, aggDone, liveNow []bool
+		sel                            [][]uint64
+		union                          []uint64
+		// Stats, summed into the engine counters at merge. pendingLive
+		// counts live tuples in scanned morsels and offered the tuples
+		// the visitor saw; their difference is what bitmaps pruned.
+		blocksScanned, blocksSkipped, blocksVectorized, blocksAggVec int64
+		tuplesPruned, pendingLive, offered                           int64
 	}
 	partials := make([]partial, nw)
-	prune := anyRanges && !e.DisablePruning
-	vectorize := prune && !e.DisableVectorized
 	t0 := time.Now()
 	e.forEachMorsel(ms, func(worker int, m morsel) (func(int, uint64, []byte) bool, []uint64) {
 		pt := &partials[worker]
 		if pt.vals == nil {
-			pt.vals = make([][]float64, len(qs))
-			pt.rows = make([]int64, len(qs))
-			for qi, q := range qs {
-				pt.vals[qi] = make([]float64, len(q.Aggs))
+			pt.vals = make([][]float64, nm)
+			pt.rows = make([]int64, nm)
+			for fi, p := range sg.flat {
+				pt.vals[fi] = make([]float64, len(p.q.Aggs))
 			}
 			pt.joined = make([][]byte, 0, 8)
-			pt.active = make([]bool, len(qs))
-			pt.qvec = make([]bool, len(qs))
+			pt.groups = make([]map[groupKey]*gacc, len(sg.cohorts))
+			pt.aggScratch = make([]float64, sg.naggsMax)
+			pt.active = make([]bool, nm)
+			pt.qvec = make([]bool, nm)
+			pt.aggDone = make([]bool, nm)
+			pt.liveNow = make([]bool, nm)
 		}
-		// Block verdicts: offer this morsel's tuples only to queries
+		// Block verdicts: offer this morsel's tuples only to members
 		// whose pushed-down ranges the block synopses cannot disprove.
 		any := false
-		for qi := range qs {
-			a := alive[qi]
-			if a && prune && len(ranges[qi]) > 0 {
-				a = m.part.RangeMayMatch(m.lo, m.hi, ranges[qi])
+		for fi, p := range sg.flat {
+			a := true
+			if prune && len(p.ranges) > 0 {
+				a = m.part.RangeMayMatch(m.lo, m.hi, p.ranges)
 			}
-			pt.active[qi] = a
+			pt.active[fi] = a
+			pt.aggDone[fi] = false
 			any = any || a
 		}
 		if !any {
@@ -689,70 +735,151 @@ func (e *Engine) scanDriver(qs []*Query, rs []*Result, prepared map[buildID]*bui
 			return nil, nil
 		}
 		pt.blocksScanned++
-		// Vectorized fast path: translate each active query's pushed-down
-		// ranges into an exact per-slot bitmap on the encoded vectors —
-		// no tuple is decoded to evaluate the declarative Where. Queries
-		// the encoded path cannot serve (no pushed-down ranges, or
-		// FilterRange declined the morsel) keep their kernels.
-		var sel []uint64
+		words := (m.hi - m.lo + 63) >> 6
+		if (vectorize || aggFast) && len(pt.union) < words {
+			pt.union = make([]uint64, words)
+			pt.sel = make([][]uint64, nm)
+			for fi := range pt.sel {
+				pt.sel[fi] = make([]uint64, words)
+			}
+		}
+		// Vectorized predicates: translate each active member's
+		// pushed-down ranges into an exact per-slot bitmap on the
+		// encoded vectors. Members the encoded path cannot serve keep
+		// their kernels.
 		if vectorize {
-			words := (m.hi - m.lo + 63) >> 6
-			if len(pt.union) < words {
-				pt.union = make([]uint64, words)
-				pt.sel = make([][]uint64, len(qs))
-				for qi := range pt.sel {
-					pt.sel[qi] = make([]uint64, words)
+			for fi, p := range sg.flat {
+				pt.qvec[fi] = pt.active[fi] && len(p.ranges) > 0 &&
+					m.part.FilterRange(m.lo, m.hi, p.ranges, pt.sel[fi][:words])
+			}
+		}
+		// Aggregate kernels: a pure driver-side aggregation whose
+		// selection covers every tuple of the morsel (no Where, or an
+		// all-set bitmap) is answered from the encoded blocks — counts
+		// from the live counters, sums from the packed runs — without
+		// materializing a single row.
+		if aggFast {
+			for fi, p := range sg.flat {
+				if !pt.active[fi] || !p.vecAgg {
+					continue
+				}
+				if len(p.ranges) > 0 && (!pt.qvec[fi] || !allSet(pt.sel[fi][:words], m.hi-m.lo)) {
+					continue
+				}
+				ok := true
+				for ai, col := range p.aggCol {
+					if p.q.Aggs[ai].Kind != Sum {
+						continue
+					}
+					s, _, served := m.part.SumLiveRange(m.lo, m.hi, col)
+					if !served {
+						ok = false
+						break
+					}
+					pt.aggScratch[ai] = s
+				}
+				if !ok {
+					continue
+				}
+				live := int64(m.part.LiveInRange(m.lo, m.hi))
+				pt.rows[fi] += live
+				for ai := range p.q.Aggs {
+					if p.q.Aggs[ai].Kind == Sum {
+						pt.vals[fi][ai] += pt.aggScratch[ai]
+					} else {
+						pt.vals[fi][ai] += float64(live)
+					}
+				}
+				pt.aggDone[fi] = true
+				pt.blocksAggVec++
+			}
+			any = false
+			for fi := range sg.flat {
+				if pt.active[fi] && !pt.aggDone[fi] {
+					any = true
+					break
 				}
 			}
+			if !any {
+				// Every active member answered from the encoded blocks:
+				// the morsel's tuples were consumed, not pruned.
+				return nil, nil
+			}
+		}
+		// Union bitmap: when every remaining member has an exact
+		// bitmap, materialize only the union of their survivors. An
+		// empty union finishes the morsel — its live tuples count as
+		// pruned (each attributed once, whatever combination of
+		// verdicts and bitmaps rejected it).
+		var sel []uint64
+		if vectorize {
 			allVec := true
-			for qi := range qs {
-				pt.qvec[qi] = pt.active[qi] && len(ranges[qi]) > 0 &&
-					m.part.FilterRange(m.lo, m.hi, ranges[qi], pt.sel[qi][:words])
-				if pt.active[qi] && !pt.qvec[qi] {
+			for fi := range sg.flat {
+				if pt.active[fi] && !pt.aggDone[fi] && !pt.qvec[fi] {
 					allVec = false
+					break
 				}
 			}
 			if allVec {
-				// Every active query has an exact bitmap: materialize only
-				// the union of their survivors. An empty union finishes the
-				// morsel without touching a single tuple.
 				pt.blocksVectorized++
 				sel = pt.union[:words]
 				anyBit := uint64(0)
 				for w := range sel {
 					sel[w] = 0
-					for qi := range qs {
-						if pt.qvec[qi] {
-							sel[w] |= pt.sel[qi][w]
+					for fi := range sg.flat {
+						if pt.qvec[fi] && pt.active[fi] && !pt.aggDone[fi] {
+							sel[w] |= pt.sel[fi][w]
 						}
 					}
 					anyBit |= sel[w]
 				}
 				if anyBit == 0 {
+					pt.pendingLive += int64(m.part.LiveInRange(m.lo, m.hi))
 					return nil, nil
 				}
 			}
 		}
+		if prune {
+			pt.pendingLive += int64(m.part.LiveInRange(m.lo, m.hi))
+		}
 		return func(off int, _ uint64, tup []byte) bool {
-			for qi, q := range qs {
-				if !pt.active[qi] {
-					continue
-				}
-				if pt.qvec[qi] {
-					if pt.sel[qi][off>>6]>>(uint(off)&63)&1 == 0 {
-						continue
+			if prune {
+				pt.offered++
+			}
+			for ci, c := range sg.cohorts {
+				base := sg.off[ci]
+				members := c.members
+				// Per-member driver predicates gate the tuple's live
+				// mask; the cohort pipeline runs while any member lives.
+				any := false
+				for mi, p := range members {
+					fi := base + mi
+					ok := pt.active[fi] && !pt.aggDone[fi]
+					if ok {
+						if pt.qvec[fi] {
+							ok = pt.sel[fi][off>>6]>>(uint(off)&63)&1 == 1
+						} else if k := p.kernel; k != nil {
+							ok = k(tup)
+						}
 					}
-				} else if k := kernels[qi]; k != nil && !k(tup) {
+					if ok && p.q.DriverPred != nil {
+						ok = p.q.DriverPred(tup)
+					}
+					pt.liveNow[fi] = ok
+					any = any || ok
+				}
+				if !any {
 					continue
 				}
-				if q.DriverPred != nil && !q.DriverPred(tup) {
-					continue
-				}
+				// The representative's probe chain runs once for the
+				// cohort (ShareKey promises interchangeable keys);
+				// per-member probe filters narrow the live mask.
+				rep := members[0]
 				pt.joined = pt.joined[:0]
-				ok := true
-				for pi := range q.Probes {
-					p := &q.Probes[pi]
-					lk := &lookups[qi][pi]
+				matched := true
+				for pi := range rep.q.Probes {
+					p := &rep.q.Probes[pi]
+					lk := &rep.lookups[pi]
 					var match []byte
 					var found bool
 					if lk.pkTable != nil {
@@ -760,22 +887,84 @@ func (e *Engine) scanDriver(qs []*Query, rs []*Result, prepared map[buildID]*bui
 					} else {
 						match, found = lk.b.lookup(p.ProbeKey(tup, pt.joined))
 					}
-					if !found || (lk.pred != nil && !lk.pred(match)) {
-						ok = false
+					if !found {
+						matched = false
+						break
+					}
+					any = false
+					for mi := range members {
+						fi := base + mi
+						if !pt.liveNow[fi] {
+							continue
+						}
+						if pr := members[mi].lookups[pi].pred; pr != nil && !pr(match) {
+							pt.liveNow[fi] = false
+						} else {
+							any = true
+						}
+					}
+					if !any {
+						matched = false
 						break
 					}
 					pt.joined = append(pt.joined, match)
 				}
-				if !ok {
+				if !matched {
 					continue
 				}
-				pt.rows[qi]++
-				for ai := range q.Aggs {
-					switch q.Aggs[ai].Kind {
-					case Sum:
-						pt.vals[qi][ai] += q.Aggs[ai].Value(tup, pt.joined)
-					case Count:
-						pt.vals[qi][ai]++
+				// Summands and the group key are extracted once from the
+				// representative, then fanned out to the live members.
+				naggs := len(rep.q.Aggs)
+				for ai := 0; ai < naggs; ai++ {
+					if rep.q.Aggs[ai].Kind == Sum {
+						pt.aggScratch[ai] = rep.aggOf[ai](tup, pt.joined)
+					}
+				}
+				if c.ngroup == 0 {
+					for mi := range members {
+						fi := base + mi
+						if !pt.liveNow[fi] {
+							continue
+						}
+						pt.rows[fi]++
+						vals := pt.vals[fi]
+						for ai := 0; ai < naggs; ai++ {
+							if rep.q.Aggs[ai].Kind == Sum {
+								vals[ai] += pt.aggScratch[ai]
+							} else {
+								vals[ai]++
+							}
+						}
+					}
+					continue
+				}
+				var key groupKey
+				for gi, fn := range rep.groupOf {
+					key[gi] = fn(tup, pt.joined)
+				}
+				g := pt.groups[ci]
+				if g == nil {
+					g = make(map[groupKey]*gacc)
+					pt.groups[ci] = g
+				}
+				acc := g[key]
+				if acc == nil {
+					acc = &gacc{rows: make([]int64, len(members)), vals: make([]float64, len(members)*naggs)}
+					g[key] = acc
+				}
+				for mi := range members {
+					fi := base + mi
+					if !pt.liveNow[fi] {
+						continue
+					}
+					acc.rows[mi]++
+					vals := acc.vals[mi*naggs:]
+					for ai := 0; ai < naggs; ai++ {
+						if rep.q.Aggs[ai].Kind == Sum {
+							vals[ai] += pt.aggScratch[ai]
+						} else {
+							vals[ai]++
+						}
 					}
 				}
 			}
@@ -786,32 +975,132 @@ func (e *Engine) scanDriver(qs []*Query, rs []*Result, prepared map[buildID]*bui
 		*scanNS += int64(time.Since(t0))
 	}
 	t1 := time.Now()
-	var bScan, bSkip, tPrune, bVec int64
-	for _, p := range partials {
+	var bScan, bSkip, tPrune, bVec, bAggVec int64
+	for wi := range partials {
+		p := &partials[wi]
 		bScan += p.blocksScanned
 		bSkip += p.blocksSkipped
-		tPrune += p.tuplesPruned
 		bVec += p.blocksVectorized
+		bAggVec += p.blocksAggVec
+		tPrune += p.tuplesPruned + p.pendingLive - p.offered
 		if p.vals == nil {
 			continue
 		}
-		for qi := range qs {
-			if !alive[qi] {
-				continue
-			}
-			rs[qi].Rows += p.rows[qi]
-			for ai := range p.vals[qi] {
-				rs[qi].Values[ai] += p.vals[qi][ai]
+		for fi, pl := range sg.flat {
+			pl.r.Rows += p.rows[fi]
+			for ai := range p.vals[fi] {
+				pl.r.Values[ai] += p.vals[fi][ai]
 			}
 		}
 	}
+	e.mergeGroups(sg, func(ci int) []map[groupKey]*gacc {
+		out := make([]map[groupKey]*gacc, 0, len(partials))
+		for wi := range partials {
+			if partials[wi].groups != nil {
+				out = append(out, partials[wi].groups[ci])
+			}
+		}
+		return out
+	})
 	if e.stats != nil {
 		e.stats.ExecBlocksScanned.Add(uint64(bScan))
 		e.stats.ExecBlocksSkipped.Add(uint64(bSkip))
 		e.stats.ExecTuplesPruned.Add(uint64(tPrune))
 		e.stats.ExecBlocksVectorized.Add(uint64(bVec))
+		e.stats.ExecBlocksAggVectorized.Add(uint64(bAggVec))
 	}
 	if mergeNS != nil {
 		*mergeNS += int64(time.Since(t1))
+	}
+}
+
+// mergeGroups combines the workers' per-cohort group maps at the
+// finest arity, rolls every member up to its own group-by prefix, and
+// emits each member's Groups sorted by key, with its Values/Rows set
+// to the totals. A member of a grouped cohort with no GroupBy of its
+// own (the empty prefix) receives totals only — identical to running
+// it alone as a scalar query.
+func (e *Engine) mergeGroups(sg *scanGroup, workerMaps func(ci int) []map[groupKey]*gacc) {
+	for ci, c := range sg.cohorts {
+		if c.ngroup == 0 {
+			continue
+		}
+		nmem := len(c.members)
+		naggs := len(c.members[0].q.Aggs)
+		merged := make(map[groupKey]*gacc)
+		for _, g := range workerMaps(ci) {
+			for key, acc := range g {
+				dst := merged[key]
+				if dst == nil {
+					dst = &gacc{rows: make([]int64, nmem), vals: make([]float64, nmem*naggs)}
+					merged[key] = dst
+				}
+				for mi := 0; mi < nmem; mi++ {
+					dst.rows[mi] += acc.rows[mi]
+					for ai := 0; ai < naggs; ai++ {
+						dst.vals[mi*naggs+ai] += acc.vals[mi*naggs+ai]
+					}
+				}
+			}
+		}
+		for mi, m := range c.members {
+			arity := m.narity()
+			if arity == 0 {
+				for _, acc := range merged {
+					m.r.Rows += acc.rows[mi]
+					for ai := 0; ai < naggs; ai++ {
+						m.r.Values[ai] += acc.vals[mi*naggs+ai]
+					}
+				}
+				continue
+			}
+			// Roll up to the member's own arity; groups the member never
+			// matched (rows 0 — its lanes were only ever written together
+			// with rows) belong to other members and are dropped.
+			rolled := make(map[groupKey]*gacc)
+			for key, acc := range merged {
+				if acc.rows[mi] == 0 {
+					continue
+				}
+				var pk groupKey
+				copy(pk[:arity], key[:arity])
+				ra := rolled[pk]
+				if ra == nil {
+					ra = &gacc{rows: make([]int64, 1), vals: make([]float64, naggs)}
+					rolled[pk] = ra
+				}
+				ra.rows[0] += acc.rows[mi]
+				for ai := 0; ai < naggs; ai++ {
+					ra.vals[ai] += acc.vals[mi*naggs+ai]
+				}
+			}
+			keys := make([]groupKey, 0, len(rolled))
+			for k := range rolled {
+				keys = append(keys, k)
+			}
+			slices.SortFunc(keys, func(a, b groupKey) int {
+				for i := 0; i < arity; i++ {
+					if a[i] != b[i] {
+						if a[i] < b[i] {
+							return -1
+						}
+						return 1
+					}
+				}
+				return 0
+			})
+			for _, k := range keys {
+				ra := rolled[k]
+				m.r.Groups = append(m.r.Groups, GroupResult{
+					Key:    append([]int64(nil), k[:arity]...),
+					Values: ra.vals,
+					Rows:   ra.rows[0],
+				})
+				m.r.Rows += ra.rows[0]
+				for ai := range ra.vals {
+					m.r.Values[ai] += ra.vals[ai]
+				}
+			}
+		}
 	}
 }

@@ -1,0 +1,261 @@
+// The logical-plan layer (ROADMAP item 5): every Query is compiled
+// into a qplan — the scan → predicate → join-chain → group-by/aggregate
+// pipeline in executable form — before the batch planner (planner.go)
+// decides which plans merge into shared pipelines and how the scan
+// passes are co-scheduled. Keeping compilation separate from cohort
+// formation is what makes sharing semantically invisible: a merged
+// cohort runs the same compiled kernels, lookups and extractors its
+// members would run alone, just arranged so common work happens once.
+package exec
+
+import (
+	"fmt"
+
+	"batchdb/internal/olap"
+	"batchdb/internal/storage"
+)
+
+// MaxGroupCols caps a query's GroupBy arity so group keys are exact
+// fixed-size array map keys (no hashing collisions, no allocation per
+// tuple). The CH-benCHmark query set groups by at most two columns.
+const MaxGroupCols = 4
+
+// groupKey is the fixed-size exact group-by key; only the first
+// ngroup lanes of a cohort are populated, the rest stay zero.
+type groupKey [MaxGroupCols]int64
+
+// GroupCol names one group-by column: From selects the tuple it is
+// read from (-1 = the driver tuple, otherwise an index into
+// Query.Probes selecting that probe's joined tuple) and Col the column
+// ordinal in that table's schema. The column must be numeric; keys are
+// compared in storage.Schema.OrdKey space.
+type GroupCol struct {
+	From int
+	Col  int
+}
+
+// GroupResult is one group's aggregate outputs. Key holds the group-by
+// columns' ord keys in GroupBy order (integer and time columns are
+// their values; float columns are their order-preserving keys —
+// storage.Float64FromOrdKey recovers the float). Values and Rows
+// mirror Result.Values / Result.Rows, restricted to the group.
+type GroupResult struct {
+	Key    []int64
+	Values []float64
+	Rows   int64
+}
+
+// SumCol builds the declarative form of a Sum aggregate: the summand
+// is driver column col, read by a typed kernel compiled against the
+// driver schema instead of a closure. Declarative sums are what the
+// encoded-block aggregate kernels can serve without materializing
+// tuples; closure aggregates always run row-at-a-time.
+func SumCol(col int) AggSpec {
+	return AggSpec{Kind: Sum, col: col, colSet: true}
+}
+
+// Summand returns the aggregate's summand extractor over a (driver,
+// joined) tuple combination: the Value closure when set, otherwise a
+// typed kernel compiled against driver schema s for a declarative
+// SumCol. Count aggregates return nil. External executors (the
+// single-system baseline) use this so declarative and closure
+// aggregates evaluate identically everywhere.
+func (a AggSpec) Summand(s *storage.Schema) (func(driver []byte, joined [][]byte) float64, error) {
+	if a.Kind == Count {
+		return nil, nil
+	}
+	if !a.colSet {
+		if a.Value == nil {
+			return nil, fmt.Errorf("exec: Sum aggregate needs Value or SumCol")
+		}
+		return a.Value, nil
+	}
+	fn, err := compileColValue(s, a.col)
+	if err != nil {
+		return nil, err
+	}
+	return func(driver []byte, _ [][]byte) float64 { return fn(driver) }, nil
+}
+
+// lookup is one probe resolved against the snapshot: a shared hash
+// build or the target table's incremental PK index, plus the probe's
+// compiled filter.
+type lookup struct {
+	b       *build
+	pkTable *olap.Table
+	pred    func(tup []byte) bool
+}
+
+// qplan is one query compiled against its driver table: predicate
+// kernels and their synopsis form, resolved probe lookups, group-key
+// and aggregate extractors. The planner merges qplans into cohorts;
+// the scan passes execute them.
+type qplan struct {
+	q *Query
+	r *Result
+
+	kernel func(tup []byte) bool
+	ranges []olap.ColRange
+
+	lookups []lookup
+
+	// groupOf extracts each GroupBy column's ord key from the surviving
+	// (driver, joined) combination, in GroupBy order.
+	groupOf []func(driver []byte, joined [][]byte) int64
+
+	// aggOf extracts each Sum aggregate's summand (nil for Count);
+	// aggCol is the declarative driver column behind it, or -1 when the
+	// aggregate is a closure or a Count.
+	aggOf  []func(driver []byte, joined [][]byte) float64
+	aggCol []int
+
+	// vecAgg marks plans the encoded-block aggregate kernels can answer
+	// whole morsels for: a pure driver-side aggregation (no probes, no
+	// residual filter, no grouping) whose sums are all declarative.
+	vecAgg bool
+}
+
+// narity returns the plan's group-by arity.
+func (p *qplan) narity() int { return len(p.q.GroupBy) }
+
+// compilePlan lowers q to its executable form against driver table t,
+// resolving probes through the batch's prepared builds. A nil return
+// means the query failed to compile; its error is already recorded in
+// r and the rest of the batch proceeds without it.
+func (e *Engine) compilePlan(t *olap.Table, q *Query, r *Result, prepared map[buildID]*build) *qplan {
+	p := &qplan{q: q, r: r}
+	k, rg, err := compileWhere(t.Schema, q.Where)
+	if err != nil {
+		r.Err = err
+		return nil
+	}
+	p.kernel, p.ranges = k, rg
+	if len(rg) > 0 && !e.DisablePruning {
+		// Record which columns this query filters on, so the next
+		// quiesced window activates their block synopses — the first
+		// scan runs unpruned, every later one skips blocks.
+		t.RequestSynopses(rg)
+	}
+
+	p.lookups = make([]lookup, len(q.Probes))
+	for pi := range q.Probes {
+		pb := &q.Probes[pi]
+		pt := e.replica.Table(pb.Table)
+		if pt == nil {
+			r.Err = fmt.Errorf("exec: probe into unknown table %d", pb.Table)
+			return nil
+		}
+		wherePred, _, err := compileWhere(pt.Schema, pb.Where)
+		if err != nil {
+			r.Err = err
+			return nil
+		}
+		lk := lookup{pred: andPred(wherePred, pb.Pred)}
+		if pt.HasPKIndex() && pb.BuildKeyID == "pk" {
+			lk.pkTable = pt
+		} else if lk.b = prepared[buildID{pb.Table, pb.BuildKeyID}]; lk.b == nil {
+			r.Err = fmt.Errorf("exec: missing build for table %d key %q", pb.Table, pb.BuildKeyID)
+			return nil
+		}
+		p.lookups[pi] = lk
+	}
+
+	if len(q.GroupBy) > MaxGroupCols {
+		r.Err = fmt.Errorf("exec: query %s groups by %d columns (max %d)", q.Name, len(q.GroupBy), MaxGroupCols)
+		return nil
+	}
+	for _, gc := range q.GroupBy {
+		fn, err := e.compileGroupCol(t, q, gc)
+		if err != nil {
+			r.Err = err
+			return nil
+		}
+		p.groupOf = append(p.groupOf, fn)
+	}
+
+	p.aggOf = make([]func([]byte, [][]byte) float64, len(q.Aggs))
+	p.aggCol = make([]int, len(q.Aggs))
+	p.vecAgg = len(q.Probes) == 0 && q.DriverPred == nil && len(q.GroupBy) == 0
+	for ai := range q.Aggs {
+		a := &q.Aggs[ai]
+		p.aggCol[ai] = -1
+		if a.Kind == Count {
+			continue
+		}
+		if a.colSet {
+			fn, err := compileColValue(t.Schema, a.col)
+			if err != nil {
+				r.Err = fmt.Errorf("exec: query %s aggregate %d: %w", q.Name, ai, err)
+				return nil
+			}
+			p.aggOf[ai] = func(driver []byte, _ [][]byte) float64 { return fn(driver) }
+			p.aggCol[ai] = a.col
+			continue
+		}
+		if a.Value == nil {
+			r.Err = fmt.Errorf("exec: query %s aggregate %d: Sum needs Value or SumCol", q.Name, ai)
+			return nil
+		}
+		p.aggOf[ai] = a.Value
+		p.vecAgg = false // closure summand: must see the row
+	}
+	if p.vecAgg && !e.DisablePruning && !e.DisableVectorized {
+		// The aggregate kernels read encoded vectors of the summand
+		// columns; request their synopses so the next quiesced window
+		// activates (and encodes) them like any filtered column.
+		var rgs []olap.ColRange
+		for _, c := range p.aggCol {
+			if c >= 0 {
+				rgs = append(rgs, olap.ColRange{Col: c})
+			}
+		}
+		if len(rgs) > 0 {
+			t.RequestSynopses(rgs)
+		}
+	}
+	return p
+}
+
+// compileGroupCol lowers one group-by column to an ord-key extractor.
+func (e *Engine) compileGroupCol(t *olap.Table, q *Query, gc GroupCol) (func(driver []byte, joined [][]byte) int64, error) {
+	var s *storage.Schema
+	if gc.From == -1 {
+		s = t.Schema
+	} else {
+		if gc.From < 0 || gc.From >= len(q.Probes) {
+			return nil, fmt.Errorf("exec: query %s group-by From %d out of probe range", q.Name, gc.From)
+		}
+		pt := e.replica.Table(q.Probes[gc.From].Table)
+		if pt == nil {
+			return nil, fmt.Errorf("exec: query %s group-by probes unknown table %d", q.Name, q.Probes[gc.From].Table)
+		}
+		s = pt.Schema
+	}
+	if gc.Col < 0 || gc.Col >= len(s.Columns) || !s.Columns[gc.Col].Type.Numeric() {
+		return nil, fmt.Errorf("exec: query %s group-by column %d is not a numeric column of %s", q.Name, gc.Col, s.Name)
+	}
+	col, from := gc.Col, gc.From
+	if from == -1 {
+		return func(driver []byte, _ [][]byte) int64 { return s.OrdKey(driver, col) }, nil
+	}
+	return func(_ []byte, joined [][]byte) int64 { return s.OrdKey(joined[from], col) }, nil
+}
+
+// compileColValue lowers a declarative summand column to a typed
+// float64 reader over driver tuples.
+func compileColValue(s *storage.Schema, col int) (func(tup []byte) float64, error) {
+	if col < 0 || col >= len(s.Columns) || !s.Columns[col].Type.Numeric() {
+		return nil, fmt.Errorf("column %d is not a numeric column of %s", col, s.Name)
+	}
+	switch s.Columns[col].Type {
+	case storage.Float64:
+		g := s.GetFloat64
+		return func(tup []byte) float64 { return g(tup, col) }, nil
+	case storage.Int32:
+		g := s.GetInt32
+		return func(tup []byte) float64 { return float64(g(tup, col)) }, nil
+	default: // Int64, Time
+		g := s.GetInt64
+		return func(tup []byte) float64 { return float64(g(tup, col)) }, nil
+	}
+}

@@ -1,0 +1,348 @@
+// The batch planner (ROADMAP item 5, paper §5's open MQJoin/SharedDB
+// direction): given one driver table's compiled plans it decides
+//
+//   - which plans merge into a *cohort* — a shared pipeline that pays
+//     the probe chain, group-key extraction and summand evaluation
+//     once per tuple and fans the partial aggregates out to member
+//     queries only at the final merge;
+//   - how cohorts are *co-scheduled* into scan passes: cohorts whose
+//     pushed-down predicate hulls are disjoint on a common column are
+//     split into separate passes when the zone maps say the split
+//     saves more block fetches than the extra pass costs, so block
+//     skipping compounds across the batch;
+//   - whether an oversized batch should be *admitted* at all
+//     (Engine.AdmitBatch), from the per-phase histograms the scheduler
+//     already records.
+//
+// Merging is opt-in via Query.ShareKey and otherwise purely
+// structural, so a batch with zero overlap degenerates to singleton
+// cohorts in one pass — executionally today's code path.
+package exec
+
+import (
+	"math"
+	"slices"
+
+	"batchdb/internal/olap"
+)
+
+// cohort is one shared pipeline: members agree on driver, probe chain
+// structure, aggregate signature and a group-by prefix. members[0] is
+// the representative — the member with the longest (finest) GroupBy —
+// whose lookups, group extractors and summand extractors run for the
+// whole cohort; per-member predicates and probe residual filters still
+// run individually. ngroup is the finest arity; coarser members are
+// rolled up from the finest keys at merge time.
+type cohort struct {
+	members []*qplan
+	ngroup  int
+}
+
+// ShareKey is the soundness contract behind merging: two queries with
+// equal non-empty ShareKeys promise that their BuildKey, ProbeKey and
+// closure aggregate functions are interchangeable (same template,
+// differing only in predicate constants and residual filters). The
+// engine already assumes BuildKey interchangeability for queries
+// sharing a (table, BuildKeyID) build; ShareKey extends the same
+// contract to the probe and aggregate closures. mergeable additionally
+// verifies everything structural.
+func mergeable(a, b *qplan) bool {
+	if a.q.ShareKey == "" || a.q.ShareKey != b.q.ShareKey {
+		return false
+	}
+	if len(a.q.Probes) != len(b.q.Probes) || len(a.q.Aggs) != len(b.q.Aggs) {
+		return false
+	}
+	for pi := range a.q.Probes {
+		if a.q.Probes[pi].Table != b.q.Probes[pi].Table ||
+			a.q.Probes[pi].BuildKeyID != b.q.Probes[pi].BuildKeyID {
+			return false
+		}
+	}
+	for ai := range a.q.Aggs {
+		aa, ba := &a.q.Aggs[ai], &b.q.Aggs[ai]
+		if aa.Kind != ba.Kind || aa.colSet != ba.colSet || (aa.colSet && aa.col != ba.col) {
+			return false
+		}
+	}
+	// GroupBy lists must be prefix-compatible (one a prefix of the
+	// other); the cohort accumulates at the finest arity and rolls
+	// coarser members up at merge.
+	short, long := a.q.GroupBy, b.q.GroupBy
+	if len(short) > len(long) {
+		short, long = long, short
+	}
+	for i := range short {
+		if short[i] != long[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// formCohorts partitions one driver table's plans into cohorts. With
+// sharing disabled every plan is its own cohort (the bail-out path);
+// otherwise plans are merged greedily in input order, which keeps the
+// result deterministic.
+func formCohorts(plans []*qplan, disableSharing bool) []*cohort {
+	cohorts := make([]*cohort, 0, len(plans))
+	if disableSharing {
+		for _, p := range plans {
+			cohorts = append(cohorts, &cohort{members: []*qplan{p}, ngroup: p.narity()})
+		}
+		return cohorts
+	}
+	byKey := make(map[string][]*cohort)
+	for _, p := range plans {
+		if p.q.ShareKey != "" {
+			merged := false
+			for _, c := range byKey[p.q.ShareKey] {
+				if mergeable(c.members[0], p) {
+					if p.narity() > c.ngroup {
+						// Keep the finest member first: its extractors
+						// drive the whole cohort.
+						c.members = append(c.members, c.members[0])
+						c.members[0] = p
+						c.ngroup = p.narity()
+					} else {
+						c.members = append(c.members, p)
+					}
+					merged = true
+					break
+				}
+			}
+			if merged {
+				continue
+			}
+		}
+		c := &cohort{members: []*qplan{p}, ngroup: p.narity()}
+		cohorts = append(cohorts, c)
+		if p.q.ShareKey != "" {
+			byKey[p.q.ShareKey] = append(byKey[p.q.ShareKey], c)
+		}
+	}
+	return cohorts
+}
+
+// scanGroup is one morsel pass over the driver table: the cohorts it
+// evaluates, flattened for the hot loop.
+type scanGroup struct {
+	cohorts []*cohort
+	// flat lists every member in cohort order; off[ci] is the flat
+	// index of cohorts[ci].members[0].
+	flat []*qplan
+	off  []int
+	// anyRanges / anyVecAgg gate the pruning and aggregate fast paths.
+	anyRanges bool
+	anyVecAgg bool
+	// naggsMax sizes the per-worker summand scratch.
+	naggsMax int
+}
+
+func newScanGroup(cohorts []*cohort) *scanGroup {
+	sg := &scanGroup{cohorts: cohorts}
+	for _, c := range cohorts {
+		sg.off = append(sg.off, len(sg.flat))
+		for _, m := range c.members {
+			sg.flat = append(sg.flat, m)
+			sg.anyRanges = sg.anyRanges || len(m.ranges) > 0
+			sg.anyVecAgg = sg.anyVecAgg || m.vecAgg
+			if n := len(m.q.Aggs); n > sg.naggsMax {
+				sg.naggsMax = n
+			}
+		}
+	}
+	return sg
+}
+
+// hull is a cohort's pushed-down predicate hull on one column: the
+// interval outside which no member can match.
+type hull struct {
+	c      *cohort
+	col    int
+	lo, hi int64
+}
+
+// cohortHull finds a column every member filters on and returns the
+// union of the members' intervals on it (per member, conjuncts on the
+// column intersect). ok=false means the cohort has no common filtered
+// column — it must ride in every scan pass.
+func cohortHull(c *cohort) (h hull, ok bool) {
+	common := map[int]bool{}
+	for _, r := range c.members[0].ranges {
+		common[r.Col] = true
+	}
+	for _, m := range c.members[1:] {
+		has := map[int]bool{}
+		for _, r := range m.ranges {
+			if common[r.Col] {
+				has[r.Col] = true
+			}
+		}
+		common = has
+	}
+	col := -1
+	for cc := range common {
+		if col == -1 || cc < col {
+			col = cc
+		}
+	}
+	if col == -1 {
+		return hull{}, false
+	}
+	h = hull{c: c, col: col, lo: math.MaxInt64, hi: math.MinInt64}
+	for _, m := range c.members {
+		mlo, mhi := int64(math.MinInt64), int64(math.MaxInt64)
+		for _, r := range m.ranges {
+			if r.Col == col {
+				mlo, mhi = max(mlo, r.Lo), min(mhi, r.Hi)
+			}
+		}
+		h.lo, h.hi = min(h.lo, mlo), max(h.hi, mhi)
+	}
+	return h, true
+}
+
+// splitFetchSlack is how much extra block fetching (relative to the
+// single-pass union) a split into multiple passes may cost before the
+// planner keeps one pass. Disjoint hulls over clustered data sum to
+// roughly the union and split; unclustered data sums to ~k× and stays
+// merged.
+const splitFetchSlack = 1.15
+
+// formScanGroups co-schedules cohorts into scan passes by predicate
+// overlap. Cohorts filtering a common column are clustered by hull
+// overlap; the clusters become separate passes only when the table's
+// zone maps certify that the per-pass block skipping pays for the
+// extra passes — a block skipped for a whole pass's cohorts is then
+// fetched zero times instead of once for the combined batch. Anything
+// without a usable hull rides in one residual pass, and any doubt
+// (unwarmed synopses, overlapping hulls, pruning disabled) collapses
+// to a single shared pass — today's behavior.
+func (e *Engine) formScanGroups(t *olap.Table, cohorts []*cohort) []*scanGroup {
+	if len(cohorts) <= 1 || e.DisablePruning {
+		return []*scanGroup{newScanGroup(cohorts)}
+	}
+	// Hulls per cohort; pick the column filtered by the most cohorts as
+	// the clustering axis.
+	hulls := make([]hull, 0, len(cohorts))
+	var rest []*cohort
+	colVotes := map[int]int{}
+	for _, c := range cohorts {
+		if h, ok := cohortHull(c); ok {
+			hulls = append(hulls, h)
+			colVotes[h.col]++
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	axis, best := -1, 0
+	for col, n := range colVotes {
+		if n > best || (n == best && (axis == -1 || col < axis)) {
+			axis, best = col, n
+		}
+	}
+	if axis == -1 || best < 2 {
+		return []*scanGroup{newScanGroup(cohorts)}
+	}
+	onAxis := hulls[:0]
+	for _, h := range hulls {
+		if h.col == axis {
+			onAxis = append(onAxis, h)
+		} else {
+			rest = append(rest, h.c)
+		}
+	}
+	// Sweep-merge overlapping hulls into clusters; order within a pass
+	// follows hull order, so queries touching neighboring ranges run
+	// adjacently even when the pass stays merged.
+	slices.SortStableFunc(onAxis, func(a, b hull) int {
+		switch {
+		case a.lo != b.lo:
+			if a.lo < b.lo {
+				return -1
+			}
+			return 1
+		case a.hi != b.hi:
+			if a.hi < b.hi {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	type cluster struct {
+		cohorts []*cohort
+		lo, hi  int64
+	}
+	var clusters []cluster
+	for _, h := range onAxis {
+		if n := len(clusters); n > 0 && h.lo <= clusters[n-1].hi {
+			cl := &clusters[n-1]
+			cl.cohorts = append(cl.cohorts, h.c)
+			cl.hi = max(cl.hi, h.hi)
+		} else {
+			clusters = append(clusters, cluster{cohorts: []*cohort{h.c}, lo: h.lo, hi: h.hi})
+		}
+	}
+	if len(clusters) < 2 || len(rest) > 0 {
+		// A residual pass would rescan every block anyway; extra passes
+		// for the clustered cohorts could only add fetches.
+		return []*scanGroup{newScanGroup(cohorts)}
+	}
+	// Cost check against the block synopses: splitting into k passes
+	// fetches Σ frac_i of the blocks; one pass fetches the union. Split
+	// only when the sum stays within splitFetchSlack of the union —
+	// i.e. the data really is clustered on the axis and per-pass
+	// skipping compounds.
+	sum := 0.0
+	for _, cl := range clusters {
+		sum += t.MatchingBlockFrac([]olap.ColRange{{Col: axis, Lo: cl.lo, Hi: cl.hi}})
+	}
+	// The union is over-approximated by the clusters' combined hull —
+	// exact enough for the split decision, one synopsis walk instead
+	// of k.
+	union := t.MatchingBlockFrac([]olap.ColRange{
+		{Col: axis, Lo: clusters[0].lo, Hi: clusters[len(clusters)-1].hi}})
+	if sum > splitFetchSlack*union {
+		return []*scanGroup{newScanGroup(cohorts)}
+	}
+	groups := make([]*scanGroup, 0, len(clusters))
+	for _, cl := range clusters {
+		groups = append(groups, newScanGroup(cl.cohorts))
+	}
+	return groups
+}
+
+// AdmitBatch is the scheduler admission hook (Scheduler.SetAdmit): it
+// estimates the batch's execution time from the per-phase histograms
+// recorded over previous batches and returns the longest prefix whose
+// estimate fits AdmitBudget, so one pathological dispatch round cannot
+// blow the staleness bound the fleet router promises. The model is
+// deliberately first-order — mean build-prepare time once, plus the
+// historical scan time per query — and self-calibrating: whatever
+// sharing and pruning saved in past batches is already in the
+// histogram. With no budget, no attached stats or no history it admits
+// everything (zero behavior change until data exists).
+func (e *Engine) AdmitBatch(queries []*Query) int {
+	n := len(queries)
+	if e.AdmitBudget <= 0 || e.stats == nil || n <= 1 {
+		return n
+	}
+	st := e.stats
+	nq := st.Queries.Load()
+	scanNS := st.ExecScan.Sum()
+	if nq == 0 || scanNS <= 0 {
+		return n
+	}
+	perQuery := float64(scanNS) / float64(nq)
+	budget := float64(e.AdmitBudget) - st.ExecBuildPrepare.Mean()
+	k := int(budget / perQuery)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}

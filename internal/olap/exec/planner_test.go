@@ -1,0 +1,460 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"batchdb/internal/olap"
+)
+
+// --- reference evaluation over the fixture replica ----------------------
+
+// refQuery mirrors what the randomized parity batches can express: the
+// region join of regionQuery (optional), a driver id range, and a
+// group-by prefix of (customer region, driver cust).
+type refQuery struct {
+	reg    int64 // -1 = no region probe
+	idLo   int64
+	idHi   int64
+	groupN int // 0, 1 (region) or 2 (region, cust)
+}
+
+type refGroup struct {
+	sum   float64
+	count int64
+}
+
+type refResult struct {
+	rows   int64
+	sum    float64
+	count  int64
+	groups map[[2]int64]*refGroup
+}
+
+// evalRef computes the query straight off the replica's raw rows.
+func evalRef(f *fixture, rq refQuery) *refResult {
+	regionOf := map[int64]int64{}
+	for _, p := range f.replica.Table(tblCustomers).Partitions {
+		p.Scan(func(_ uint64, tup []byte) bool {
+			regionOf[f.custs.GetInt64(tup, 0)] = f.custs.GetInt64(tup, 1)
+			return true
+		})
+	}
+	res := &refResult{groups: map[[2]int64]*refGroup{}}
+	for _, p := range f.replica.Table(tblOrders).Partitions {
+		p.Scan(func(_ uint64, tup []byte) bool {
+			id := f.orders.GetInt64(tup, 0)
+			if id < rq.idLo || id > rq.idHi {
+				return true
+			}
+			cust := f.orders.GetInt64(tup, 1)
+			reg, ok := regionOf[cust]
+			if !ok || (rq.reg >= 0 && reg != rq.reg) {
+				return true
+			}
+			amt := f.orders.GetFloat64(tup, 2)
+			res.rows++
+			res.sum += amt
+			res.count++
+			if rq.groupN > 0 {
+				// Key exactly as buildRefQuery groups: (region) or
+				// (region, cust) with the probe; (cust) without it.
+				var key [2]int64
+				key[0] = reg
+				if rq.reg < 0 && rq.groupN == 1 {
+					key[0] = cust
+				}
+				if rq.groupN > 1 {
+					key[1] = cust
+				}
+				g := res.groups[key]
+				if g == nil {
+					g = &refGroup{}
+					res.groups[key] = g
+				}
+				g.sum += amt
+				g.count++
+			}
+			return true
+		})
+	}
+	return res
+}
+
+// buildRefQuery lowers a refQuery to the executable form, tagging every
+// instance with one ShareKey so the planner may merge them.
+func buildRefQuery(f *fixture, rq refQuery, shareKey string) *Query {
+	var q *Query
+	if rq.reg >= 0 {
+		q = f.regionQuery(rq.reg)
+	} else {
+		q = &Query{
+			Name:   "scanRef",
+			Driver: tblOrders,
+			Aggs: []AggSpec{
+				{Kind: Sum, Value: func(d []byte, _ [][]byte) float64 { return f.orders.GetFloat64(d, 2) }},
+				{Kind: Count},
+			},
+		}
+	}
+	q.ShareKey = shareKey
+	q.Where = []Pred{BetweenInt(0, rq.idLo, rq.idHi)}
+	switch rq.groupN {
+	case 1:
+		if rq.reg >= 0 {
+			q.GroupBy = []GroupCol{{From: 0, Col: 1}}
+		} else {
+			q.GroupBy = []GroupCol{{From: -1, Col: 1}} // cust off the driver
+		}
+	case 2:
+		q.GroupBy = []GroupCol{{From: 0, Col: 1}, {From: -1, Col: 1}}
+	}
+	return q
+}
+
+func checkAgainstRef(t *testing.T, label string, f *fixture, rq refQuery, got *Result) {
+	t.Helper()
+	if got.Err != nil {
+		t.Fatalf("%s: %v", label, got.Err)
+	}
+	want := evalRef(f, rq)
+	if got.Rows != want.rows {
+		t.Fatalf("%s: rows %d, want %d", label, got.Rows, want.rows)
+	}
+	if !almostEqual(got.Values[0], want.sum) || int64(got.Values[1]) != want.count {
+		t.Fatalf("%s: values %v, want sum %f count %d", label, got.Values, want.sum, want.count)
+	}
+	if rq.groupN > 0 {
+		wantGroups := want.groups
+		if len(got.Groups) != len(wantGroups) {
+			t.Fatalf("%s: %d groups, want %d", label, len(got.Groups), len(wantGroups))
+		}
+		for _, gr := range got.Groups {
+			var key [2]int64
+			copy(key[:], gr.Key)
+			w := wantGroups[key]
+			if w == nil {
+				t.Fatalf("%s: unexpected group key %v", label, gr.Key)
+			}
+			if gr.Rows != w.count || !almostEqual(gr.Values[0], w.sum) || int64(gr.Values[1]) != w.count {
+				t.Fatalf("%s group %v: rows %d vals %v, want count %d sum %f",
+					label, gr.Key, gr.Rows, gr.Values, w.count, w.sum)
+			}
+		}
+	}
+}
+
+func compareResults(t *testing.T, label string, shared, private []Result) {
+	t.Helper()
+	for i := range shared {
+		s, p := &shared[i], &private[i]
+		if s.Err != nil || p.Err != nil {
+			t.Fatalf("%s query %d: errs %v %v", label, i, s.Err, p.Err)
+		}
+		if s.Rows != p.Rows {
+			t.Fatalf("%s query %d: rows %d (shared) != %d (private)", label, i, s.Rows, p.Rows)
+		}
+		for j := range s.Values {
+			if !almostEqual(s.Values[j], p.Values[j]) {
+				t.Fatalf("%s query %d agg %d: %f != %f", label, i, j, s.Values[j], p.Values[j])
+			}
+		}
+		if len(s.Groups) != len(p.Groups) {
+			t.Fatalf("%s query %d: %d groups (shared) != %d (private)", label, i, len(s.Groups), len(p.Groups))
+		}
+		for gi := range s.Groups {
+			sg, pg := &s.Groups[gi], &p.Groups[gi]
+			if fmt.Sprint(sg.Key) != fmt.Sprint(pg.Key) || sg.Rows != pg.Rows {
+				t.Fatalf("%s query %d group %d: (%v,%d) != (%v,%d)",
+					label, i, gi, sg.Key, sg.Rows, pg.Key, pg.Rows)
+			}
+			for j := range sg.Values {
+				if !almostEqual(sg.Values[j], pg.Values[j]) {
+					t.Fatalf("%s query %d group %d agg %d: %f != %f",
+						label, i, gi, j, sg.Values[j], pg.Values[j])
+				}
+			}
+		}
+	}
+}
+
+// TestPlannerShareParity is the randomized prefix-merge property test:
+// batches mixing every overlap regime — shared scan only (unique share
+// keys), shared join chain (same key, scalar), shared group-by prefix
+// (same key, arities 0/1/2), and disjoint predicates — must produce
+// bit-identical rows/groups with sharing on and off, at 1, 4 and
+// NumCPU workers. Each query is also checked against a from-scratch
+// reference evaluation, so both sides of the parity can't be wrong
+// together.
+func TestPlannerShareParity(t *testing.T) {
+	f := buildFixture(t, 4, 3000, 150)
+	rng := rand.New(rand.NewSource(99))
+	regimes := []string{"sharedKey", "uniqueKeys", "mixed"}
+	for trial := 0; trial < 6; trial++ {
+		regime := regimes[trial%len(regimes)]
+		n := 6 + rng.Intn(6)
+		rqs := make([]refQuery, n)
+		mkBatch := func() []*Query {
+			batch := make([]*Query, n)
+			for i := range batch {
+				key := "pipe"
+				if regime == "uniqueKeys" || (regime == "mixed" && i%2 == 1) {
+					key = fmt.Sprintf("solo-%d", i)
+				}
+				batch[i] = buildRefQuery(f, rqs[i], key)
+			}
+			return batch
+		}
+		for i := range rqs {
+			lo := 1 + rng.Int63n(2000)
+			rqs[i] = refQuery{
+				reg:    rng.Int63n(5), // all probe-shaped so same-key plans merge
+				idLo:   lo,
+				idHi:   lo + 200 + rng.Int63n(1500),
+				groupN: rng.Intn(3),
+			}
+		}
+		for _, workers := range []int{1, 4, runtime.NumCPU()} {
+			e := NewEngine(f.replica, workers)
+			e.MorselTuples = 256
+			var st olap.SchedulerStats
+			e.AttachStats(&st)
+			shared := e.RunBatch(mkBatch(), 0)
+
+			e2 := NewEngine(f.replica, workers)
+			e2.MorselTuples = 256
+			e2.DisableSharing = true
+			private := e2.RunBatch(mkBatch(), 0)
+
+			label := fmt.Sprintf("trial=%d regime=%s workers=%d", trial, regime, workers)
+			compareResults(t, label, shared, private)
+			for i := range shared {
+				checkAgainstRef(t, fmt.Sprintf("%s query=%d", label, i), f, rqs[i], &shared[i])
+			}
+			if regime == "sharedKey" && st.ExecQueriesShared.Load() == 0 {
+				t.Fatalf("%s: no queries merged — sharing parity is vacuous", label)
+			}
+		}
+	}
+}
+
+// TestFormCohorts pins the merge rules: same non-empty ShareKey with a
+// compatible shape merges (finest group-by first), everything else
+// stays solo.
+func TestFormCohorts(t *testing.T) {
+	mk := func(key string, naggs int, groupBy ...GroupCol) *qplan {
+		aggs := make([]AggSpec, naggs)
+		for i := range aggs {
+			aggs[i] = AggSpec{Kind: Count}
+		}
+		return &qplan{q: &Query{ShareKey: key, Aggs: aggs, GroupBy: groupBy}}
+	}
+	a := mk("k", 1)
+	b := mk("k", 1, GroupCol{From: -1, Col: 1})
+	c := mk("k", 1, GroupCol{From: -1, Col: 1}, GroupCol{From: -1, Col: 2})
+	diverge := mk("k", 1, GroupCol{From: -1, Col: 3}) // not a prefix of b/c
+	otherKey := mk("other", 1)
+	noKey := mk("", 1)
+	wrongAggs := mk("k", 2)
+
+	cohorts := formCohorts([]*qplan{a, b, c, diverge, otherKey, noKey, wrongAggs}, false)
+	if len(cohorts) != 5 {
+		t.Fatalf("got %d cohorts, want 5", len(cohorts))
+	}
+	main := cohorts[0]
+	if len(main.members) != 3 || main.ngroup != 2 || main.members[0] != c {
+		t.Fatalf("merged cohort: %d members, ngroup %d, finest-first %v",
+			len(main.members), main.ngroup, main.members[0] == c)
+	}
+	if n := len(formCohorts([]*qplan{a, b, c}, true)); n != 3 {
+		t.Fatalf("DisableSharing produced %d cohorts, want 3 singletons", n)
+	}
+}
+
+// TestScanGroupSplitParity drives predicate-overlap co-scheduling: two
+// clusters of queries with disjoint driver id hulls on a zone-mapped
+// table must be split into separate scan passes (observable as two
+// verdict sweeps over the morsels), without changing any result.
+func TestScanGroupSplitParity(t *testing.T) {
+	f := buildFixture(t, 1, 4096, 64)
+	f.replica.EnableZoneMaps(256)
+
+	rqs := []refQuery{
+		{reg: -1, idLo: 1, idHi: 500},
+		{reg: -1, idLo: 40, idHi: 512},
+		{reg: -1, idLo: 3500, idHi: 4000},
+		{reg: -1, idLo: 3600, idHi: 4090},
+	}
+	mkBatch := func() []*Query {
+		batch := make([]*Query, len(rqs))
+		for i := range rqs {
+			batch[i] = buildRefQuery(f, rqs[i], fmt.Sprintf("c%d", i))
+		}
+		return batch
+	}
+
+	// Registration pass records synopsis interest; activation builds the
+	// per-block bounds the co-scheduler's cost model reads.
+	reg := NewEngine(f.replica, 2)
+	reg.MorselTuples = 256
+	reg.RunBatch(mkBatch(), 0)
+	f.replica.ActivateSynopses()
+
+	const morsels = 4096 / 256
+	e := NewEngine(f.replica, 2)
+	e.MorselTuples = 256
+	var st olap.SchedulerStats
+	e.AttachStats(&st)
+	got := e.RunBatch(mkBatch(), 0)
+	for i := range got {
+		checkAgainstRef(t, fmt.Sprintf("split query=%d", i), f, rqs[i], &got[i])
+	}
+	verdicts := st.ExecBlocksScanned.Load() + st.ExecBlocksSkipped.Load()
+	if verdicts != 2*morsels {
+		t.Fatalf("verdicts = %d, want %d (two co-scheduled passes over %d morsels)",
+			verdicts, 2*morsels, morsels)
+	}
+
+	// An unpruned engine cannot split (no synopses to consult): one pass.
+	e2 := NewEngine(f.replica, 2)
+	e2.MorselTuples = 256
+	e2.DisablePruning = true
+	compareResults(t, "split-vs-unpruned", got, e2.RunBatch(mkBatch(), 0))
+}
+
+// TestAggKernelParity pins the encoded-block aggregate fast path:
+// pure driver-side SUM/COUNT queries answered from the compressed
+// vectors must equal the tuple-at-a-time results, and the fast path
+// must actually engage.
+func TestAggKernelParity(t *testing.T) {
+	f := buildFixture(t, 2, 4096, 64)
+	f.replica.EnableZoneMaps(256)
+	f.replica.EnableCompression()
+
+	mkBatch := func() []*Query {
+		// Count-only, declarative float sum, and a ranged declarative
+		// int sum: together they cover LiveInRange counting, SumConv's
+		// ord-key float decode, SumInt, and the all-set bitmap gate.
+		return []*Query{
+			{Name: "countAll", Driver: tblOrders, Aggs: []AggSpec{{Kind: Count}}},
+			{Name: "sumAmount", Driver: tblOrders, Aggs: []AggSpec{SumCol(2), {Kind: Count}}},
+			{Name: "sumCustRanged", Driver: tblOrders,
+				Where: []Pred{BetweenInt(0, 1, 3000)},
+				Aggs:  []AggSpec{SumCol(1), {Kind: Count}}},
+		}
+	}
+	reg := NewEngine(f.replica, 2)
+	reg.MorselTuples = 256
+	reg.RunBatch(mkBatch(), 0)
+	f.replica.ActivateSynopses()
+
+	e := NewEngine(f.replica, 2)
+	e.MorselTuples = 256
+	var st olap.SchedulerStats
+	e.AttachStats(&st)
+	fast := e.RunBatch(mkBatch(), 0)
+
+	e2 := NewEngine(f.replica, 2)
+	e2.MorselTuples = 256
+	e2.DisableVectorized = true
+	compareResults(t, "aggkernel", fast, e2.RunBatch(mkBatch(), 0))
+
+	if fast[0].Err != nil || int(fast[0].Values[0]) != f.nOrders {
+		t.Fatalf("countAll = %v (err %v), want %d", fast[0].Values, fast[0].Err, f.nOrders)
+	}
+	if !almostEqual(fast[1].Values[0], f.total) {
+		t.Fatalf("sumAmount = %f, want %f", fast[1].Values[0], f.total)
+	}
+	if st.ExecBlocksAggVectorized.Load() == 0 {
+		t.Fatal("aggregate kernels never engaged — parity check is vacuous")
+	}
+}
+
+// TestPrunedTupleAccounting pins the exact pruning counter: with every
+// scanned morsel served by selection bitmaps, each live tuple is either
+// offered (and, with a single all-survivors query, counted in Rows) or
+// pruned — so ExecTuplesPruned must equal live − Rows exactly, whether
+// a zone-map verdict skipped the tuple's whole morsel or a bitmap
+// dropped it inside a scanned one.
+func TestPrunedTupleAccounting(t *testing.T) {
+	f := buildFixture(t, 1, 2048, 20)
+	f.replica.EnableZoneMaps(256)
+	f.replica.EnableCompression()
+
+	mkQuery := func() *Query {
+		return &Query{
+			Name:   "pruneAcct",
+			Driver: tblOrders,
+			Where:  []Pred{BetweenInt(0, 300, 700)},
+			Aggs: []AggSpec{
+				{Kind: Count},
+				// A closure summand keeps the aggregate kernels out of the
+				// way, so every scanned morsel goes through the bitmaps.
+				{Kind: Sum, Value: func(d []byte, _ [][]byte) float64 { return f.orders.GetFloat64(d, 2) }},
+			},
+		}
+	}
+	reg := NewEngine(f.replica, 1)
+	reg.MorselTuples = 256
+	reg.RunBatch([]*Query{mkQuery()}, 0)
+	f.replica.ActivateSynopses()
+
+	e := NewEngine(f.replica, 2)
+	e.MorselTuples = 256
+	var st olap.SchedulerStats
+	e.AttachStats(&st)
+	res := e.RunBatch([]*Query{mkQuery()}, 0)
+	if res[0].Err != nil {
+		t.Fatal(res[0].Err)
+	}
+	live := int64(f.replica.Table(tblOrders).Live())
+	if res[0].Rows != 401 {
+		t.Fatalf("rows = %d, want 401", res[0].Rows)
+	}
+	if st.ExecBlocksSkipped.Load() == 0 || st.ExecBlocksVectorized.Load() == 0 {
+		t.Fatalf("need both skipped (%d) and vectorized (%d) morsels for the accounting to be exercised",
+			st.ExecBlocksSkipped.Load(), st.ExecBlocksVectorized.Load())
+	}
+	if got, want := st.ExecTuplesPruned.Load(), uint64(live-res[0].Rows); got != want {
+		t.Fatalf("ExecTuplesPruned = %d, want exactly live−offered = %d", got, want)
+	}
+}
+
+// TestAdmitBatch pins the admission cost model: with per-query scan
+// history recorded, the admitted prefix is the budget divided by the
+// historical per-query cost, clamped to [1, n]; with no history or no
+// budget everything is admitted.
+func TestAdmitBatch(t *testing.T) {
+	f := buildFixture(t, 1, 16, 4)
+	e := NewEngine(f.replica, 1)
+	var st olap.SchedulerStats
+	e.AttachStats(&st)
+	batch := make([]*Query, 8)
+	for i := range batch {
+		batch[i] = f.regionQuery(0)
+	}
+
+	if got := e.AdmitBatch(batch); got != 8 {
+		t.Fatalf("no budget: admitted %d, want all 8", got)
+	}
+	e.AdmitBudget = 10 * time.Millisecond
+	if got := e.AdmitBatch(batch); got != 8 {
+		t.Fatalf("no history: admitted %d, want all 8", got)
+	}
+	st.Queries.Add(10)
+	st.ExecScan.Record(int64(50 * time.Millisecond)) // 5ms per query
+	if got := e.AdmitBatch(batch); got != 2 {
+		t.Fatalf("10ms budget at 5ms/query: admitted %d, want 2", got)
+	}
+	e.AdmitBudget = time.Microsecond // below one query: still admit one
+	if got := e.AdmitBatch(batch); got != 1 {
+		t.Fatalf("tiny budget: admitted %d, want 1", got)
+	}
+	e.AdmitBudget = time.Minute
+	if got := e.AdmitBatch(batch); got != 8 {
+		t.Fatalf("huge budget: admitted %d, want all 8", got)
+	}
+}

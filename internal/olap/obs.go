@@ -45,6 +45,16 @@ func (st *SchedulerStats) Register(reg *obs.Registry, labels ...obs.Label) {
 		"Live tuples inside skipped morsels.", &st.ExecTuplesPruned, labels...)
 	reg.ObserveCounter("batchdb_olap_blocks_vectorized_total",
 		"Scanned morsels evaluated on compressed-block kernels.", &st.ExecBlocksVectorized, labels...)
+	reg.ObserveCounter("batchdb_olap_blocks_agg_vectorized_total",
+		"(Morsel, query) pairs answered by encoded-block aggregate kernels.", &st.ExecBlocksAggVectorized, labels...)
+	reg.ObserveCounter("batchdb_olap_cohorts_shared_total",
+		"Merged cohorts executed as one shared pipeline.", &st.ExecCohortsShared, labels...)
+	reg.ObserveCounter("batchdb_olap_queries_shared_total",
+		"Queries executed as members of a merged cohort.", &st.ExecQueriesShared, labels...)
+	reg.ObserveCounter("batchdb_olap_admit_splits_total",
+		"Dispatch rounds split by the batch-admission cost model.", &st.AdmitSplits, labels...)
+	reg.ObserveCounter("batchdb_olap_admit_deferred_total",
+		"Queries deferred to a later round by batch admission.", &st.AdmitDeferred, labels...)
 	reg.GaugeFunc("batchdb_olap_busy_seconds",
 		"Cumulative dispatcher busy time (seconds).",
 		func() float64 { return st.Busy.Busy().Seconds() }, labels...)

@@ -57,8 +57,11 @@ type SchedulerStats struct {
 	// dispatcher's zone-map verdicts: morsels whose block synopses could
 	// satisfy at least one query in the batch, vs morsels every
 	// interested query's pushed-down predicates disproved (skipped
-	// without touching a tuple). ExecTuplesPruned totals the live tuples
-	// inside the skipped morsels.
+	// without touching a tuple). ExecTuplesPruned attributes each live
+	// tuple a scan pass elided exactly once — whether a zone-map verdict
+	// skipped its whole morsel or a selection bitmap dropped it before
+	// materialization; tuples consumed by the encoded-block aggregate
+	// kernels count as answered, not pruned.
 	ExecBlocksScanned metrics.Counter
 	ExecBlocksSkipped metrics.Counter
 	ExecTuplesPruned  metrics.Counter
@@ -67,7 +70,24 @@ type SchedulerStats struct {
 	// query's selection bitmap came from FilterRange; only survivors
 	// were materialized from the raw rows).
 	ExecBlocksVectorized metrics.Counter
-	Busy                 metrics.BusyTracker
+	// ExecBlocksAggVectorized counts (morsel, query) pairs the
+	// encoded-block aggregate kernels answered outright — the query's
+	// selection covered every tuple of the morsel, so SUM/COUNT were
+	// computed on the packed runs without materializing a row.
+	ExecBlocksAggVectorized metrics.Counter
+	// ExecCohortsShared counts merged cohorts — groups of two or more
+	// queries the batch planner executed as one shared
+	// probe/aggregate pipeline — and ExecQueriesShared their member
+	// queries; ExecQueriesShared / Queries is the batch share rate.
+	ExecCohortsShared metrics.Counter
+	ExecQueriesShared metrics.Counter
+	// AdmitSplits counts dispatch rounds the admission hook cut short;
+	// AdmitDeferred counts the queries it pushed into a later round
+	// (each deferred query re-queues behind a fresh sync/apply, so a
+	// split batch never runs on a staler snapshot than an unsplit one).
+	AdmitSplits   metrics.Counter
+	AdmitDeferred metrics.Counter
+	Busy          metrics.BusyTracker
 }
 
 // Scheduler is the OLAP dispatcher (paper Fig. 1 right, §5 "Query
@@ -90,6 +110,9 @@ type Scheduler[Q, R any] struct {
 	maxBatch  int
 
 	stats SchedulerStats
+	// admit, when set, caps how many of a drained round's queries run
+	// in the next batch; the rest are carried into the following round.
+	admit func(queries []Q) int
 	// fresh tracks snapshot-VID lag and wall-clock staleness across the
 	// loop's sync/apply rounds (paper §3.2 bounded staleness; the HTAP
 	// freshness-lag metric).
@@ -125,6 +148,17 @@ func NewScheduler[Q, R any](replica *Replica, primary Primary, run RunBatchFunc[
 
 // Stats returns the scheduler's counters.
 func (s *Scheduler[Q, R]) Stats() *SchedulerStats { return &s.stats }
+
+// SetAdmit installs a batch-admission hook, called once per dispatch
+// round with the drained queries in arrival order. It returns how many
+// to admit into the next batch; the remainder is deferred — carried to
+// the head of the following round, which re-syncs with the primary and
+// re-applies updates first, so deferral never runs a query on a staler
+// snapshot. Returns outside [1, len(queries)] are clamped (at least
+// one query always runs, so the loop cannot live-lock). Must be set
+// before Start; nil (the default) admits everything, which is exactly
+// the pre-hook behavior.
+func (s *Scheduler[Q, R]) SetAdmit(fn func(queries []Q) int) { s.admit = fn }
 
 // Freshness returns the scheduler's snapshot-freshness tracker.
 func (s *Scheduler[Q, R]) Freshness() *obs.Freshness { return s.fresh }
@@ -226,14 +260,30 @@ func (s *Scheduler[Q, R]) QueryContext(ctx context.Context, q Q) (R, error) {
 func (s *Scheduler[Q, R]) loop() {
 	defer close(s.closed)
 	reqs := make([]schedReq[Q, R], 0, 256)
+	var carry []schedReq[Q, R]
 	for {
-		// Wait for at least one query (or shutdown).
+		// Wait for at least one query (or shutdown). Queries deferred by
+		// the admission hook go first; they are already waiting, so the
+		// loop must not block on the queue while holding them. A shutdown
+		// with carried queries is safe: like queued-but-undrained
+		// requests, their callers unblock on `closed` with
+		// ErrSchedulerClosed.
 		reqs = reqs[:0]
-		select {
-		case r := <-s.queue:
-			reqs = append(reqs, r)
-		case <-s.closing:
-			return
+		if len(carry) > 0 {
+			reqs = append(reqs, carry...)
+			carry = carry[:0]
+			select {
+			case <-s.closing:
+				return
+			default:
+			}
+		} else {
+			select {
+			case r := <-s.queue:
+				reqs = append(reqs, r)
+			case <-s.closing:
+				return
+			}
 		}
 		// Batch all concurrently queued queries (paper: "batches all
 		// concurrent OLAP queries in the system").
@@ -244,6 +294,26 @@ func (s *Scheduler[Q, R]) loop() {
 				reqs = append(reqs, r)
 			default:
 				break drain
+			}
+		}
+
+		// Cost-based admission: let the hook split an oversized round so
+		// one pathological batch cannot blow the staleness budget — the
+		// deferred tail reruns the sync/apply above before executing.
+		if s.admit != nil && len(reqs) > 1 {
+			qs := make([]Q, len(reqs))
+			for i := range reqs {
+				qs[i] = reqs[i].q
+			}
+			n := s.admit(qs)
+			if n < 1 {
+				n = 1
+			}
+			if n < len(reqs) {
+				carry = append(carry, reqs[n:]...)
+				reqs = reqs[:n]
+				s.stats.AdmitSplits.Inc()
+				s.stats.AdmitDeferred.Add(uint64(len(carry)))
 			}
 		}
 

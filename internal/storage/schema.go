@@ -228,6 +228,20 @@ func OrdKeyFloat64(f float64) int64 {
 	return int64(u)
 }
 
+// Float64FromOrdKey inverts OrdKeyFloat64: the key's order-preserving
+// bit transform is a bijection, so the original float64 is recovered
+// exactly. Consumers that aggregate in the encoded (ord-key) domain
+// use it to convert run/dictionary values back before summing.
+func Float64FromOrdKey(k int64) float64 {
+	u := uint64(k)
+	if u>>63 != 0 {
+		u ^= 1 << 63
+	} else {
+		u = ^u
+	}
+	return math.Float64frombits(u)
+}
+
 // OrdKey reads column i of tup as an order-preserving int64 key:
 // integer and time columns map to their value, Float64 columns go
 // through OrdKeyFloat64. Zone-map synopses and compiled predicate
