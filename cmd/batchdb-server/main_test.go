@@ -145,6 +145,27 @@ func TestServerMetricsEndToEnd(t *testing.T) {
 		t.Errorf("batchdb_oltp_txn_total{status=committed} = %v, want >= %d", gotCommitted, committed)
 	}
 
+	// Versioned-snapshot lifecycle: batches pin a version, apply rounds
+	// install new heads over it, and the reclaimer retires superseded
+	// versions once their last pin drops. With the workload idle the
+	// chain must collapse back to the head alone with no pins left.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m := scrapeByName(t, s)
+		chain, pinned := m["batchdb_olap_snapshot_chain_len"], m["batchdb_olap_pinned_snapshots"]
+		if len(chain) == 0 || len(pinned) == 0 {
+			t.Fatal("missing snapshot chain/pin gauges in /metrics")
+		}
+		if chain[0].Value == 1 && pinned[0].Value == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("snapshot chain did not reclaim at idle: chain=%v pinned=%v",
+				chain[0].Value, pinned[0].Value)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
 	hr, err := http.Get("http://" + s.msrv.Addr() + "/healthz")
 	if err != nil {
 		t.Fatalf("healthz: %v", err)
@@ -154,6 +175,25 @@ func TestServerMetricsEndToEnd(t *testing.T) {
 	if hr.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
 		t.Fatalf("healthz: status %d body %q", hr.StatusCode, body)
 	}
+}
+
+// scrapeByName fetches /metrics and indexes the parsed samples by name.
+func scrapeByName(t *testing.T, s *server) map[string][]obs.ParsedSample {
+	t.Helper()
+	resp, err := http.Get("http://" + s.msrv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	samples, err := obs.ParsePrometheus(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape does not parse as Prometheus text: %v", err)
+	}
+	byName := map[string][]obs.ParsedSample{}
+	for _, sm := range samples {
+		byName[sm.Name] = append(byName[sm.Name], sm)
+	}
+	return byName
 }
 
 // TestServerStatsFromRegistry checks the STATS command renders the

@@ -1,0 +1,142 @@
+package benchkit
+
+import (
+	"runtime"
+	"time"
+
+	"batchdb/internal/tpcc"
+)
+
+// OverlapOpts parameterizes the sub-batch freshness experiment: the
+// same hybrid CH-benCHmark cell is run twice per analytical-client
+// count — once with the overlap scheduler (apply rounds build the next
+// snapshot version concurrently with the running batch) and once
+// quiesced (apply runs exclusively between batches, the pre-overlap
+// behavior) — so the sweep isolates what concurrent snapshot
+// construction buys in staleness and what it costs in batch latency.
+type OverlapOpts struct {
+	Scale      tpcc.Scale
+	TxnClients int
+	// AnalyticalClients values to sweep; more clients mean bigger
+	// batches, longer batch rounds, and therefore more staleness for the
+	// quiesced scheduler to accumulate between applies.
+	AnalyticalClients []int
+	Duration          time.Duration
+	Warmup            time.Duration
+	Seed              int64
+}
+
+// OverlapCell is one (mode, AC) measurement.
+type OverlapCell struct {
+	TxnPerSec     float64
+	QueriesPerMin float64
+	Batches       uint64
+	// BatchPeriodNS is the measured wall time between batch starts —
+	// the staleness floor a quiesced scheduler cannot beat, since its
+	// snapshot only advances once per batch round.
+	BatchPeriodNS int64
+	// Pure batch execution time (the regression guard: overlap must not
+	// slow batches down by stealing their snapshot stability).
+	BatchExecP50NS, BatchExecP99NS int64
+	// Client-visible query latency.
+	QueryP50NS, QueryP99NS int64
+	// Wall-clock staleness of the installed snapshot.
+	StaleP50NS, StaleP99NS int64
+	// Dispatcher freshness-barrier wait (overlap mode only; the
+	// quiesced path applies inline so it never waits on a barrier).
+	SnapWaitP50NS, SnapWaitP99NS int64
+	// Apply-round duration, off the batch path in overlap mode.
+	ApplyP50NS, ApplyP99NS int64
+	AppliedEntries         uint64
+}
+
+// OverlapPoint pairs the two modes at one analytical-client count.
+type OverlapPoint struct {
+	AnalyticalClients    int
+	Overlapped, Quiesced OverlapCell
+	// StaleP50Ratio is overlapped/quiesced median staleness (<1 means
+	// the overlap scheduler serves fresher snapshots).
+	StaleP50Ratio float64
+	// BatchExecDeltaFrac is the overlap mode's median batch-execution
+	// regression vs quiesced (+0.05 = 5% slower; the acceptance bound).
+	BatchExecDeltaFrac float64
+	// StaleBelowBatchPeriod reports whether the overlapped median
+	// staleness beat the quiesced scheduler's batch-period floor.
+	StaleBelowBatchPeriod bool
+}
+
+// OverlapSummary is the JSON artifact (BENCH_OVERLAP.json).
+type OverlapSummary struct {
+	GOMAXPROCS int
+	NumCPU     int
+	TxnClients int
+	DurationNS int64
+	Sweep      []OverlapPoint
+}
+
+// RunOverlap executes the overlapped-vs-quiesced sweep.
+func RunOverlap(o OverlapOpts) (OverlapSummary, error) {
+	if len(o.AnalyticalClients) == 0 {
+		o.AnalyticalClients = []int{1, 4, 8}
+	}
+	if o.TxnClients == 0 {
+		o.TxnClients = 8
+	}
+	sum := OverlapSummary{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		TxnClients: o.TxnClients,
+		DurationNS: int64(o.Duration),
+	}
+	cell := func(ac int, quiesced bool) (OverlapCell, error) {
+		r, err := RunHybrid(HybridOpts{
+			Scale: o.Scale, OLTPWorkers: 4, OLAPWorkers: 4, Partitions: 8,
+			TxnClients: o.TxnClients, AnalyticalClients: ac,
+			Duration: o.Duration, Warmup: o.Warmup, Seed: o.Seed,
+			ConstantSize: true, QuiescedApply: quiesced,
+		})
+		if err != nil {
+			return OverlapCell{}, err
+		}
+		c := OverlapCell{
+			TxnPerSec:      r.TxnPerSec,
+			QueriesPerMin:  r.QueriesPerMin,
+			Batches:        r.Batches,
+			BatchExecP50NS: int64(r.BatchExecP50),
+			BatchExecP99NS: int64(r.BatchExecP99),
+			QueryP50NS:     int64(r.QueryP50),
+			QueryP99NS:     int64(r.QueryP99),
+			StaleP50NS:     int64(r.FreshStaleP50),
+			StaleP99NS:     int64(r.FreshStaleP99),
+			SnapWaitP50NS:  int64(r.SnapWaitP50),
+			SnapWaitP99NS:  int64(r.SnapWaitP99),
+			ApplyP50NS:     int64(r.ApplyP50),
+			ApplyP99NS:     int64(r.ApplyP99),
+			AppliedEntries: r.AppliedEntries,
+		}
+		if r.Batches > 0 {
+			c.BatchPeriodNS = int64(o.Duration) / int64(r.Batches)
+		}
+		return c, nil
+	}
+	for _, ac := range o.AnalyticalClients {
+		over, err := cell(ac, false)
+		if err != nil {
+			return sum, err
+		}
+		qui, err := cell(ac, true)
+		if err != nil {
+			return sum, err
+		}
+		p := OverlapPoint{AnalyticalClients: ac, Overlapped: over, Quiesced: qui}
+		if qui.StaleP50NS > 0 {
+			p.StaleP50Ratio = float64(over.StaleP50NS) / float64(qui.StaleP50NS)
+		}
+		if qui.BatchExecP50NS > 0 {
+			p.BatchExecDeltaFrac = float64(over.BatchExecP50NS)/float64(qui.BatchExecP50NS) - 1
+		}
+		p.StaleBelowBatchPeriod = qui.BatchPeriodNS > 0 && over.StaleP50NS < qui.BatchPeriodNS
+		sum.Sweep = append(sum.Sweep, p)
+	}
+	return sum, nil
+}

@@ -728,12 +728,23 @@ func (v *Vector) filterFOR(sel []uint64, lo, hi int64, set []int64) {
 		dlo = uint64(lo) - uint64(v.base)
 	}
 	dhi := uint64(hi) - uint64(v.base)
+	if dlo > v.mask {
+		clearWords(sel)
+		return
+	}
+	if dhi > v.mask {
+		dhi = v.mask
+	}
+	v.filterPackedRange(sel, dlo, dhi)
+	if set == nil {
+		return
+	}
+	// Set membership runs scalar on the range pass's survivors.
 	for wi, m := range sel {
 		for m != 0 {
 			j := bits.TrailingZeros64(m)
 			m &= m - 1
-			d := v.get(wi<<6 | j)
-			if d < dlo || d > dhi || (set != nil && !member(set, v.base+int64(d))) {
+			if !member(set, v.base+int64(v.get(wi<<6|j))) {
 				sel[wi] &^= 1 << uint(j)
 			}
 		}
@@ -753,8 +764,8 @@ func (v *Vector) filterDict(sel []uint64, lo, hi int64, set []int64) {
 		return
 	}
 	// IN-lists become a bitmask over the (at most maxDictSize) codes:
-	// one membership probe per dictionary entry, then the hot loop tests
-	// a single bit per value.
+	// one membership probe per dictionary entry, then the survivor loop
+	// tests a single bit per value.
 	var codeOK [maxDictSize / 64]uint64
 	if set != nil {
 		any := false
@@ -769,17 +780,174 @@ func (v *Vector) filterDict(sel []uint64, lo, hi int64, set []int64) {
 			return
 		}
 	}
-	uLo, uHi := uint64(cLo), uint64(cHi)
+	v.filterPackedRange(sel, uint64(cLo), uint64(cHi))
+	if set == nil {
+		return
+	}
 	for wi, m := range sel {
 		for m != 0 {
 			j := bits.TrailingZeros64(m)
 			m &= m - 1
 			c := v.get(wi<<6 | j)
-			if c < uLo || c > uHi || (set != nil && codeOK[c>>6]&(1<<uint(c&63)) == 0) {
+			if codeOK[c>>6]&(1<<uint(c&63)) == 0 {
 				sel[wi] &^= 1 << uint(j)
 			}
 		}
 	}
+}
+
+// filterPackedRange is the shared range kernel behind the FOR and Dict
+// paths: it clears every sel bit whose packed field value (an offset or
+// a code) falls outside [dlo, dhi]. Callers guarantee dlo <= dhi and
+// dhi <= mask. Widths that align with the word (4/8/16 bits) compare a
+// whole packed word of lanes at once (filterAlignedRange); width 1 is
+// pure bitwise; everything else streams fields with a branchless
+// unsigned-span compare.
+func (v *Vector) filterPackedRange(sel []uint64, dlo, dhi uint64) {
+	switch v.width {
+	case 0:
+		// Every field decodes to 0 (degenerate one-entry dictionary).
+		if dlo > 0 {
+			clearWords(sel)
+		}
+	case 1:
+		// Field i is bit i of packed word i: the verdict IS the payload.
+		for wi := range sel {
+			switch {
+			case dlo == 0 && dhi >= 1: // both values pass
+			case dlo == 0:
+				sel[wi] &^= v.packed[wi]
+			default:
+				sel[wi] &= v.packed[wi]
+			}
+		}
+	case 4, 8, 16:
+		v.filterAlignedRange(sel, dlo, dhi)
+	default:
+		v.filterScalarRange(sel, dlo, dhi)
+	}
+}
+
+// filterScalarRange handles widths the SWAR kernel cannot: sparse
+// selection words test only their set bits; dense words stream all 64
+// fields with a carried bit cursor and a single branchless unsigned
+// compare (x - dlo <= span catches both bounds at once).
+func (v *Vector) filterScalarRange(sel []uint64, dlo, dhi uint64) {
+	span := dhi - dlo
+	width := v.width
+	for wi, m := range sel {
+		if m == 0 {
+			continue
+		}
+		if bits.OnesCount64(m) < 16 {
+			for ; m != 0; m &= m - 1 {
+				j := bits.TrailingZeros64(m)
+				if v.get(wi<<6|j)-dlo > span {
+					sel[wi] &^= 1 << uint(j)
+				}
+			}
+			continue
+		}
+		base := wi << 6
+		n64 := v.n - base
+		if n64 > 64 {
+			n64 = 64
+		}
+		var keep uint64
+		bit := base * int(width)
+		for j := 0; j < n64; j++ {
+			w, off := bit>>6, uint(bit&63)
+			x := v.packed[w] >> off
+			if off+width > 64 {
+				x |= v.packed[w+1] << (64 - off)
+			}
+			if x&v.mask-dlo <= span {
+				keep |= 1 << uint(j)
+			}
+			bit += int(width)
+		}
+		sel[wi] &= keep
+	}
+}
+
+// filterAlignedRange is the word-parallel range kernel for field widths
+// w in {4, 8, 16}: fields never straddle packed words, so each packed
+// word is compared as SWAR lanes of s = 2w bits — even fields in one
+// pass, odd fields in a second, each field sitting in its lane's low
+// half with the top half zero as overflow headroom. Per lane,
+// (x|H)-dlo keeps the lane's high bit iff x >= dlo and (dhi|H)-x keeps
+// it iff x <= dhi (no borrow can cross lanes); the verdict high bits
+// are gathered into a dense mask with one multiply (the movemask
+// multiply generalized to s-bit lanes — collision-free for s >= 8),
+// and the even/odd masks interleave back into position order with a
+// Morton bit-spread. 64 bits of payload cost a handful of ALU ops
+// instead of 64/w unpack-compare iterations.
+func (v *Vector) filterAlignedRange(sel []uint64, dlo, dhi uint64) {
+	w := v.width
+	s := 2 * w      // SWAR lane width
+	nf := 32 / int(w) // fields per lane pass (even or odd halves)
+	var H, L uint64
+	switch s {
+	case 8:
+		H, L = 0x8080808080808080, 0x0101010101010101
+	case 16:
+		H, L = 0x8000800080008000, 0x0001000100010001
+	default: // 32
+		H, L = 0x8000000080000000, 0x0000000100000001
+	}
+	evenMask := v.mask * L
+	dloL, dhiL := dlo*L, dhi*L|H
+	var gather uint64 // Σ 2^(m(s-1)): the movemask multiply constant
+	for m := 0; m < nf; m++ {
+		gather |= 1 << (uint(m) * (s - 1))
+	}
+	gshift := uint(nf-1) * (s - 1)
+	lowNf := uint64(1)<<uint(nf) - 1
+	k := 64 / int(w) // fields per packed word
+	pw := int(w)     // packed words per selection word (64/k)
+	np := len(v.packed)
+	span := dhi - dlo
+	for wi, m := range sel {
+		if m == 0 {
+			continue
+		}
+		if bits.OnesCount64(m) < 8 {
+			// Sparse survivors: unpacking whole words would evaluate
+			// mostly-dead lanes; test the set bits directly.
+			for ; m != 0; m &= m - 1 {
+				j := bits.TrailingZeros64(m)
+				if v.get(wi<<6|j)-dlo > span {
+					sel[wi] &^= 1 << uint(j)
+				}
+			}
+			continue
+		}
+		var keep uint64
+		shift := uint(0)
+		for g, pos := 0, wi*pw; g < pw && pos+g < np; g++ {
+			x := v.packed[pos+g]
+			xe := x & evenMask
+			xo := (x >> w) & evenMask
+			ve := ((xe | H) - dloL) & (dhiL - xe) & H
+			vo := ((xo | H) - dloL) & (dhiL - xo) & H
+			ge := ((ve >> (s - 1)) * gather) >> gshift & lowNf
+			go_ := ((vo >> (s - 1)) * gather) >> gshift & lowNf
+			keep |= (spreadBits(ge) | spreadBits(go_)<<1) << shift
+			shift += uint(k)
+		}
+		sel[wi] &= keep
+	}
+}
+
+// spreadBits inserts a zero between consecutive low bits (Morton
+// spread): bit i moves to bit 2i. Defined for the low 32 bits.
+func spreadBits(x uint64) uint64 {
+	x = (x | x<<16) & 0x0000FFFF0000FFFF
+	x = (x | x<<8) & 0x00FF00FF00FF00FF
+	x = (x | x<<4) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
 }
 
 func (v *Vector) filterRLE(sel []uint64, lo, hi int64, set []int64) {

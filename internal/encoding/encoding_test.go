@@ -204,6 +204,121 @@ func TestFilterAndMatchesOracle(t *testing.T) {
 	}
 }
 
+// TestFilterPackedRangeParity pins the word-parallel filter kernels
+// width by width: for each packed field width it builds a block the
+// chooser must encode at exactly that width (FOR across every width
+// class, Dict across the code widths its 256-entry cap allows), then
+// checks FilterAnd bit-for-bit against the scalar oracle under full,
+// random-dense and sparse selection bitmaps — so the SWAR lanes
+// (4/8/16), the width-1 bitwise path, the streaming scalar path and
+// the sparse per-bit fallback all face the same truth.
+func TestFilterPackedRangeParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	var sc Scratch
+
+	check := func(t *testing.T, vals []int64, v *Vector, wantKind Kind, wantWidth int) {
+		t.Helper()
+		if v == nil || v.Kind() != wantKind || int(v.width) != wantWidth {
+			got := "nil"
+			if v != nil {
+				got = fmt.Sprintf("%s/width=%d", v.Kind(), v.width)
+			}
+			t.Fatalf("chooser produced %s, want %s/width=%d", got, wantKind, wantWidth)
+		}
+		n := len(vals)
+		nw := (n + 63) / 64
+		for trial := 0; trial < 24; trial++ {
+			pre := make([]uint64, nw)
+			switch trial % 3 {
+			case 0: // full: dense word-parallel path
+				for i := range pre {
+					pre[i] = ^uint64(0)
+				}
+			case 1: // random dense
+				for i := range pre {
+					pre[i] = rng.Uint64() | rng.Uint64()
+				}
+			case 2: // sparse: per-set-bit fallback
+				for i := range pre {
+					pre[i] = 1<<uint(rng.Intn(64)) | 1<<uint(rng.Intn(64))
+				}
+			}
+			a := vals[rng.Intn(n)] + int64(rng.Intn(5)-2)
+			b := vals[rng.Intn(n)] + int64(rng.Intn(5)-2)
+			lo, hi := min(a, b), max(a, b)
+			switch rng.Intn(6) {
+			case 0:
+				lo, hi = math.MinInt64, math.MaxInt64
+			case 1:
+				lo, hi = hi+1, lo-1 // empty interval
+			}
+			var set []int64
+			if trial%4 == 3 {
+				set = make([]int64, 1+rng.Intn(5))
+				for i := range set {
+					set[i] = vals[rng.Intn(n)]
+				}
+				slices.Sort(set)
+				set = slices.Compact(set)
+			}
+			want := naiveFilter(vals, pre, lo, hi, set)
+			got := append([]uint64(nil), pre...)
+			v.FilterAnd(got, lo, hi, set)
+			for w := range got {
+				if got[w] != want[w] {
+					t.Fatalf("trial %d [%d,%d] set=%v: word %d = %064b, want %064b",
+						trial, lo, hi, set, w, got[w], want[w])
+				}
+			}
+		}
+	}
+
+	// FOR: contiguous high-cardinality offset domains pin every width
+	// class, including the SWAR-aligned ones and the cross-word widths.
+	for _, w := range []int{1, 2, 3, 4, 5, 7, 8, 9, 12, 16, 20, 32} {
+		t.Run(fmt.Sprintf("for-width%d", w), func(t *testing.T) {
+			n := 320 + rng.Intn(400)
+			base := rng.Int63() - math.MaxInt64/2
+			vals := make([]int64, n)
+			var top uint64 = 1<<uint(w) - 1
+			for i := range vals {
+				vals[i] = base + int64(rng.Uint64()&top)
+			}
+			vals[0], vals[1] = base, base+int64(top) // pin the width exactly
+			check(t, vals, Encode(vals, 64, &sc), FOR, w)
+		})
+	}
+
+	// Dict: wide random pools sized to force each code width the
+	// 256-entry dictionary cap allows.
+	for _, w := range []int{1, 2, 3, 4, 5, 6, 7, 8} {
+		t.Run(fmt.Sprintf("dict-width%d", w), func(t *testing.T) {
+			nd := 1 << uint(w)
+			pool := make([]int64, nd)
+			for i := range pool {
+				pool[i] = rng.Int63() - math.MaxInt64/2
+			}
+			slices.Sort(pool)
+			pool = slices.Compact(pool)
+			n := max(512, 4*len(pool))
+			vals := make([]int64, n)
+			copy(vals, pool) // every pool value present: dict size is exact
+			for i := len(pool); i < n; i++ {
+				vals[i] = pool[rng.Intn(len(pool))]
+			}
+			check(t, vals, Encode(vals, 64, &sc), Dict, bitsLen(len(pool)-1))
+		})
+	}
+}
+
+func bitsLen(x int) int {
+	n := 0
+	for ; x > 0; x >>= 1 {
+		n++
+	}
+	return n
+}
+
 // TestFilterAndClearsTail proves bits beyond Len are cleared so a
 // partial tail block cannot leak phantom selections.
 func TestFilterAndClearsTail(t *testing.T) {

@@ -33,6 +33,11 @@ type Hash[V any] struct {
 type hashShard[V any] struct {
 	mu sync.RWMutex
 	m  map[uint64]V
+	// owned reports whether m belongs exclusively to this Hash. A
+	// freshly built index owns every shard; a Clone owns none and copies
+	// a shard's map on first mutation (copy-on-write), leaving the
+	// parent's map frozen for readers that still hold the parent.
+	owned bool
 }
 
 // NewHash returns an empty hash index sized for roughly n entries.
@@ -44,8 +49,43 @@ func NewHash[V any](n int) *Hash[V] {
 	}
 	for i := range h.shards {
 		h.shards[i].m = make(map[uint64]V, per)
+		h.shards[i].owned = true
 	}
 	return h
+}
+
+// Clone returns a copy-on-write snapshot of the index: the clone shares
+// every shard map with the parent and copies a shard only when it is
+// first mutated, so clone cost is O(shards) plus O(size of touched
+// shards) — not O(entries). The intended protocol is one-directional:
+// after cloning, the parent must no longer be mutated (it becomes the
+// frozen index of an older snapshot); all writes go to the clone.
+// Concurrent reads of the parent during the clone's shard copies are
+// safe (read-read on shared maps).
+func (h *Hash[V]) Clone() *Hash[V] {
+	c := &Hash[V]{}
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.RLock()
+		c.shards[i].m = s.m
+		s.mu.RUnlock()
+	}
+	return c
+}
+
+// own ensures the shard's map is exclusively owned, copying it if it is
+// still shared with a Clone parent. Must be called with s.mu held for
+// writing.
+func (s *hashShard[V]) own() {
+	if s.owned {
+		return
+	}
+	m := make(map[uint64]V, len(s.m)+1)
+	for k, v := range s.m {
+		m[k] = v
+	}
+	s.m = m
+	s.owned = true
 }
 
 func (h *Hash[V]) shard(key uint64) *hashShard[V] {
@@ -66,6 +106,7 @@ func (h *Hash[V]) Get(key uint64) (V, bool) {
 func (h *Hash[V]) Put(key uint64, v V) {
 	s := h.shard(key)
 	s.mu.Lock()
+	s.own()
 	s.m[key] = v
 	s.mu.Unlock()
 }
@@ -79,6 +120,7 @@ func (h *Hash[V]) PutIfAbsent(key uint64, v V) (V, bool) {
 		s.mu.Unlock()
 		return old, false
 	}
+	s.own()
 	s.m[key] = v
 	s.mu.Unlock()
 	return v, true
@@ -92,6 +134,7 @@ func (h *Hash[V]) CompareAndDelete(key uint64, eq func(V) bool) bool {
 	s.mu.Lock()
 	v, ok := s.m[key]
 	if ok && eq(v) {
+		s.own()
 		delete(s.m, key)
 		s.mu.Unlock()
 		return true
@@ -106,6 +149,7 @@ func (h *Hash[V]) Delete(key uint64) bool {
 	s.mu.Lock()
 	_, ok := s.m[key]
 	if ok {
+		s.own()
 		delete(s.m, key)
 	}
 	s.mu.Unlock()

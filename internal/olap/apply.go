@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"batchdb/internal/index"
 	"batchdb/internal/proplog"
 	"batchdb/internal/storage"
 )
@@ -70,16 +71,36 @@ type ApplyStats struct {
 // order per table — the three-step algorithm of paper §5/Fig. 4, run
 // concurrently across tables with leaf work (routing shards, partition
 // applies) bounded by the replica's apply-worker budget. Updates beyond
-// target are requeued for the next round. It must only be called while
-// no query batch executes; the Scheduler guarantees that.
+// target are requeued for the next round.
+//
+// In the default quiesced mode it mutates the canonical structures in
+// place and must only run while no query batch executes (the classic
+// scheduler guarantees that). With SetConcurrentApply(true) it instead
+// builds the next version on cloned partitions and installs it as a new
+// snapshot head, so pinned readers may keep scanning throughout — the
+// overlap scheduler's apply loop relies on this.
 func (r *Replica) ApplyPending(target uint64) (ApplyStats, error) {
-	stats := ApplyStats{Target: target, PerTable: make(map[storage.TableID]*TableApplyStats)}
 	// Take the staged resync snapshot (reconnect after connection loss),
 	// the queued batches and the floor in one atomic step: batches that
 	// were spliced in together with a reload must never be drained
 	// without it (they would land on stale pre-reconnect data and then
 	// be wiped by the reload, unrecoverable below its floor).
 	rl, batches, floor := r.takeWork()
+	if !r.concurrent.Load() {
+		stats, err := r.applyWorkInPlace(rl, batches, floor, target)
+		// The canonical tables changed under the caller's exclusive
+		// window; the next PinSnapshot rebuilds the head view.
+		r.markWiringDirty()
+		return stats, err
+	}
+	return r.applyVersioned(rl, batches, floor, target)
+}
+
+// applyWorkInPlace is the quiesced-mode round body: reload install,
+// synopsis activation and the three apply steps, all mutating the
+// canonical structures directly.
+func (r *Replica) applyWorkInPlace(rl *Reload, batches []proplog.Batch, floor, target uint64) (ApplyStats, error) {
+	stats := ApplyStats{Target: target, PerTable: make(map[storage.TableID]*TableApplyStats)}
 	if rl != nil {
 		// The reload installs first: it raises the floor so stale queued
 		// updates the snapshot already contains are discarded below.
@@ -105,38 +126,7 @@ func (r *Replica) ApplyPending(target uint64) (ApplyStats, error) {
 		return stats, nil
 	}
 
-	// Group entries by table, keeping one VID-ordered stream per worker
-	// (a worker's commits are VID-monotonic, and batches arrive in push
-	// order, so concatenation per worker preserves order).
-	perTable := make(map[storage.TableID][]*workerStream)
-	streams := make(map[[2]uint64]*workerStream) // (table, worker) -> stream
-	var leftover []proplog.Batch
-	for _, b := range batches {
-		for _, tb := range b.Tables {
-			key := [2]uint64{uint64(tb.Table), uint64(b.Worker)}
-			s := streams[key]
-			if s == nil {
-				s = &workerStream{worker: b.Worker}
-				streams[key] = s
-				perTable[tb.Table] = append(perTable[tb.Table], s)
-			}
-			for _, e := range tb.Entries {
-				if e.VID <= floor {
-					continue // already reflected by the bootstrap snapshot
-				}
-				if e.VID > target {
-					leftover = appendLeftover(leftover, b.Worker, tb.Table, e)
-					continue
-				}
-				s.entries = append(s.entries, e)
-			}
-		}
-	}
-	if len(leftover) > 0 {
-		r.mu.Lock()
-		r.pending = append(leftover, r.pending...)
-		r.mu.Unlock()
-	}
+	perTable := r.groupStreams(batches, floor, target)
 
 	// Run the per-table pipelines concurrently: the multi-table TPC-C
 	// update mix touches eight relations whose steps 1–2 used to run
@@ -197,6 +187,295 @@ func (r *Replica) ApplyPending(target uint64) (ApplyStats, error) {
 	}
 	r.setApplied(target)
 	return stats, nil
+}
+
+// groupStreams groups entries by table, keeping one VID-ordered stream
+// per worker (a worker's commits are VID-monotonic, and batches arrive
+// in push order, so concatenation per worker preserves order). Entries
+// at or below floor are dropped; entries beyond target are requeued at
+// the front of the pending queue for the next round.
+func (r *Replica) groupStreams(batches []proplog.Batch, floor, target uint64) map[storage.TableID][]*workerStream {
+	perTable := make(map[storage.TableID][]*workerStream)
+	streams := make(map[[2]uint64]*workerStream) // (table, worker) -> stream
+	var leftover []proplog.Batch
+	for _, b := range batches {
+		for _, tb := range b.Tables {
+			key := [2]uint64{uint64(tb.Table), uint64(b.Worker)}
+			s := streams[key]
+			if s == nil {
+				s = &workerStream{worker: b.Worker}
+				streams[key] = s
+				perTable[tb.Table] = append(perTable[tb.Table], s)
+			}
+			for _, e := range tb.Entries {
+				if e.VID <= floor {
+					continue // already reflected by the bootstrap snapshot
+				}
+				if e.VID > target {
+					leftover = appendLeftover(leftover, b.Worker, tb.Table, e)
+					continue
+				}
+				s.entries = append(s.entries, e)
+			}
+		}
+	}
+	if len(leftover) > 0 {
+		r.mu.Lock()
+		r.pending = append(leftover, r.pending...)
+		r.mu.Unlock()
+	}
+	return perTable
+}
+
+// applyVersioned is the copy-on-apply round body: it builds version
+// target on clones of exactly the partitions the delta (or a pending
+// synopsis activation) touches, while readers pinned to older snapshots
+// keep scanning the untouched structures, then atomically installs the
+// result as the new snapshot head.
+func (r *Replica) applyVersioned(rl *Reload, batches []proplog.Batch, floor, target uint64) (ApplyStats, error) {
+	if rl != nil {
+		// Resync reload (rare): applyReload replaces every canonical
+		// structure with fresh, unreferenced objects, so the in-place
+		// machinery is already snapshot-safe for it — pinned readers keep
+		// their old objects untouched. Run it under snapMu so PinSnapshot
+		// cannot observe a half-replaced table set, then install the full
+		// new head.
+		r.snapMu.Lock()
+		defer r.snapMu.Unlock()
+		stats, err := r.applyWorkInPlace(rl, batches, floor, target)
+		if err != nil {
+			r.markWiringDirty()
+			return stats, err
+		}
+		r.installHeadLocked(r.buildSnapshotLocked())
+		return stats, nil
+	}
+
+	stats := ApplyStats{Target: target, PerTable: make(map[storage.TableID]*TableApplyStats)}
+	if len(batches) == 0 && target <= r.AppliedVID() {
+		quiet := true
+		for _, t := range r.order {
+			if t.needsMaintenance() {
+				quiet = false
+				break
+			}
+		}
+		if quiet {
+			return stats, nil // nothing to build — keep the current head
+		}
+	}
+	// Unpinned fast path: when no reader holds any version — true at
+	// every freshness-barrier round, where the dispatcher is blocked
+	// until this round installs — cloning buys nothing. Mutate the
+	// canonical structures in place while holding snapMu (PinSnapshot
+	// serializes behind it, so no pin can land mid-mutation) and install
+	// a full head, exactly like the reload path above. Copy-on-apply is
+	// reserved for rounds that truly overlap a pinned reader.
+	r.snapMu.Lock()
+	pinned := 0
+	for s := r.snapTail; s != nil; s = s.next {
+		pinned += s.pins
+	}
+	if pinned == 0 {
+		stats, err := r.applyWorkInPlace(nil, batches, floor, target)
+		if err != nil {
+			r.markWiringDirty()
+			r.snapMu.Unlock()
+			return stats, err
+		}
+		r.installHeadLocked(r.buildSnapshotLocked())
+		r.snapMu.Unlock()
+		return stats, nil
+	}
+	r.snapMu.Unlock()
+
+	perTable := r.groupStreams(batches, floor, target)
+
+	// A table participates when it has entries or a pending maintenance
+	// step (requested-but-inactive synopsis columns, stale encoded
+	// blocks) — the versioned counterpart of ActivateSynopses.
+	type tableOut struct {
+		ts      *TableApplyStats
+		entries int
+		parts   []*Partition
+		pk      *index.Hash[uint64]
+		err     error
+	}
+	outs := make([]*tableOut, len(r.order))
+	sem := make(chan struct{}, r.applyWorkers)
+	var wg sync.WaitGroup
+	for ti, t := range r.order {
+		ws := perTable[t.Schema.ID]
+		if len(ws) == 0 && !t.needsMaintenance() {
+			continue
+		}
+		wg.Add(1)
+		go func(ti int, t *Table, ws []*workerStream) {
+			defer wg.Done()
+			o := &tableOut{}
+			o.ts, o.entries, o.parts, o.pk, o.err = r.applyTableVersioned(t, ws, sem)
+			outs[ti] = o
+		}(ti, t, ws)
+	}
+	wg.Wait()
+
+	// Fold outcomes in registration order (deterministic stats/error).
+	var firstErr error
+	var errTable *Table
+	for ti, t := range r.order {
+		o := outs[ti]
+		if o == nil {
+			continue
+		}
+		stats.PerTable[t.Schema.ID] = o.ts
+		stats.Entries += o.entries
+		stats.Step1 += o.ts.Step1
+		stats.Step2 += o.ts.Step2
+		stats.Step3 += o.ts.Step3
+		if o.err != nil && firstErr == nil {
+			firstErr, errTable = o.err, t
+		}
+	}
+	if firstErr != nil {
+		// Nothing installs: the clones are discarded, the canonical
+		// tables and every pinned snapshot are exactly as before.
+		r.mu.Lock()
+		r.applyErr = firstErr
+		r.mu.Unlock()
+		return stats, fmt.Errorf("olap: apply to table %s: %w", errTable.Schema.Name, firstErr)
+	}
+
+	// Install: swap the cloned state into the canonical tables and link
+	// the new head. snapMu before mu (the package lock order); pinned
+	// readers never see the canonical tables, so only PinSnapshot and
+	// the chain care.
+	r.snapMu.Lock()
+	r.mu.Lock()
+	for ti, t := range r.order {
+		o := outs[ti]
+		if o == nil {
+			continue
+		}
+		t.Partitions = o.parts
+		t.pkIdx = o.pk
+		if o.entries > 0 {
+			t.version++
+		}
+	}
+	if target > r.applied {
+		r.applied = target
+	}
+	r.mu.Unlock()
+	r.installHeadLocked(r.buildSnapshotLocked())
+	r.snapMu.Unlock()
+	return stats, nil
+}
+
+// needsMaintenance reports whether any partition has requested-but-
+// inactive synopsis columns or stale encoded blocks — work an apply
+// round must pick up even with no entries for the table.
+func (t *Table) needsMaintenance() bool {
+	w := t.wantedSyn.Load()
+	for _, p := range t.Partitions {
+		if p.zm == nil {
+			continue
+		}
+		if (w != 0 && p.zm.active&w != w) || (p.enc != nil && p.enc.anyStale) {
+			return true
+		}
+	}
+	return false
+}
+
+// applyTableVersioned runs the three apply steps for one table against
+// cloned partitions, returning the next version's partition slice and
+// PK index alongside the stats. Untouched partitions are shared with
+// the current version by pointer; the PK index clones copy-on-write
+// (shard maps copy only when an insert or delete lands in them).
+func (r *Replica) applyTableVersioned(t *Table, ws []*workerStream, sem chan struct{}) (*TableApplyStats, int, []*Partition, *index.Hash[uint64], error) {
+	ts := &TableApplyStats{}
+	sc := &t.scratch
+
+	// Steps 1–2 read only the entry streams and write only the canonical
+	// table's scratch (owned by this round's single table goroutine), so
+	// they run exactly as in the in-place path.
+	start := time.Now()
+	sc.merged = mergeByVIDInto(sc.merged[:0], ws)
+	merged := sc.merged
+	ts.Step1 = time.Since(start)
+
+	start = time.Now()
+	nparts := len(t.Partitions)
+	if len(sc.perPart) != nparts {
+		sc.perPart = make([][]proplog.Entry, nparts)
+	}
+	perPart := sc.perPart
+	for i := range perPart {
+		perPart[i] = perPart[i][:0]
+	}
+	for i := range merged {
+		h := merged[i].RowID * 0x9E3779B97F4A7C15
+		perPart[h%uint64(nparts)] = append(perPart[h%uint64(nparts)], merged[i])
+	}
+	ts.Step2 = time.Since(start)
+
+	// The PK index for the next version: a copy-on-write clone when
+	// entries might insert or delete, otherwise the shared current one.
+	pk := t.pkIdx
+	if pk != nil && len(merged) > 0 {
+		pk = pk.Clone()
+	}
+	// shadow carries the cloned PK index through applyToPartition's
+	// maintenance calls (pkInsert/pkDelete).
+	shadow := viewOf(t, nil, pk, t.version)
+
+	// Step 3: per touched partition — clone, activate pending synopsis
+	// columns, apply, resummarize, re-encode — in parallel. The clone's
+	// memcpy rides inside the goroutine, so partition copies overlap on
+	// multi-core hosts.
+	w := t.wantedSyn.Load()
+	newParts := make([]*Partition, nparts)
+	copy(newParts, t.Partitions)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for pi := range t.Partitions {
+		p := t.Partitions[pi]
+		entries := perPart[pi]
+		maint := p.zm != nil && ((w != 0 && p.zm.active&w != w) || (p.enc != nil && p.enc.anyStale))
+		if len(entries) == 0 && !maint {
+			continue // untouched: the next version shares this partition
+		}
+		wg.Add(1)
+		go func(pi int, p *Partition, entries []proplog.Entry) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t0 := time.Now()
+			cp := p.cloneForWrite()
+			if cp.zm != nil && w != 0 && cp.zm.active&w != w {
+				cp.ActivateSynopsisCols(w)
+			}
+			ins, upd, del, err := applyToPartition(shadow, cp, entries)
+			if err == nil {
+				cp.ResummarizeDirty()
+				cp.ReencodeDirty()
+				newParts[pi] = cp
+			}
+			d := time.Since(t0)
+			mu.Lock()
+			ts.Step3 += d
+			ts.Inserted += ins
+			ts.Updated += upd
+			ts.Deleted += del
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}(pi, p, entries)
+	}
+	wg.Wait()
+	return ts, len(merged), newParts, pk, firstErr
 }
 
 // applyTable runs the three apply steps for one table and returns its

@@ -376,9 +376,18 @@ func (e *Engine) forEachMorsel(ms []morsel, begin func(worker int, m morsel) (fu
 }
 
 // RunBatch executes all queries as one shared pass per driver table and
-// returns results in query order. It matches olap.RunBatchFunc and is
-// called by the scheduler with updates quiesced.
+// returns results in query order. It matches olap.RunBatchFunc: snap is
+// the scheduler's floor VID. The whole batch reads through one pinned
+// snapshot — at least as fresh as the floor — so execution is isolated
+// from any apply round the overlap scheduler runs concurrently; in
+// quiesced mode the pin simply wraps the canonical state.
 func (e *Engine) RunBatch(queries []*Query, snap uint64) []Result {
+	sv := e.replica.PinSnapshot()
+	defer sv.Unpin()
+	vid := sv.VID()
+	if vid < snap {
+		vid = snap // static primaries report a floor above the replica's VID
+	}
 	results := make([]Result, len(queries))
 	var stale int64
 	if e.fresh != nil {
@@ -387,13 +396,13 @@ func (e *Engine) RunBatch(queries []*Query, snap uint64) []Result {
 	for i, q := range queries {
 		results[i].Query = q
 		results[i].Values = make([]float64, len(q.Aggs))
-		results[i].SnapshotVID = snap
+		results[i].SnapshotVID = vid
 		results[i].StalenessNanos = stale
 	}
 
 	// Stage 1: ensure every needed join build exists and is current.
 	t0 := time.Now()
-	prepared, err := e.prepareBuilds(queries)
+	prepared, err := e.prepareBuilds(sv, queries)
 	if e.stats != nil {
 		e.stats.ExecBuildPrepare.RecordSince(t0)
 	}
@@ -408,7 +417,7 @@ func (e *Engine) RunBatch(queries []*Query, snap uint64) []Result {
 	var scanNS, mergeNS int64
 	if e.QueryAtATime {
 		for i := range queries {
-			e.scanDriver([]*Query{queries[i]}, []*Result{&results[i]}, prepared, &scanNS, &mergeNS)
+			e.scanDriver(sv, []*Query{queries[i]}, []*Result{&results[i]}, prepared, &scanNS, &mergeNS)
 		}
 	} else {
 		byDriver := make(map[storage.TableID][]int)
@@ -422,7 +431,7 @@ func (e *Engine) RunBatch(queries []*Query, snap uint64) []Result {
 				qs[j] = queries[i]
 				rs[j] = &results[i]
 			}
-			e.scanDriver(qs, rs, prepared, &scanNS, &mergeNS)
+			e.scanDriver(sv, qs, rs, prepared, &scanNS, &mergeNS)
 		}
 	}
 	if e.stats != nil {
@@ -440,7 +449,7 @@ func (e *Engine) RunBatch(queries []*Query, snap uint64) []Result {
 // never need a build — the key property that keeps per-batch setup cost
 // independent of table size while updates stream in. The returned map
 // pins the batch's builds so later cache evictions can't race the scan.
-func (e *Engine) prepareBuilds(queries []*Query) (map[buildID]*build, error) {
+func (e *Engine) prepareBuilds(sv *olap.Snapshot, queries []*Query) (map[buildID]*build, error) {
 	type needed struct {
 		id buildID
 		fn func(tup []byte) uint64
@@ -450,7 +459,7 @@ func (e *Engine) prepareBuilds(queries []*Query) (map[buildID]*build, error) {
 	for _, q := range queries {
 		for i := range q.Probes {
 			p := &q.Probes[i]
-			if t := e.replica.Table(p.Table); t != nil && t.HasPKIndex() && p.BuildKeyID == "pk" {
+			if t := sv.Table(p.Table); t != nil && t.HasPKIndex() && p.BuildKeyID == "pk" {
 				continue
 			}
 			id := buildID{p.Table, p.BuildKeyID}
@@ -473,7 +482,7 @@ func (e *Engine) prepareBuilds(queries []*Query) (map[buildID]*build, error) {
 		wg.Add(1)
 		go func(n needed) {
 			defer wg.Done()
-			b, err := e.buildFor(n.id, n.fn)
+			b, err := e.buildFor(sv, n.id, n.fn)
 			mu.Lock()
 			if err != nil && ferr == nil {
 				ferr = err
@@ -495,9 +504,12 @@ func (e *Engine) prepareBuilds(queries []*Query) (map[buildID]*build, error) {
 // with an open done channel and builds outside the lock; every
 // concurrent caller for the same (id, version) blocks on done and
 // shares the result, so a build is constructed at most once per data
-// version no matter how many batches race.
-func (e *Engine) buildFor(id buildID, keyFn func(tup []byte) uint64) (*build, error) {
-	t := e.replica.Table(id.table)
+// version no matter how many batches race. The build scans the pinned
+// snapshot's view, and the cache is keyed by the view's data version —
+// an older view at the same version holds identical data, so sharing
+// across snapshots stays correct.
+func (e *Engine) buildFor(sv *olap.Snapshot, id buildID, keyFn func(tup []byte) uint64) (*build, error) {
+	t := sv.Table(id.table)
 	if t == nil {
 		return nil, fmt.Errorf("exec: probe into unknown table %d", id.table)
 	}
@@ -583,8 +595,8 @@ func (e *Engine) constructBuild(t *olap.Table, keyFn func(tup []byte) uint64) *b
 // passes (planner.go), and each pass runs the morsel-driven shared
 // scan (scanPass). A compile error fails only that query; the rest of
 // the batch proceeds without it.
-func (e *Engine) scanDriver(qs []*Query, rs []*Result, prepared map[buildID]*build, scanNS, mergeNS *int64) {
-	t := e.replica.Table(qs[0].Driver)
+func (e *Engine) scanDriver(sv *olap.Snapshot, qs []*Query, rs []*Result, prepared map[buildID]*build, scanNS, mergeNS *int64) {
+	t := sv.Table(qs[0].Driver)
 	if t == nil {
 		err := fmt.Errorf("exec: unknown driver table %d", qs[0].Driver)
 		for _, r := range rs {
@@ -594,7 +606,7 @@ func (e *Engine) scanDriver(qs []*Query, rs []*Result, prepared map[buildID]*bui
 	}
 	plans := make([]*qplan, 0, len(qs))
 	for i, q := range qs {
-		if p := e.compilePlan(t, q, rs[i], prepared); p != nil {
+		if p := e.compilePlan(sv, t, q, rs[i], prepared); p != nil {
 			plans = append(plans, p)
 		}
 	}

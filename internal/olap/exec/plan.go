@@ -118,11 +118,12 @@ type qplan struct {
 // narity returns the plan's group-by arity.
 func (p *qplan) narity() int { return len(p.q.GroupBy) }
 
-// compilePlan lowers q to its executable form against driver table t,
-// resolving probes through the batch's prepared builds. A nil return
-// means the query failed to compile; its error is already recorded in
-// r and the rest of the batch proceeds without it.
-func (e *Engine) compilePlan(t *olap.Table, q *Query, r *Result, prepared map[buildID]*build) *qplan {
+// compilePlan lowers q to its executable form against driver table t
+// (the pinned snapshot's view), resolving probes through the batch's
+// prepared builds and sv's table views. A nil return means the query
+// failed to compile; its error is already recorded in r and the rest of
+// the batch proceeds without it.
+func (e *Engine) compilePlan(sv *olap.Snapshot, t *olap.Table, q *Query, r *Result, prepared map[buildID]*build) *qplan {
 	p := &qplan{q: q, r: r}
 	k, rg, err := compileWhere(t.Schema, q.Where)
 	if err != nil {
@@ -140,7 +141,7 @@ func (e *Engine) compilePlan(t *olap.Table, q *Query, r *Result, prepared map[bu
 	p.lookups = make([]lookup, len(q.Probes))
 	for pi := range q.Probes {
 		pb := &q.Probes[pi]
-		pt := e.replica.Table(pb.Table)
+		pt := sv.Table(pb.Table)
 		if pt == nil {
 			r.Err = fmt.Errorf("exec: probe into unknown table %d", pb.Table)
 			return nil
@@ -165,7 +166,7 @@ func (e *Engine) compilePlan(t *olap.Table, q *Query, r *Result, prepared map[bu
 		return nil
 	}
 	for _, gc := range q.GroupBy {
-		fn, err := e.compileGroupCol(t, q, gc)
+		fn, err := e.compileGroupCol(sv, t, q, gc)
 		if err != nil {
 			r.Err = err
 			return nil
@@ -217,7 +218,7 @@ func (e *Engine) compilePlan(t *olap.Table, q *Query, r *Result, prepared map[bu
 }
 
 // compileGroupCol lowers one group-by column to an ord-key extractor.
-func (e *Engine) compileGroupCol(t *olap.Table, q *Query, gc GroupCol) (func(driver []byte, joined [][]byte) int64, error) {
+func (e *Engine) compileGroupCol(sv *olap.Snapshot, t *olap.Table, q *Query, gc GroupCol) (func(driver []byte, joined [][]byte) int64, error) {
 	var s *storage.Schema
 	if gc.From == -1 {
 		s = t.Schema
@@ -225,7 +226,7 @@ func (e *Engine) compileGroupCol(t *olap.Table, q *Query, gc GroupCol) (func(dri
 		if gc.From < 0 || gc.From >= len(q.Probes) {
 			return nil, fmt.Errorf("exec: query %s group-by From %d out of probe range", q.Name, gc.From)
 		}
-		pt := e.replica.Table(q.Probes[gc.From].Table)
+		pt := sv.Table(q.Probes[gc.From].Table)
 		if pt == nil {
 			return nil, fmt.Errorf("exec: query %s group-by probes unknown table %d", q.Name, q.Probes[gc.From].Table)
 		}

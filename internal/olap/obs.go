@@ -30,7 +30,9 @@ func (st *SchedulerStats) Register(reg *obs.Registry, labels ...obs.Label) {
 	reg.ObserveHistogram("batchdb_olap_batch_latency_ns",
 		"Pure batch execution time (nanoseconds).", &st.BatchExec, labels...)
 	reg.ObserveHistogram("batchdb_olap_apply_ns",
-		"Apply-window duration between batches (nanoseconds).", &st.ApplyTime, labels...)
+		"Apply-round duration (nanoseconds; overlapped with batch execution unless quiesced).", &st.ApplyTime, labels...)
+	reg.ObserveHistogram("batchdb_olap_snapshot_wait_ns",
+		"Dispatcher freshness-barrier wait per batch (nanoseconds).", &st.SnapWait, labels...)
 	reg.ObserveHistogram("batchdb_olap_exec_phase_ns",
 		"Batch execution split by phase.", &st.ExecBuildPrepare, with(obs.L("phase", "build"))...)
 	reg.ObserveHistogram("batchdb_olap_exec_phase_ns",
@@ -80,6 +82,15 @@ func (r *Replica) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
 	reg.GaugeFunc("batchdb_olap_applied_vid",
 		"Snapshot VID the replica's stored data reflects.",
 		func() float64 { return float64(r.AppliedVID()) }, labels...)
+	reg.GaugeFunc("batchdb_olap_pinned_snapshots",
+		"Outstanding snapshot pins across all linked versions.",
+		func() float64 { return float64(r.PinnedSnapshots()) }, labels...)
+	reg.GaugeFunc("batchdb_olap_snapshot_chain_len",
+		"Linked snapshot versions (1 = head only; grows while old versions stay pinned).",
+		func() float64 { return float64(r.SnapshotChainLen()) }, labels...)
+	reg.GaugeFunc("batchdb_olap_snapshots_retired_total",
+		"Snapshot versions reclaimed after their last pin dropped.",
+		func() float64 { return float64(r.RetiredSnapshots()) }, labels...)
 }
 
 // RegisterMetrics exposes the scheduler's counters, its replica's queue

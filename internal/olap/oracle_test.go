@@ -104,19 +104,23 @@ func TestSnapshotIsolationOracle(t *testing.T) {
 	rep.CreateTable(schema, 256)
 	engine.SetSink(rep)
 
-	// The analytical query: scan the replica's account table and return
-	// the complete balance map the snapshot exposes.
+	// The analytical query: pin the latest installed snapshot, scan its
+	// account table and return the complete balance map it exposes. The
+	// overlap scheduler applies updates concurrently with this scan, so
+	// reading through a pinned view (not the canonical table) is part of
+	// the contract under test; the audit reports the pinned version's
+	// actual VID, which may run ahead of the scheduler's floor.
 	runBatch := func(queries []int, snap uint64) []audit {
-		bals := make(map[int64]int64)
-		for _, p := range rep.Table(1).Partitions {
-			p.Scan(func(_ uint64, tup []byte) bool {
-				bals[schema.GetInt64(tup, 0)] = schema.GetInt64(tup, 1)
-				return true
-			})
+		sv := rep.PinSnapshot()
+		defer sv.Unpin()
+		vid := sv.VID()
+		if vid < snap {
+			vid = snap
 		}
+		bals := scanBalances(schema, sv)
 		out := make([]audit, len(queries))
 		for i := range out {
-			out[i] = audit{snap: snap, bals: bals}
+			out[i] = audit{snap: vid, bals: bals}
 		}
 		return out
 	}
@@ -258,6 +262,208 @@ func TestSnapshotIsolationOracle(t *testing.T) {
 	}
 	if final.snap < history[len(history)-1].vid {
 		t.Fatalf("final audit snapshot %d below last commit %d", final.snap, history[len(history)-1].vid)
+	}
+}
+
+// scanBalances reads the complete balance map a pinned snapshot
+// exposes.
+func scanBalances(schema *storage.Schema, sv *olap.Snapshot) map[int64]int64 {
+	bals := make(map[int64]int64)
+	for _, p := range sv.Table(1).Partitions {
+		p.Scan(func(_ uint64, tup []byte) bool {
+			bals[schema.GetInt64(tup, 0)] = schema.GetInt64(tup, 1)
+			return true
+		})
+	}
+	return bals
+}
+
+// TestConcurrentPinnedSnapshots holds several snapshot pins at distinct
+// VIDs across many concurrent apply rounds, then checks each pinned
+// version still replays exactly the committed prefix at its VID — i.e.
+// installed versions are immutable no matter how much the head advances
+// — and that the version chain grows while old versions are pinned and
+// collapses back to the head alone once the last pin drops.
+func TestConcurrentPinnedSnapshots(t *testing.T) {
+	schema := accountSchema()
+	store := mvcc.NewStore()
+	tbl := store.CreateTable(schema, func(tup []byte) uint64 {
+		return uint64(schema.GetInt64(tup, 0))
+	}, 1024)
+
+	engine, err := oltp.New(store, oltp.Config{Workers: 4, PushPeriod: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Register("seed", func(tx *mvcc.Txn, args []byte) ([]byte, error) {
+		id := int64(binary.LittleEndian.Uint64(args))
+		bal := int64(binary.LittleEndian.Uint64(args[8:]))
+		tup := schema.NewTuple()
+		schema.PutInt64(tup, 0, id)
+		schema.PutInt64(tup, 1, bal)
+		_, err := tx.Insert(tbl, tup)
+		return nil, err
+	})
+	engine.Register("transfer", func(tx *mvcc.Txn, args []byte) ([]byte, error) {
+		from := int64(binary.LittleEndian.Uint64(args))
+		to := int64(binary.LittleEndian.Uint64(args[8:]))
+		amt := int64(binary.LittleEndian.Uint64(args[16:]))
+		if err := tx.Update(tbl, uint64(from), []int{1}, func(tup []byte) {
+			schema.PutInt64(tup, 1, schema.GetInt64(tup, 1)-amt)
+		}); err != nil {
+			return nil, err
+		}
+		return nil, tx.Update(tbl, uint64(to), []int{1}, func(tup []byte) {
+			schema.PutInt64(tup, 1, schema.GetInt64(tup, 1)+amt)
+		})
+	})
+
+	rep := olap.NewReplica(4)
+	rep.CreateTable(schema, 256)
+	engine.SetSink(rep)
+
+	runBatch := func(queries []int, snap uint64) []audit {
+		sv := rep.PinSnapshot()
+		defer sv.Unpin()
+		out := make([]audit, len(queries))
+		for i := range out {
+			out[i] = audit{snap: sv.VID(), bals: scanBalances(schema, sv)}
+		}
+		return out
+	}
+	sched := olap.NewScheduler(rep, engine, runBatch)
+
+	engine.Start()
+	defer engine.Close()
+	sched.Start()
+	defer sched.Close()
+
+	var logMu sync.Mutex
+	var committed []op
+	for id := int64(1); id <= oracleAccounts; id++ {
+		r := engine.Exec("seed", transferArgs(id, oracleInitBal, 0))
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		committed = append(committed, op{vid: r.CommitVID, insert: true, from: id, amt: oracleInitBal})
+	}
+
+	// Background writers keep apply rounds racing the pinned readers for
+	// the whole test.
+	const writers = 2
+	var wg sync.WaitGroup
+	stopWriters := make(chan struct{})
+	errCh := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stopWriters:
+					return
+				default:
+				}
+				from := 1 + rng.Int63n(oracleAccounts)
+				to := 1 + rng.Int63n(oracleAccounts-1)
+				if to >= from {
+					to++
+				}
+				amt := 1 + rng.Int63n(50)
+				r := engine.Exec("transfer", transferArgs(from, to, amt))
+				if errors.Is(r.Err, mvcc.ErrConflict) {
+					continue
+				}
+				if r.Err != nil {
+					errCh <- r.Err
+					return
+				}
+				logMu.Lock()
+				committed = append(committed, op{vid: r.CommitVID, from: from, to: to, amt: amt})
+				logMu.Unlock()
+			}
+		}(int64(w + 1))
+	}
+
+	// Take several pins at strictly increasing VIDs, each separated by a
+	// scheduler round that forces fresh transfers to be applied. All pins
+	// stay held while later rounds install newer versions on top.
+	const npins = 4
+	pins := make([]*olap.Snapshot, 0, npins)
+	maxChain := 0
+	for len(pins) < npins {
+		if _, err := sched.Query(0); err != nil {
+			t.Fatal(err)
+		}
+		sv := rep.PinSnapshot()
+		if n := len(pins); n > 0 && sv.VID() <= pins[n-1].VID() {
+			sv.Unpin() // no new commits applied since the last pin; retry
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		pins = append(pins, sv)
+		if cl := rep.SnapshotChainLen(); cl > maxChain {
+			maxChain = cl
+		}
+	}
+	close(stopWriters)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	// Force one more round so the head moves past every pin.
+	if _, err := sched.Query(0); err != nil {
+		t.Fatal(err)
+	}
+	if cl := rep.SnapshotChainLen(); cl > maxChain {
+		maxChain = cl
+	}
+	if maxChain < 2 {
+		t.Fatalf("chain never grew past the head (max %d) with %d pins in flight", maxChain, npins)
+	}
+	if got := rep.PinnedSnapshots(); got < npins {
+		t.Fatalf("PinnedSnapshots = %d, want >= %d", got, npins)
+	}
+
+	logMu.Lock()
+	history := append([]op(nil), committed...)
+	logMu.Unlock()
+	sortOps(history)
+
+	// Every pinned version must still equal the serial replay of its
+	// committed prefix — scanned *after* all the later versions were
+	// built and installed over it.
+	for _, sv := range pins {
+		want := replaySerial(history, sv.VID())
+		got := scanBalances(schema, sv)
+		if len(got) != len(want) {
+			t.Fatalf("pinned snapshot %d: saw %d accounts, serial replay has %d",
+				sv.VID(), len(got), len(want))
+		}
+		for id, bal := range got {
+			if wb, ok := want[id]; !ok || wb != bal {
+				t.Fatalf("pinned snapshot %d: account %d = %d, serial replay says %d",
+					sv.VID(), id, bal, want[id])
+			}
+		}
+	}
+
+	// Dropping the pins lets the reclaimer retire every old version; the
+	// chain collapses to the head alone.
+	retiredBefore := rep.RetiredSnapshots()
+	for _, sv := range pins {
+		sv.Unpin()
+	}
+	sched.Close()
+	if cl := rep.SnapshotChainLen(); cl != 1 {
+		t.Fatalf("chain length %d after unpinning all, want 1", cl)
+	}
+	if rep.RetiredSnapshots() <= retiredBefore {
+		t.Fatalf("no versions retired after unpinning %d old pins", npins)
 	}
 }
 

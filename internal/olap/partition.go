@@ -1,14 +1,18 @@
 // Package olap implements BatchDB's analytical component: the secondary
 // replica of paper §5 and the right half of Fig. 1.
 //
-// The replica stores a single snapshot of the data — no version
-// metadata at all — which is only sound because the batch scheduler
-// (scheduler.go) guarantees that queries and update application never
-// overlap: queries run one batch at a time as a read-only transaction on
-// the latest snapshot, and the propagated OLTP updates are applied
-// in-between two batches (paper §3, §5). Consequently the partition
-// structures below are entirely unsynchronized: exclusive phases replace
-// locks.
+// The replica keeps a short chain of immutable snapshots (snapshot.go).
+// Readers pin the newest snapshot at batch admission and scan frozen
+// partition structures; an apply round builds the next version by
+// cloning only the partitions its delta touches (copy-on-apply), then
+// installs it with a pointer swap and retires old versions once their
+// last reader unpins. Within one version the partition structures below
+// are entirely unsynchronized — each version is written by exactly one
+// apply goroutine before install and never after — so exclusive phases
+// still replace locks, they are just per-version now instead of global.
+// In quiesced mode (the scheduler's classic alternation of batch and
+// apply windows, Replica.SetConcurrentApply(false)) updates mutate the
+// canonical structures in place exactly as before.
 //
 // Data is horizontally soft-partitioned by a hash of the hidden RowID
 // attribute, which both spreads scan work and lets updates be applied to
@@ -21,6 +25,81 @@ import (
 
 	"batchdb/internal/storage"
 )
+
+const (
+	ridShardBits = 5
+	ridShards    = 1 << ridShardBits
+)
+
+// ridIndex maps RowID -> slot as a small array of map shards with
+// copy-on-write cloning: clone() shares all shard maps and copies one
+// only when it is first mutated, so cloning an update-only delta's
+// partition copies zero shards and an insert/delete round copies only
+// the shards its RowIDs land in. No locking: a partition (and hence its
+// index) is written by one goroutine at a time, and a cloned-from
+// parent is frozen — the copies race only with read-read map access.
+type ridIndex struct {
+	shards [ridShards]map[uint64]int32
+	// owned bit i set = shards[i] is exclusively ours to mutate.
+	owned uint32
+}
+
+func newRidIndex(capacityHint int) ridIndex {
+	var ix ridIndex
+	per := capacityHint / ridShards
+	if per < 4 {
+		per = 4
+	}
+	for i := range ix.shards {
+		ix.shards[i] = make(map[uint64]int32, per)
+	}
+	ix.owned = ^uint32(0)
+	return ix
+}
+
+// shard picks the map for rowID; Fibonacci hashing keeps the choice
+// independent of partition routing (replica.go partitionOf uses h % n).
+func ridShard(rowID uint64) uint { return uint((rowID * 0x9E3779B97F4A7C15) >> (64 - ridShardBits)) }
+
+func (ix *ridIndex) get(rowID uint64) (int32, bool) {
+	slot, ok := ix.shards[ridShard(rowID)][rowID]
+	return slot, ok
+}
+
+// own ensures shard si is exclusively owned, copying it if still shared
+// with a clone parent.
+func (ix *ridIndex) own(si uint) {
+	if ix.owned&(1<<si) != 0 {
+		return
+	}
+	old := ix.shards[si]
+	m := make(map[uint64]int32, len(old)+1)
+	for k, v := range old {
+		m[k] = v
+	}
+	ix.shards[si] = m
+	ix.owned |= 1 << si
+}
+
+func (ix *ridIndex) put(rowID uint64, slot int32) {
+	si := ridShard(rowID)
+	ix.own(si)
+	ix.shards[si][rowID] = slot
+}
+
+func (ix *ridIndex) del(rowID uint64) {
+	si := ridShard(rowID)
+	ix.own(si)
+	delete(ix.shards[si], rowID)
+}
+
+// clone returns a copy-on-write snapshot of the index: shard maps are
+// shared, ownership is relinquished. The parent must not be mutated
+// afterwards (it belongs to the frozen older version).
+func (ix *ridIndex) clone() ridIndex {
+	c := ridIndex{shards: ix.shards}
+	return c
+}
 
 // Partition is one horizontal slice of a replicated table: fixed-width
 // tuple slots, a free list of deleted slots, and a hash index from RowID
@@ -41,8 +120,8 @@ type Partition struct {
 	rowIDs []uint64
 	// free lists reusable slots (deleted tuples).
 	free []int32
-	// index maps RowID -> slot.
-	index map[uint64]int32
+	// index maps RowID -> slot (sharded, copy-on-write cloneable).
+	index ridIndex
 
 	live int
 
@@ -65,8 +144,36 @@ func NewPartition(schema *storage.Schema, capacityHint int) *Partition {
 		tupleSize: schema.TupleSize(),
 		data:      make([]byte, 0, capacityHint*schema.TupleSize()),
 		rowIDs:    make([]uint64, 0, capacityHint),
-		index:     make(map[uint64]int32, capacityHint),
+		index:     newRidIndex(capacityHint),
 	}
+}
+
+// cloneForWrite returns a private copy of the partition that the next
+// version's apply round may mutate while readers keep scanning the
+// receiver. Tuple storage and slot metadata are copied (capacity
+// preserved, so the clone appends without an immediate regrow); the
+// RowID index, zone-map synopses and encoded vectors clone
+// copy-on-write or by value as their aliasing hazards require. The
+// receiver must not be mutated afterwards.
+func (p *Partition) cloneForWrite() *Partition {
+	c := &Partition{
+		schema:    p.schema,
+		tupleSize: p.tupleSize,
+		data:      append(make([]byte, 0, cap(p.data)), p.data...),
+		rowIDs:    append(make([]uint64, 0, cap(p.rowIDs)), p.rowIDs...),
+		index:     p.index.clone(),
+		live:      p.live,
+	}
+	if len(p.free) > 0 {
+		c.free = append(make([]int32, 0, cap(p.free)), p.free...)
+	}
+	if p.zm != nil {
+		c.zm = p.zm.clone()
+	}
+	if p.enc != nil {
+		c.enc = p.enc.clone()
+	}
+	return c
 }
 
 // Insert places a tuple under rowID, reusing a free slot if possible
@@ -80,7 +187,7 @@ func (p *Partition) Insert(rowID uint64, tuple []byte) error {
 		// be counted live and indexed yet invisible to every scan.
 		return fmt.Errorf("olap: insert of reserved RowID 0 in table %s", p.schema.Name)
 	}
-	if _, dup := p.index[rowID]; dup {
+	if _, dup := p.index.get(rowID); dup {
 		return fmt.Errorf("olap: duplicate insert of RowID %d in table %s", rowID, p.schema.Name)
 	}
 	var slot int32
@@ -94,7 +201,7 @@ func (p *Partition) Insert(rowID uint64, tuple []byte) error {
 		p.data = append(p.data, tuple...)
 		p.rowIDs = append(p.rowIDs, rowID)
 	}
-	p.index[rowID] = slot
+	p.index.put(rowID, slot)
 	p.live++
 	if p.zm != nil {
 		p.zmInsert(slot)
@@ -109,8 +216,7 @@ func (p *Partition) Insert(rowID uint64, tuple []byte) error {
 // step 3 coalesces all field patches of one tuple behind a single
 // lookup (the per-tuple "hash join" of paper Fig. 4).
 func (p *Partition) Locate(rowID uint64) (int32, bool) {
-	slot, ok := p.index[rowID]
-	return slot, ok
+	return p.index.get(rowID)
 }
 
 // PatchSlot applies one field patch to an already-located slot. The
@@ -140,7 +246,7 @@ func (p *Partition) PatchSlot(slot int32, offset uint32, data []byte) error {
 // given RowID in place (paper §5: updates are applied at the granularity
 // of single attributes).
 func (p *Partition) UpdateField(rowID uint64, offset uint32, data []byte) error {
-	slot, ok := p.index[rowID]
+	slot, ok := p.index.get(rowID)
 	if !ok {
 		return fmt.Errorf("olap: update of unknown RowID %d in table %s", rowID, p.schema.Name)
 	}
@@ -150,11 +256,11 @@ func (p *Partition) UpdateField(rowID uint64, offset uint32, data []byte) error 
 // Delete tombstones the tuple with the given RowID and recycles its
 // slot.
 func (p *Partition) Delete(rowID uint64) error {
-	slot, ok := p.index[rowID]
+	slot, ok := p.index.get(rowID)
 	if !ok {
 		return fmt.Errorf("olap: delete of unknown RowID %d in table %s", rowID, p.schema.Name)
 	}
-	delete(p.index, rowID)
+	p.index.del(rowID)
 	p.rowIDs[slot] = 0
 	p.free = append(p.free, slot)
 	p.live--
@@ -260,7 +366,7 @@ func (p *Partition) ScanSelected(lo, hi int, sel []uint64, fn func(off int, rowI
 
 // Get returns the tuple bytes for rowID (aliasing partition storage).
 func (p *Partition) Get(rowID uint64) ([]byte, bool) {
-	slot, ok := p.index[rowID]
+	slot, ok := p.index.get(rowID)
 	if !ok {
 		return nil, false
 	}

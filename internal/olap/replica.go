@@ -36,10 +36,12 @@ type Table struct {
 	// predicates on (a bitmask over the partitions' synopsis column
 	// list). Written with atomic ORs from the executor's compile path —
 	// which runs during query batches — and drained into actual
-	// activation at the start of the next quiesced apply window. It
-	// survives resync reloads, so rebuilt partitions re-activate the
-	// same columns.
-	wantedSyn atomic.Uint64
+	// activation at the start of the next apply window. It survives
+	// resync reloads, so rebuilt partitions re-activate the same
+	// columns. A pointer so snapshot views (snapshot.go) share the one
+	// request mask with the canonical table: predicates compiled against
+	// a pinned view still reach the next apply round.
+	wantedSyn *atomic.Uint64
 
 	// version counts data-changing events (loads and applied update
 	// rounds). The shared-execution engine uses it to cache join build
@@ -149,6 +151,22 @@ type Replica struct {
 	zmBlock int
 	// compress mirrors zmBlock for the encoded-vector layer.
 	compress bool
+
+	// Snapshot chain state (snapshot.go). snapMu guards the chain links,
+	// pin counts and head installation; it may take r.mu inside (for the
+	// applied VID and the canonical install), never the reverse.
+	snapMu   sync.Mutex
+	snapHead *Snapshot // newest installed version
+	snapTail *Snapshot // oldest still-linked version
+	chainLen int
+	retired  uint64
+
+	// concurrent selects copy-on-apply mode (SetConcurrentApply);
+	// wiringDirty marks the head stale after canonical mutation outside
+	// a versioned install; onPush is the scheduler's apply-round kick.
+	concurrent  atomic.Bool
+	wiringDirty atomic.Bool
+	onPush      func()
 }
 
 // NewReplica creates a replica whose tables are split into parts
@@ -176,7 +194,8 @@ func (r *Replica) SetApplyWorkers(n int) {
 
 // CreateTable registers a replicated relation. All DDL must precede use.
 func (r *Replica) CreateTable(schema *storage.Schema, capacityHint int) *Table {
-	t := &Table{Schema: schema, capHint: capacityHint / r.parts, zmBlock: r.zmBlock, compress: r.compress}
+	t := &Table{Schema: schema, capHint: capacityHint / r.parts, zmBlock: r.zmBlock, compress: r.compress,
+		wantedSyn: new(atomic.Uint64)}
 	for i := 0; i < r.parts; i++ {
 		p := NewPartition(schema, t.capHint)
 		if t.zmBlock > 0 {
@@ -189,6 +208,7 @@ func (r *Replica) CreateTable(schema *storage.Schema, capacityHint int) *Table {
 	}
 	r.tables[schema.ID] = t
 	r.order = append(r.order, t)
+	r.markWiringDirty()
 	return t
 }
 
@@ -212,6 +232,7 @@ func (r *Replica) EnableZoneMaps(blockTuples int) {
 			p.EnableZoneMap(blockTuples)
 		}
 	}
+	r.markWiringDirty()
 }
 
 // EnableCompression attaches per-block encoded column vectors
@@ -230,6 +251,7 @@ func (r *Replica) EnableCompression() {
 			p.EnableCompression()
 		}
 	}
+	r.markWiringDirty()
 }
 
 // RequestSynopses records interest in the synopsis columns the given
@@ -321,6 +343,7 @@ func (r *Replica) LoadTuple(id storage.TableID, rowID uint64, tuple []byte) erro
 		return err
 	}
 	t.pkInsert(tuple, rowID)
+	r.markWiringDirty()
 	return nil
 }
 
@@ -333,7 +356,11 @@ func (r *Replica) ApplyUpdates(batches []proplog.Batch, upTo uint64) {
 	if upTo > r.covered {
 		r.covered = upTo
 	}
+	kick := r.onPush
 	r.mu.Unlock()
+	if kick != nil {
+		kick()
+	}
 }
 
 // Covered returns the highest VID for which all updates have been
@@ -379,6 +406,7 @@ func (r *Replica) SetFloor(v uint64) {
 	}
 	if v > r.applied {
 		r.applied = v
+		r.wiringDirty.Store(true)
 	}
 	r.mu.Unlock()
 }
@@ -482,8 +510,12 @@ func (r *Replica) InstallReload(rl *Reload, snapVID uint64) {
 	if rl.covered > r.covered {
 		r.covered = rl.covered
 	}
+	kick := r.onPush
 	r.mu.Unlock()
 	rl.batches = nil
+	if kick != nil {
+		kick()
+	}
 }
 
 // applyReload replaces every table's contents with the staged snapshot.

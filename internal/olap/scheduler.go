@@ -28,9 +28,14 @@ type StaticPrimary uint64
 func (s StaticPrimary) SyncUpdates() uint64 { return uint64(s) }
 
 // RunBatchFunc executes one batch of queries against the replica as a
-// single read-only transaction on snapshot snap and returns one result
-// per query, in order. The scheduler guarantees no updates are applied
-// while it runs.
+// single read-only transaction and returns one result per query, in
+// order. snap is the floor VID the batch is guaranteed to see: every
+// update committed before the batch formed is applied at or below it.
+// In quiesced mode the scheduler additionally guarantees no updates are
+// applied while the function runs; in overlap mode (the default) the
+// next version may be built and installed concurrently, so
+// implementations must read through a pinned snapshot
+// (Replica.PinSnapshot) rather than the canonical tables.
 type RunBatchFunc[Q, R any] func(queries []Q, snap uint64) []R
 
 // SchedulerStats exposes the OLAP dispatcher's counters.
@@ -43,8 +48,15 @@ type SchedulerStats struct {
 	Latency metrics.Histogram
 	// BatchExec measures pure batch execution time.
 	BatchExec metrics.Histogram
-	// ApplyTime accumulates time spent applying updates between batches.
+	// ApplyTime accumulates time spent applying updates per round (in
+	// overlap mode the rounds run concurrently with batch execution).
 	ApplyTime metrics.Histogram
+	// SnapWait measures the dispatcher's freshness barrier: how long a
+	// formed batch waits for an apply round covering its formation time
+	// before it pins a snapshot and executes. In quiesced mode this is
+	// zero (the apply runs inline); in overlap mode it is the only
+	// apply-induced stall a batch ever sees.
+	SnapWait metrics.Histogram
 	// ExecBuildPrepare, ExecScan and ExecMerge split each batch's
 	// execution into its phases — shared hash-build construction or
 	// revalidation, the morsel-driven driver scans, and the per-worker
@@ -96,6 +108,15 @@ type SchedulerStats struct {
 // committed snapshot version from the primary, (3) applies the queued
 // updates up to that version, and (4) executes the whole batch as one
 // read-only transaction on that single snapshot.
+//
+// By default steps (2)-(3) run in a dedicated apply loop that overlaps
+// with step (4): while batch N executes on its pinned version, the apply
+// loop — kicked by every update push from the primary and by every
+// formed batch — builds and installs the version batch N+1 will read.
+// The dispatcher only stalls on the freshness barrier (SnapWait) needed
+// to keep the paper's guarantee that a batch observes everything
+// committed before it formed. SetQuiescedApply restores the classic
+// strict alternation.
 type Scheduler[Q, R any] struct {
 	replica *Replica
 	primary Primary
@@ -119,10 +140,41 @@ type Scheduler[Q, R any] struct {
 	fresh *obs.Freshness
 
 	// lastApply records the most recent apply round's stats for
-	// inspection by benchmarks (Table 1). Written by the dispatcher
-	// loop, read by LastApply; applyMu makes the snapshot consistent.
+	// inspection by benchmarks (Table 1). Written by the apply side,
+	// read by LastApply; applyMu makes the snapshot consistent.
 	applyMu   sync.Mutex
 	lastApply ApplyStats
+
+	// quiesced selects the classic single-loop alternation of apply
+	// window and batch execution (SetQuiescedApply). The default is
+	// overlap mode: a dedicated apply loop builds and installs snapshot
+	// versions — kicked by every update push and every formed batch —
+	// while the dispatch loop executes batches pinned to the latest
+	// installed version.
+	quiesced bool
+
+	// applyKick wakes the apply loop (capacity 1: kicks coalesce).
+	applyKick chan struct{}
+	// roundMu/roundCond guard the apply-round counters behind the
+	// dispatcher's freshness barrier: roundStart increments when a round
+	// begins (before its SyncUpdates), roundEnd when its version is
+	// installed. A batch formed at time T waits for roundEnd to reach
+	// roundStart(T)+1 — the next round to *begin* after T necessarily
+	// syncs a watermark covering every commit before T, so the batch
+	// sees all updates committed before it formed (the paper's batch
+	// guarantee) without the dispatcher ever calling SyncUpdates itself.
+	roundMu     sync.Mutex
+	roundCond   *sync.Cond
+	roundStart  uint64
+	roundEnd    uint64
+	applyClosed bool
+	// syncNeeded (guarded by roundMu) is set by the freshness barrier and
+	// claimed by the next round to start: only that round pays for a full
+	// SyncUpdates round-trip. Push-kicked rounds instead drain to the
+	// replica's covered watermark — forcing a primary flush on every push
+	// arrival would re-kick this loop forever (sync → flush → push →
+	// kick) and shred the primary's group-commit batching.
+	syncNeeded bool
 }
 
 type schedReq[Q, R any] struct {
@@ -134,17 +186,27 @@ type schedReq[Q, R any] struct {
 // NewScheduler creates an OLAP dispatcher over replica, syncing with
 // primary and executing batches with run.
 func NewScheduler[Q, R any](replica *Replica, primary Primary, run RunBatchFunc[Q, R]) *Scheduler[Q, R] {
-	return &Scheduler[Q, R]{
-		replica:  replica,
-		primary:  primary,
-		run:      run,
-		queue:    make(chan schedReq[Q, R], 16384),
-		closing:  make(chan struct{}),
-		closed:   make(chan struct{}),
-		maxBatch: 8192,
-		fresh:    obs.NewFreshness(),
+	s := &Scheduler[Q, R]{
+		replica:   replica,
+		primary:   primary,
+		run:       run,
+		queue:     make(chan schedReq[Q, R], 16384),
+		closing:   make(chan struct{}),
+		closed:    make(chan struct{}),
+		applyKick: make(chan struct{}, 1),
+		maxBatch:  8192,
+		fresh:     obs.NewFreshness(),
 	}
+	s.roundCond = sync.NewCond(&s.roundMu)
+	return s
 }
+
+// SetQuiescedApply switches the scheduler to the classic quiesced
+// alternation: each dispatch round syncs, applies updates in place with
+// no batch running, then executes. Must be called before Start. The
+// overlap benchmark uses it as the ablation baseline; replicas whose
+// callers rely on in-place apply semantics can keep it too.
+func (s *Scheduler[Q, R]) SetQuiescedApply() { s.quiesced = true }
 
 // Stats returns the scheduler's counters.
 func (s *Scheduler[Q, R]) Stats() *SchedulerStats { return &s.stats }
@@ -184,6 +246,19 @@ func (s *Scheduler[Q, R]) Start() {
 	}
 	if s.started.Swap(true) {
 		return
+	}
+	if !s.quiesced {
+		// Overlap mode: updates are applied as copy-on-apply versions so
+		// pinned batch readers never see a mutation, and every push from
+		// the primary kicks an apply round immediately instead of waiting
+		// for the next batch boundary.
+		s.replica.SetConcurrentApply(true)
+		s.replica.SetOnPush(func() {
+			select {
+			case s.applyKick <- struct{}{}:
+			default:
+			}
+		})
 	}
 	go s.loop()
 }
@@ -259,6 +334,205 @@ func (s *Scheduler[Q, R]) QueryContext(ctx context.Context, q Q) (R, error) {
 
 func (s *Scheduler[Q, R]) loop() {
 	defer close(s.closed)
+	if s.quiesced {
+		s.loopQuiesced()
+		return
+	}
+	applyDone := make(chan struct{})
+	go s.applyLoop(applyDone)
+	s.dispatchLoop()
+	<-applyDone
+}
+
+// applyLoop is overlap mode's update side: each kick starts one round —
+// sync the primary's watermark, apply the propagated updates as a new
+// copy-on-apply version, install it as the snapshot head — while the
+// dispatcher keeps executing batches pinned to the previous version.
+func (s *Scheduler[Q, R]) applyLoop(done chan struct{}) {
+	defer close(done)
+	defer func() {
+		// Wake any dispatcher stuck on the freshness barrier so shutdown
+		// cannot deadlock.
+		s.roundMu.Lock()
+		s.applyClosed = true
+		s.roundCond.Broadcast()
+		s.roundMu.Unlock()
+	}()
+	var lastSeen uint64
+	for {
+		select {
+		case <-s.closing:
+			return
+		case <-s.applyKick:
+		}
+		s.roundMu.Lock()
+		s.roundStart++
+		doSync := s.syncNeeded
+		s.syncNeeded = false
+		s.roundMu.Unlock()
+		t0 := time.Now()
+		var target uint64
+		confirmed := true
+		if doSync {
+			target = s.primary.SyncUpdates()
+			if fc, ok := s.primary.(FreshnessConfirmer); ok {
+				confirmed = fc.FreshSync()
+			}
+		} else {
+			// Push-kicked round: apply what has already arrived. The
+			// covered watermark counts as live primary contact only when
+			// it advanced — a push just carried it; a coalesced stale kick
+			// proves nothing.
+			target = s.replica.Covered()
+			confirmed = target > lastSeen
+		}
+		if target > lastSeen {
+			lastSeen = target
+		}
+		// Observed before the apply so the lag high-watermark captures the
+		// pre-apply backlog (e.g. the spike right after a reconnect).
+		s.fresh.ObserveWatermark(target, confirmed)
+		st, err := s.replica.ApplyPending(target)
+		s.stats.ApplyTime.RecordSince(t0)
+		s.applyMu.Lock()
+		s.lastApply = st
+		s.applyMu.Unlock()
+		s.stats.AppliedEntries.Add(uint64(st.Entries))
+		if err != nil {
+			// Replica divergence is unrecoverable; surface loudly.
+			panic(err)
+		}
+		applied := s.replica.AppliedVID()
+		if applied > target {
+			// A staged resync snapshot can carry the apply past the
+			// synced watermark (it may have been staged after the sync
+			// answered with a fallback). Its VID is primary knowledge too
+			// — record it first so the lag high-watermark sees the
+			// backlog this install is about to cover.
+			s.fresh.ObserveWatermark(applied, false)
+		}
+		s.fresh.ObserveInstall(applied)
+		s.roundMu.Lock()
+		s.roundEnd++
+		s.roundCond.Broadcast()
+		s.roundMu.Unlock()
+	}
+}
+
+// awaitFreshRound blocks until an apply round that began after the call
+// has completed, kicking one off if the loop is idle. Reports false when
+// the apply loop shut down before reaching the required round.
+func (s *Scheduler[Q, R]) awaitFreshRound() bool {
+	// A round that *starts* after this point sees syncNeeded and fetches
+	// a watermark covering every commit before it — so requiring
+	// roundEnd to reach the round after any currently running one is
+	// exactly the batch guarantee.
+	s.roundMu.Lock()
+	s.syncNeeded = true
+	want := s.roundStart + 1
+	s.roundMu.Unlock()
+	select {
+	case s.applyKick <- struct{}{}:
+	default:
+	}
+	s.roundMu.Lock()
+	defer s.roundMu.Unlock()
+	for s.roundEnd < want && !s.applyClosed {
+		s.roundCond.Wait()
+	}
+	return s.roundEnd >= want
+}
+
+// dispatchLoop is overlap mode's execution side: it forms batches as the
+// classic loop does, but instead of applying updates inline it waits on
+// the freshness barrier and then executes against the latest installed
+// version.
+func (s *Scheduler[Q, R]) dispatchLoop() {
+	reqs := make([]schedReq[Q, R], 0, 256)
+	var carry []schedReq[Q, R]
+	for {
+		// Wait for at least one query (or shutdown); deferred queries go
+		// first, exactly as in the quiesced loop.
+		reqs = reqs[:0]
+		if len(carry) > 0 {
+			reqs = append(reqs, carry...)
+			carry = carry[:0]
+			select {
+			case <-s.closing:
+				return
+			default:
+			}
+		} else {
+			select {
+			case r := <-s.queue:
+				reqs = append(reqs, r)
+			case <-s.closing:
+				return
+			}
+		}
+	drain:
+		for len(reqs) < s.maxBatch {
+			select {
+			case r := <-s.queue:
+				reqs = append(reqs, r)
+			default:
+				break drain
+			}
+		}
+
+		if s.admit != nil && len(reqs) > 1 {
+			qs := make([]Q, len(reqs))
+			for i := range reqs {
+				qs[i] = reqs[i].q
+			}
+			n := s.admit(qs)
+			if n < 1 {
+				n = 1
+			}
+			if n < len(reqs) {
+				carry = append(carry, reqs[n:]...)
+				reqs = reqs[:n]
+				s.stats.AdmitSplits.Inc()
+				s.stats.AdmitDeferred.Add(uint64(len(carry)))
+			}
+		}
+
+		// Freshness barrier: the batch has formed; wait for an apply
+		// round covering everything committed before this instant. The
+		// wait is typically short — the apply loop has been running
+		// eagerly on every push, so only the tail of a round (or one
+		// quick no-op round) remains.
+		t0 := time.Now()
+		if !s.awaitFreshRound() {
+			return // shutting down; callers unblock on closed
+		}
+		s.stats.SnapWait.RecordSince(t0)
+		snap := s.replica.AppliedVID()
+
+		// Execute the whole batch as one read-only transaction pinned to
+		// the latest installed version (the run function pins it; the
+		// apply loop may already be building the next one).
+		queries := make([]Q, len(reqs))
+		for i := range reqs {
+			queries[i] = reqs[i].q
+		}
+		t1 := time.Now()
+		results := s.run(queries, snap)
+		d := time.Since(t1)
+		s.stats.BatchExec.Record(int64(d))
+		s.stats.Busy.Track(time.Since(t0))
+		s.stats.Batches.Inc()
+		for i := range reqs {
+			s.stats.Queries.Inc()
+			s.stats.Latency.RecordSince(reqs[i].arrived)
+			reqs[i].reply <- results[i]
+		}
+	}
+}
+
+// loopQuiesced is the classic strict alternation: sync, apply in place
+// with nothing running, then execute the batch.
+func (s *Scheduler[Q, R]) loopQuiesced() {
 	reqs := make([]schedReq[Q, R], 0, 256)
 	var carry []schedReq[Q, R]
 	for {
@@ -338,7 +612,14 @@ func (s *Scheduler[Q, R]) loop() {
 			// Replica divergence is unrecoverable; surface loudly.
 			panic(err)
 		}
-		s.fresh.ObserveInstall(s.replica.AppliedVID())
+		applied := s.replica.AppliedVID()
+		if applied > target {
+			// See applyLoop: a staged resync snapshot applied past the
+			// synced watermark is primary knowledge the lag
+			// high-watermark must see before the install covers it.
+			s.fresh.ObserveWatermark(applied, false)
+		}
+		s.fresh.ObserveInstall(applied)
 
 		// Execute the whole batch as one read-only transaction on the
 		// (single) latest snapshot.
