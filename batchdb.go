@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"batchdb/internal/checkpoint"
+	"batchdb/internal/ingest"
 	"batchdb/internal/metrics"
 	"batchdb/internal/mvcc"
 	"batchdb/internal/network"
@@ -38,6 +39,7 @@ import (
 	"batchdb/internal/olap/exec"
 	"batchdb/internal/oltp"
 	"batchdb/internal/replica"
+	"batchdb/internal/resmodel"
 	"batchdb/internal/storage"
 )
 
@@ -68,6 +70,9 @@ type (
 	Result = exec.Result
 	// DurabilityStats aggregates checkpoint/WAL/recovery counters.
 	DurabilityStats = metrics.DurabilityStats
+	// BulkReport summarizes a BulkLoad: rows, chunks, achieved rate,
+	// and the SLO governor's baseline/bound/throttle telemetry.
+	BulkReport = ingest.Report
 )
 
 // Column type constants.
@@ -157,6 +162,20 @@ type Config struct {
 	// address. Use "127.0.0.1:0" to pick a free port; MetricsAddr()
 	// reports the bound address after Start.
 	MetricsAddr string
+	// IngestChunkRows is the bulk-load chunk size: one chunk is one
+	// transaction, one WAL record, one unit of atomicity (default 1024).
+	IngestChunkRows int
+	// IngestSLOMultiplier bounds the interactive OLTP p99 during bulk
+	// loads to this multiple of the unloaded baseline (default 1.5).
+	IngestSLOMultiplier float64
+	// IngestMaxChunksPerSec caps the admitted bulk-load chunk rate (and
+	// is the fixed rate when the governor is disabled; 0 = unpaced).
+	IngestMaxChunksPerSec float64
+	// IngestBaselineP99 anchors the ingest SLO; zero auto-measures the
+	// live interactive p99 before each load.
+	IngestBaselineP99 time.Duration
+	// DisableIngestGovernor runs bulk loads open-throttle.
+	DisableIngestGovernor bool
 }
 
 // TableOptions controls a table's replication behaviour.
@@ -330,6 +349,9 @@ func (db *DB) buildEngine() error {
 	if err != nil {
 		return err
 	}
+	// The bulk-ingest procedure is always installed so recovery replay
+	// of logged ingest chunks finds it even if this run never bulk-loads.
+	ingest.RegisterProc(e)
 	db.engine = e
 	return nil
 }
@@ -554,6 +576,39 @@ func (db *DB) Exec(proc string, args []byte) Response {
 		return Response{Err: errors.New("batchdb: not started")}
 	}
 	return db.engine.Exec(proc, args)
+}
+
+// BulkLoad streams rows from src (ok=false ends the stream) into table
+// through the governed bulk-ingest path: rows are grouped into chunks,
+// each chunk commits atomically through the normal WAL/group-commit
+// machinery (and propagates to the OLAP replica like any transaction),
+// and an admission governor throttles the chunk rate to keep the
+// interactive OLTP p99 within Config.IngestSLOMultiplier of its
+// unloaded baseline. Returns when the stream is exhausted and every
+// chunk is durably acknowledged; on error, the report still describes
+// the durable prefix.
+func (db *DB) BulkLoad(table TableID, src func() ([]byte, bool)) (BulkReport, error) {
+	if !db.started {
+		return BulkReport{}, errors.New("batchdb: not started")
+	}
+	if _, ok := db.tables[table]; !ok {
+		return BulkReport{}, fmt.Errorf("batchdb: no table %d", table)
+	}
+	l := ingest.NewLoader(db.engine, table, ingest.Config{
+		ChunkRows: db.cfg.IngestChunkRows,
+		Governor: resmodel.GovernorConfig{
+			BaselineP99:   db.cfg.IngestBaselineP99,
+			SLOMultiplier: db.cfg.IngestSLOMultiplier,
+			MaxRate:       db.cfg.IngestMaxChunksPerSec,
+		},
+		DisableGovernor: db.cfg.DisableIngestGovernor,
+	})
+	return l.Load(src)
+}
+
+// BulkLoadRows is BulkLoad over an in-memory row slice.
+func (db *DB) BulkLoadRows(table TableID, rows [][]byte) (BulkReport, error) {
+	return db.BulkLoad(table, ingest.SliceSource(rows))
 }
 
 // Query submits one analytical query (the OLAP path). The query joins

@@ -108,6 +108,49 @@ func TestSingleInterfaceEndToEnd(t *testing.T) {
 	}
 }
 
+// TestBulkLoadThroughPublicAPI streams rows in through DB.BulkLoadRows
+// and verifies they reach the OLAP side like any other committed
+// transactions, plus the façade's error paths.
+func TestBulkLoadThroughPublicAPI(t *testing.T) {
+	f := newFixture(t, Config{OLTPWorkers: 2, OLAPWorkers: 2, IngestChunkRows: 64})
+	f.load(t, 10)
+
+	if _, err := f.db.BulkLoadRows(f.tbl.ID(), nil); err == nil {
+		t.Fatal("BulkLoad before Start must fail")
+	}
+	if err := f.db.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer f.db.Close()
+	if _, err := f.db.BulkLoadRows(99, nil); err == nil {
+		t.Fatal("BulkLoad on unknown table must fail")
+	}
+
+	const n = 500
+	rows := make([][]byte, n)
+	for i := range rows {
+		tup := f.schema.NewTuple()
+		f.schema.PutInt64(tup, 0, int64(1000+i))
+		f.schema.PutInt64(tup, 1, 7)
+		rows[i] = tup
+	}
+	rep, err := f.db.BulkLoadRows(f.tbl.ID(), rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rows != n || rep.Chunks != (n+63)/64 {
+		t.Fatalf("report: %d rows in %d chunks", rep.Rows, rep.Chunks)
+	}
+	// The loaded rows are analytics-visible behind the freshness barrier.
+	res, err := f.db.Query(f.totalQuery())
+	if err != nil || res.Err != nil {
+		t.Fatalf("query: %v / %v", err, res.Err)
+	}
+	if want := float64(10*100 + n*7); res.Values[0] != want {
+		t.Fatalf("total after bulk load = %f, want %f", res.Values[0], want)
+	}
+}
+
 func TestConcurrentHybridClients(t *testing.T) {
 	f := newFixture(t, Config{OLTPWorkers: 2, OLAPWorkers: 2, PushPeriod: 10 * time.Millisecond})
 	f.load(t, 50)

@@ -12,6 +12,9 @@
 //	PAYMENT <w> <d> <amount>      run a Payment by customer id
 //	DELIVERY <w>                  run a Delivery
 //	QUERY <Q2|Q3|...|Q20>         run one CH analytical query
+//	LOAD <rows> [OFF]             bulk-load rows into the scratch table
+//	                              through the SLO-governed ingest path
+//	                              (OFF = ungoverned, for comparison)
 //	CHECKPOINT                    force a checkpoint (data-dir mode)
 //	STATS                         one-line rendering of the metrics registry
 //	FLEET                         per-member health and routing state (fleet mode)
@@ -39,12 +42,14 @@ import (
 	"net"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"batchdb/internal/chbench"
 	"batchdb/internal/checkpoint"
 	"batchdb/internal/fleet"
 	"batchdb/internal/fleet/node"
+	"batchdb/internal/ingest"
 	"batchdb/internal/mvcc"
 	"batchdb/internal/network"
 	"batchdb/internal/obs"
@@ -52,8 +57,23 @@ import (
 	"batchdb/internal/olap/exec"
 	"batchdb/internal/oltp"
 	"batchdb/internal/replica"
+	"batchdb/internal/resmodel"
+	"batchdb/internal/storage"
 	"batchdb/internal/tpcc"
 )
+
+// bulkTableID is the scratch table LOAD ingests into. TPC-C and
+// CH-benCHmark own 1..12; 100 keeps clear of future schema growth.
+const bulkTableID storage.TableID = 100
+
+// bulkSchema describes the LOAD scratch table: a sequential id and a
+// payload value, primary key on id.
+func bulkSchema() *storage.Schema {
+	return storage.NewSchema(bulkTableID, "bulk", []storage.Column{
+		{Name: "id", Type: storage.Int64},
+		{Name: "val", Type: storage.Int64},
+	}, []int{0})
+}
 
 // serverConfig collects the flag values so tests can build servers
 // without a flag set.
@@ -76,6 +96,10 @@ type serverConfig struct {
 	fleet         int
 	queryDeadline time.Duration
 	maxStaleness  time.Duration
+	// Bulk-ingest (LOAD) knobs.
+	ingestChunkRows int
+	ingestSLO       float64
+	ingestMaxRate   float64
 }
 
 // server is one running batchdb-server instance: the engine pair, the
@@ -94,6 +118,12 @@ type server struct {
 	nodes  []*node.Node
 	router *fleet.Router[*exec.Query, exec.Result]
 	budget fleet.Budget
+	// Bulk-ingest state: the config the LOAD command builds loaders
+	// from, the next free id in the scratch table, and a mutex
+	// serializing loads (one governed stream at a time).
+	ingestCfg  serverConfig
+	nextBulkID int64
+	loadMu     sync.Mutex
 }
 
 func main() {
@@ -114,6 +144,9 @@ func main() {
 	flag.IntVar(&cfg.fleet, "fleet", 0, "route QUERY across N remote replica nodes (0 = single in-process replica)")
 	flag.DurationVar(&cfg.queryDeadline, "query-deadline", 2*time.Second, "fleet mode: per-query routing deadline")
 	flag.DurationVar(&cfg.maxStaleness, "max-staleness", time.Second, "fleet mode: snapshot-age bound; older answers come back flagged stale")
+	flag.IntVar(&cfg.ingestChunkRows, "ingest-chunk-rows", 1024, "LOAD: rows per ingest chunk (one chunk = one transaction = one WAL record)")
+	flag.Float64Var(&cfg.ingestSLO, "ingest-slo", 1.5, "LOAD: governor bound as a multiple of the unloaded OLTP p99 baseline")
+	flag.Float64Var(&cfg.ingestMaxRate, "ingest-max-rate", 0, "LOAD: admitted chunk-rate ceiling in chunks/sec (0 = governor default)")
 	flag.Parse()
 
 	s, err := newServer(cfg)
@@ -147,6 +180,12 @@ func newServer(cfg serverConfig) (*server, error) {
 			return nil, err
 		}
 	}
+	// The LOAD scratch table exists from boot so WAL replay can find it
+	// (recovery may re-execute ingest chunks from a prior run).
+	bs := bulkSchema()
+	db.Store.CreateTable(bs, func(tup []byte) uint64 {
+		return uint64(bs.GetInt64(tup, 0))
+	}, 4096)
 	engine, err := oltp.New(db.Store, oltp.Config{
 		Workers:       4,
 		Replicated:    tpcc.ReplicatedTables(),
@@ -156,6 +195,7 @@ func newServer(cfg serverConfig) (*server, error) {
 		return nil, err
 	}
 	tpcc.RegisterProcs(engine, db, false)
+	ingest.RegisterProc(engine)
 	var dur *checkpoint.State
 	if cfg.dataDir != "" {
 		st, info, err := checkpoint.Boot(engine, checkpoint.BootConfig{
@@ -174,7 +214,8 @@ func newServer(cfg serverConfig) (*server, error) {
 				info.CheckpointVID, info.Replayed, info.ReplayTime, info.FellBack, info.WatermarkVID)
 		}
 	}
-	s := &server{db: db, engine: engine, dur: dur, reg: obs.NewRegistry()}
+	s := &server{db: db, engine: engine, dur: dur, reg: obs.NewRegistry(), ingestCfg: cfg}
+	s.nextBulkID = recoverBulkNext(engine)
 	s.budget = fleet.Budget{MaxStaleness: cfg.maxStaleness, StalePolicy: fleet.StaleServe}
 	engine.RegisterMetrics(s.reg)
 	if dur != nil {
@@ -252,6 +293,37 @@ func newServer(cfg serverConfig) (*server, error) {
 	}
 	s.ln = ln
 	return s, nil
+}
+
+// recoverBulkNext finds the first free id in the LOAD scratch table.
+// Ids are handed out sequentially and chunks commit in order, so the
+// resident keys always form a contiguous prefix; a doubling probe plus
+// binary search finds its end without a full scan.
+func recoverBulkNext(e *oltp.Engine) int64 {
+	tx := e.Store().BeginRO()
+	defer tx.Abort()
+	tbl := e.Store().Table(bulkTableID)
+	has := func(id int64) bool {
+		_, ok := tx.Get(tbl, uint64(id))
+		return ok
+	}
+	if !has(0) {
+		return 0
+	}
+	hi := int64(1)
+	for has(hi) {
+		hi *= 2
+	}
+	lo := hi / 2 // has(lo) true, has(hi) false
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if has(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
 }
 
 // startFleet binds the replication feed, bootstraps cfg.fleet remote
@@ -407,6 +479,23 @@ func (s *server) serve(conn net.Conn) {
 		case "DELIVERY":
 			a := &tpcc.DeliveryArgs{WID: argN(fields, 1, 1), CarrierID: 1 + rng.Int63n(10), Date: time.Now().UnixNano()}
 			reply(out, s.engine.Exec(tpcc.ProcDelivery, a.Encode()))
+		case "LOAD":
+			n := argN(fields, 1, 10_000)
+			if n <= 0 {
+				fmt.Fprintln(out, "ERR\tLOAD needs a positive row count")
+				break
+			}
+			governed := !(len(fields) > 2 && strings.EqualFold(fields[2], "OFF"))
+			rep, err := s.bulkLoad(n, governed)
+			if err != nil {
+				fmt.Fprintf(out, "ERR\t%v\n", err)
+				break
+			}
+			fmt.Fprintf(out, "OK\trows=%d chunks=%d retries=%d elapsed=%v rate=%.0frows/s baseline_p99=%v bound=%v max_window_p99=%v throttles=%d\n",
+				rep.Rows, rep.Chunks, rep.Retries, rep.Elapsed.Round(time.Millisecond),
+				rep.RowsPerSec, rep.BaselineP99.Round(time.Microsecond),
+				rep.Bound.Round(time.Microsecond), rep.MaxWindowP99.Round(time.Microsecond),
+				rep.Throttles)
 		case "CHECKPOINT":
 			if s.dur == nil {
 				fmt.Fprintln(out, "ERR\tno -data-dir configured")
@@ -477,6 +566,40 @@ func (s *server) serve(conn net.Conn) {
 		}
 		out.Flush()
 	}
+}
+
+// bulkLoad runs one LOAD through the governed ingest path: n fresh
+// sequential rows chunked into transactions, paced by the SLO governor
+// (or open-throttle when governed is false). Loads serialize — one
+// governed stream at a time keeps the feedback loop's signal clean.
+func (s *server) bulkLoad(n int64, governed bool) (ingest.Report, error) {
+	s.loadMu.Lock()
+	defer s.loadMu.Unlock()
+	bs := bulkSchema()
+	start := s.nextBulkID
+	next := start
+	l := ingest.NewLoader(s.engine, bulkTableID, ingest.Config{
+		ChunkRows: s.ingestCfg.ingestChunkRows,
+		Governor: resmodel.GovernorConfig{
+			SLOMultiplier: s.ingestCfg.ingestSLO,
+			MaxRate:       s.ingestCfg.ingestMaxRate,
+		},
+		DisableGovernor: !governed,
+	})
+	rep, err := l.Load(func() ([]byte, bool) {
+		if next >= start+n {
+			return nil, false
+		}
+		tup := bs.NewTuple()
+		bs.PutInt64(tup, 0, next)
+		bs.PutInt64(tup, 1, next*7+3)
+		next++
+		return tup, true
+	})
+	// Advance past the acknowledged prefix even on error, so a retried
+	// LOAD never collides with rows a failed one did commit.
+	s.nextBulkID = start + int64(rep.Rows)
+	return rep, err
 }
 
 func argN(fields []string, i int, def int64) int64 {

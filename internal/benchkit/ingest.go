@@ -1,0 +1,324 @@
+package benchkit
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"batchdb/internal/ingest"
+	"batchdb/internal/metrics"
+	"batchdb/internal/mvcc"
+	"batchdb/internal/olap"
+	"batchdb/internal/oltp"
+	"batchdb/internal/resmodel"
+	"batchdb/internal/storage"
+	"batchdb/internal/tpcc"
+)
+
+// IngestOpts parameterizes the SLO-governed bulk-ingest experiment:
+// interactive TPC-C clients run throughout, an unloaded OLTP p99
+// baseline is measured, and then two equal-length load cells run —
+// governor on (paced to hold baseline x SLOMultiplier) and governor
+// off (open throttle, the rate an ungoverned bulk loader offers).
+type IngestOpts struct {
+	Scale       tpcc.Scale
+	OLTPWorkers int
+	TxnClients  int
+	// ChunkRows is the ingest transaction size for both cells.
+	ChunkRows int
+	// SLOMultiplier sets the governor bound (default 1.5).
+	SLOMultiplier float64
+	// Duration is the length of each load cell; Warmup precedes the
+	// baseline window; Baseline is the unloaded measurement window.
+	Duration time.Duration
+	Warmup   time.Duration
+	Baseline time.Duration
+	Seed     int64
+}
+
+// IngestCell is one load cell's measurement.
+type IngestCell struct {
+	Governed bool
+	// Load side.
+	Rows       int
+	Chunks     int
+	RowsPerSec float64
+	FinalRate  float64
+	Throttles  uint64
+	// Interactive side over the cell: committed txn rate and latency
+	// percentiles of the same histogram the governor samples.
+	TxnPerSec          float64
+	TxnP50NS, TxnP99NS int64
+	MaxWindowP99NS     int64
+	ElapsedNS          int64
+}
+
+// IngestSummary is the whole experiment, JSON-ready (BENCH_INGEST.json).
+type IngestSummary struct {
+	GOMAXPROCS, NumCPU int
+	TxnClients         int
+	ChunkRows          int
+	SLOMultiplier      float64
+	// Unloaded anchor: interactive p99 and txn rate with no load
+	// running, and the governor bound derived from it.
+	BaselineP99NS     int64
+	BoundNS           int64
+	UnloadedTxnPerSec float64
+	Governed          IngestCell
+	Ungoverned        IngestCell
+	// Acceptance: the governed cell's interactive p99 stays within the
+	// bound while the ungoverned cell's breaks it.
+	GovernedHoldsSLO   bool
+	UngovernedViolates bool
+	// OLAP visibility after the freshness barrier: rows a post-load
+	// batch observed and the snapshot VID it ran at.
+	OLAPRows    int
+	OLAPSnapVID uint64
+}
+
+const ingestBenchTable storage.TableID = 42
+
+func ingestBenchSchema() *storage.Schema {
+	return storage.NewSchema(ingestBenchTable, "bulk", []storage.Column{
+		{Name: "id", Type: storage.Int64},
+		{Name: "val", Type: storage.Int64},
+	}, []int{0})
+}
+
+// RunIngest executes the experiment.
+func RunIngest(o IngestOpts) (IngestSummary, error) {
+	if o.SLOMultiplier <= 0 {
+		o.SLOMultiplier = 1.5
+	}
+	if o.ChunkRows <= 0 {
+		o.ChunkRows = 4096
+	}
+	if o.Baseline <= 0 {
+		o.Baseline = o.Duration
+	}
+	schema := ingestBenchSchema()
+	db := tpcc.NewDB(o.Scale)
+	if err := tpcc.Generate(db, o.Seed); err != nil {
+		return IngestSummary{}, err
+	}
+	db.Store.CreateTable(schema, func(tup []byte) uint64 {
+		return uint64(schema.GetInt64(tup, 0))
+	}, 4096)
+	engine, err := oltp.New(db.Store, oltp.Config{
+		Workers:    o.OLTPWorkers,
+		PushPeriod: 20 * time.Millisecond,
+		Replicated: map[storage.TableID]bool{ingestBenchTable: true},
+	})
+	if err != nil {
+		return IngestSummary{}, err
+	}
+	tpcc.RegisterProcs(engine, db, false)
+	ingest.RegisterProc(engine)
+
+	// The chunks ride the normal push path into a generic OLAP replica;
+	// the scheduler's freshness barrier is what makes the post-load
+	// batch see every chunk.
+	rep := olap.NewReplica(4)
+	rep.CreateTable(schema, 4096)
+	engine.SetSink(rep)
+	type tally struct {
+		snap uint64
+		rows int
+	}
+	runBatch := func(queries []int, snap uint64) []tally {
+		sv := rep.PinSnapshot()
+		defer sv.Unpin()
+		var ta tally
+		ta.snap = sv.VID()
+		for _, p := range sv.Table(ingestBenchTable).Partitions {
+			p.Scan(func(uint64, []byte) bool { ta.rows++; return true })
+		}
+		out := make([]tally, len(queries))
+		for i := range out {
+			out[i] = ta
+		}
+		return out
+	}
+	sched := olap.NewScheduler(rep, engine, runBatch)
+	sched.Start()
+	engine.Start()
+	defer func() {
+		sched.Close()
+		engine.Close()
+	}()
+
+	var (
+		commits  atomic.Uint64
+		failure  error
+		failOnce sync.Once
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < o.TxnClients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			drv := tpcc.NewDriver(db.Scale, seed)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				proc, args := drv.Next()
+				r := engine.Exec(proc, args)
+				switch {
+				case r.Err == nil, errors.Is(r.Err, tpcc.ErrRollback):
+					commits.Add(1)
+				case errors.Is(r.Err, mvcc.ErrConflict):
+				case errors.Is(r.Err, oltp.ErrClosed):
+					return
+				default:
+					failOnce.Do(func() { failure = r.Err })
+					return
+				}
+			}
+		}(o.Seed + int64(c) + 1)
+	}
+	defer func() {
+		select {
+		case <-stop:
+		default:
+			close(stop)
+		}
+		wg.Wait()
+	}()
+
+	hist := &engine.Stats().Latency
+
+	// window measures interactive rate and latency over one phase.
+	type window struct {
+		snap    metrics.Snapshot
+		commits uint64
+		start   time.Time
+	}
+	open := func() window {
+		return window{snap: hist.Snapshot(), commits: commits.Load(), start: time.Now()}
+	}
+	closeWin := func(w window) (txnPerSec float64, p50, p99 time.Duration) {
+		elapsed := time.Since(w.start)
+		snap := hist.Snapshot()
+		delta := snap.Delta(&w.snap)
+		txnPerSec = float64(commits.Load()-w.commits) / elapsed.Seconds()
+		return txnPerSec, time.Duration(delta.Percentile(50)), time.Duration(delta.Percentile(99))
+	}
+
+	time.Sleep(o.Warmup)
+	base := open()
+	time.Sleep(o.Baseline)
+	unloadedTPS, _, baselineP99 := closeWin(base)
+	if baselineP99 <= 0 {
+		baselineP99 = time.Millisecond
+	}
+	bound := time.Duration(float64(baselineP99) * o.SLOMultiplier)
+
+	sum := IngestSummary{
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		NumCPU:            runtime.NumCPU(),
+		TxnClients:        o.TxnClients,
+		ChunkRows:         o.ChunkRows,
+		SLOMultiplier:     o.SLOMultiplier,
+		BaselineP99NS:     int64(baselineP99),
+		BoundNS:           int64(bound),
+		UnloadedTxnPerSec: unloadedTPS,
+	}
+
+	// runCell drives one duration-bounded load. The source only stops
+	// at chunk boundaries, so both cells submit full chunks for the
+	// entire window; ids continue across cells so keys never collide.
+	nextID := int64(0)
+	totalRows := 0
+	var lastVID uint64
+	runCell := func(governed bool) (IngestCell, error) {
+		cfg := ingest.Config{
+			ChunkRows:       o.ChunkRows,
+			DisableGovernor: !governed,
+		}
+		if governed {
+			// A floor of 1 chunk/s keeps the feedback loop observing even
+			// on hosts where the sustainable rate is very low (the loader
+			// only samples after each chunk, so a near-zero floor would
+			// starve the governor of observations).
+			cfg.Governor = resmodel.GovernorConfig{
+				BaselineP99:   baselineP99,
+				SLOMultiplier: o.SLOMultiplier,
+				MinRate:       1,
+				MaxRate:       256,
+			}
+		}
+		l := ingest.NewLoader(engine, ingestBenchTable, cfg)
+		deadline := time.Now().Add(o.Duration)
+		start := nextID
+		w := open()
+		rep, err := l.Load(func() ([]byte, bool) {
+			if (nextID-start)%int64(o.ChunkRows) == 0 && time.Now().After(deadline) {
+				return nil, false
+			}
+			tup := schema.NewTuple()
+			schema.PutInt64(tup, 0, nextID)
+			schema.PutInt64(tup, 1, nextID*7+3)
+			nextID++
+			return tup, true
+		})
+		if err != nil {
+			return IngestCell{}, err
+		}
+		tps, p50, p99 := closeWin(w)
+		totalRows += rep.Rows
+		if rep.LastVID > lastVID {
+			lastVID = rep.LastVID
+		}
+		return IngestCell{
+			Governed:       governed,
+			Rows:           rep.Rows,
+			Chunks:         rep.Chunks,
+			RowsPerSec:     rep.RowsPerSec,
+			FinalRate:      rep.FinalRate,
+			Throttles:      rep.Throttles,
+			TxnPerSec:      tps,
+			TxnP50NS:       int64(p50),
+			TxnP99NS:       int64(p99),
+			MaxWindowP99NS: int64(rep.MaxWindowP99),
+			ElapsedNS:      int64(rep.Elapsed),
+		}, nil
+	}
+
+	if sum.Governed, err = runCell(true); err != nil {
+		return sum, err
+	}
+	// Cool down so the ungoverned cell's window starts from the same
+	// quiescent point the governed one did.
+	time.Sleep(o.Baseline / 2)
+	if sum.Ungoverned, err = runCell(false); err != nil {
+		return sum, err
+	}
+	if failure != nil {
+		return sum, failure
+	}
+
+	sum.GovernedHoldsSLO = sum.Governed.TxnP99NS <= sum.BoundNS
+	sum.UngovernedViolates = sum.Ungoverned.TxnP99NS > sum.BoundNS
+
+	// Freshness barrier: a batch admitted after both loads must observe
+	// every chunk.
+	ta, err := sched.Query(0)
+	if err != nil {
+		return sum, err
+	}
+	sum.OLAPRows = ta.rows
+	sum.OLAPSnapVID = ta.snap
+	if ta.rows != totalRows {
+		return sum, errors.New("benchkit: OLAP batch after freshness barrier missed ingested rows")
+	}
+	if ta.snap < lastVID {
+		return sum, errors.New("benchkit: post-load batch snapshot below last chunk VID")
+	}
+	return sum, nil
+}

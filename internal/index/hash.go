@@ -88,9 +88,14 @@ func (s *hashShard[V]) own() {
 	s.owned = true
 }
 
+// shardIndex maps a key to its shard ordinal. Fibonacci hashing spreads
+// dense keys across shards.
+func shardIndex(key uint64) int {
+	return int((key * 0x9E3779B97F4A7C15) >> (64 - 6))
+}
+
 func (h *Hash[V]) shard(key uint64) *hashShard[V] {
-	// Fibonacci hashing spreads dense keys across shards.
-	return &h.shards[(key*0x9E3779B97F4A7C15)>>(64-6)]
+	return &h.shards[shardIndex(key)]
 }
 
 // Get returns the value for key.
@@ -124,6 +129,63 @@ func (h *Hash[V]) PutIfAbsent(key uint64, v V) (V, bool) {
 	s.m[key] = v
 	s.mu.Unlock()
 	return v, true
+}
+
+// GetOrPutBatch resolves every key to its resident value, creating
+// absent entries with mk. Results land in out (input order); inserted[i]
+// reports whether out[i] was created by this call. Both slices must have
+// len(keys).
+//
+// Keys are grouped by shard first (the ALEX batch-insertion pattern:
+// group by target node, then do all the work per node at once), so the
+// whole batch costs one lock acquisition per touched shard instead of
+// up to two per key, and each shard's copy-on-write check runs once.
+// Duplicate keys in the batch converge on one entry, like racing
+// PutIfAbsent callers.
+func (h *Hash[V]) GetOrPutBatch(keys []uint64, mk func(key uint64) V, out []V, inserted []bool) {
+	// Counting sort of key positions by shard.
+	var counts [hashShards]int32
+	for _, k := range keys {
+		counts[shardIndex(k)]++
+	}
+	var starts [hashShards]int32
+	var sum int32
+	for i, c := range counts {
+		starts[i] = sum
+		sum += c
+	}
+	order := make([]int32, len(keys))
+	next := starts
+	for i, k := range keys {
+		s := shardIndex(k)
+		order[next[s]] = int32(i)
+		next[s]++
+	}
+	for si := range h.shards {
+		if counts[si] == 0 {
+			continue
+		}
+		group := order[starts[si]:next[si]]
+		s := &h.shards[si]
+		s.mu.Lock()
+		var owned bool
+		for _, i := range group {
+			k := keys[i]
+			if v, ok := s.m[k]; ok {
+				out[i] = v
+				continue
+			}
+			if !owned {
+				s.own()
+				owned = true
+			}
+			v := mk(k)
+			s.m[k] = v
+			out[i] = v
+			inserted[i] = true
+		}
+		s.mu.Unlock()
+	}
 }
 
 // CompareAndDelete removes key only if its value satisfies eq, reporting

@@ -2,6 +2,7 @@ package index
 
 import (
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -117,6 +118,77 @@ func (s *SkipList[V]) Put(key uint64, v V) {
 		preds[i].next[i].Store(n)
 	}
 	s.len.Add(1)
+}
+
+// PutBatch inserts or replaces every (keys[i], vals[i]) pair under one
+// writer-lock acquisition. The batch is processed in ascending key order
+// with a finger search: each insertion resumes from the predecessors of
+// the previous one instead of descending from the head, so a sorted run
+// of k nearby keys costs O(k + log n) pointer hops rather than
+// O(k log n) — the ordered-bulk-insert half of the ALEX batch pattern.
+// Readers stay lock-free throughout and observe each insert atomically.
+func (s *SkipList[V]) PutBatch(keys []uint64, vals []V) {
+	if len(keys) != len(vals) {
+		panic("index: PutBatch length mismatch")
+	}
+	if len(keys) == 0 {
+		return
+	}
+	order := make([]int32, len(keys))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	// Stable so duplicate keys within the batch apply in input order
+	// (last write wins, matching a sequence of Puts).
+	sort.SliceStable(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	var preds [maxLevel]*slNode[V]
+	for i := range preds {
+		preds[i] = s.head
+	}
+	for _, j := range order {
+		key, v := keys[j], vals[j]
+		// Descend from the top, but never behind the previous key's
+		// predecessor at each level (keys are ascending, so old preds
+		// remain valid lower bounds).
+		x := s.head
+		for i := int(s.level.Load()) - 1; i >= 0; i-- {
+			if p := preds[i]; p != s.head && (x == s.head || p.key > x.key) {
+				x = p
+			}
+			for {
+				nxt := x.next[i].Load()
+				if nxt == nil || nxt.key >= key {
+					break
+				}
+				x = nxt
+			}
+			preds[i] = x
+		}
+		if cand := preds[0].next[0].Load(); cand != nil && cand.key == key {
+			cand.val.Store(&v)
+			continue
+		}
+		lvl := s.randomLevel()
+		cur := int(s.level.Load())
+		for i := cur; i < lvl; i++ {
+			preds[i] = s.head
+		}
+		if lvl > cur {
+			s.level.Store(int32(lvl))
+		}
+		n := &slNode[V]{key: key, next: make([]atomic.Pointer[slNode[V]], lvl)}
+		n.val.Store(&v)
+		for i := 0; i < lvl; i++ {
+			n.next[i].Store(preds[i].next[i].Load())
+		}
+		for i := 0; i < lvl; i++ {
+			preds[i].next[i].Store(n)
+		}
+		s.len.Add(1)
+	}
 }
 
 // Delete removes key, reporting whether it was present.

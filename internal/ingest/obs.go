@@ -1,0 +1,24 @@
+package ingest
+
+import "batchdb/internal/obs"
+
+// RegisterMetrics exposes the loader's counters, admitted rate and
+// governor throttle count through reg.
+func (l *Loader) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	reg.ObserveCounter("batchdb_ingest_rows_total",
+		"Rows durably loaded by the bulk-ingest path.", &l.stats.RowsLoaded, labels...)
+	reg.ObserveCounter("batchdb_ingest_chunks_total",
+		"Durably committed ingest chunks.", &l.stats.Chunks, labels...)
+	reg.ObserveCounter("batchdb_ingest_retries_total",
+		"Ingest chunk retries after write-write conflicts.", &l.stats.Retries, labels...)
+	reg.GaugeFunc("batchdb_ingest_rate_chunks_per_sec",
+		"Currently admitted ingest chunk rate.", l.Rate, labels...)
+	reg.CounterFunc("batchdb_ingest_throttles_total",
+		"Governor rate cuts taken to protect the OLTP p99 SLO.",
+		func() uint64 {
+			if l.gov == nil {
+				return 0
+			}
+			return l.gov.Throttles()
+		}, labels...)
+}

@@ -138,6 +138,37 @@ func (h *Histogram) Snapshot() Snapshot {
 	}
 }
 
+// Delta returns the samples recorded between prev and s as a snapshot
+// of their own: the windowed view an SLO governor samples from a
+// cumulative histogram. prev must be an earlier snapshot of the same
+// histogram; buckets are subtracted with clamping so a mismatched pair
+// degrades to zeros rather than underflowing. Max is inherited from s
+// (an upper bound — the true window max is not recoverable), and Sum is
+// taken as the exact difference only when both snapshots were exact.
+func (s *Snapshot) Delta(prev *Snapshot) Snapshot {
+	var d Snapshot
+	var total uint64
+	for i := range s.Buckets {
+		if s.Buckets[i] > prev.Buckets[i] {
+			d.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
+			total += d.Buckets[i]
+		}
+	}
+	d.Count = total
+	d.Max = s.Max
+	if s.Exact && prev.Exact && s.Sum >= prev.Sum {
+		d.Sum = s.Sum - prev.Sum
+		d.Exact = true
+	} else {
+		for i, n := range d.Buckets {
+			if n > 0 {
+				d.Sum += int64(n) * bucketValue(i)
+			}
+		}
+	}
+	return d
+}
+
 // Mean returns the snapshot's arithmetic mean, or 0 if empty.
 func (s *Snapshot) Mean() float64 {
 	if s.Count == 0 {

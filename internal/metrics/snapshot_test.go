@@ -99,3 +99,83 @@ func TestHistogramMergeCoherentUnderConcurrentRecord(t *testing.T) {
 	stop.Store(true)
 	wg.Wait()
 }
+
+// Delta of two snapshots must describe exactly the samples recorded
+// between them: counts, percentiles within bucket error, and coherence
+// under concurrent recording (clamped, never negative).
+func TestSnapshotDelta(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Record(1000) // 1µs era
+	}
+	s0 := h.Snapshot()
+	for i := 0; i < 50; i++ {
+		h.Record(1000000) // 1ms era
+	}
+	s1 := h.Snapshot()
+	d := s1.Delta(&s0)
+	if d.Count != 50 {
+		t.Fatalf("delta count %d, want 50", d.Count)
+	}
+	p99 := d.Percentile(99)
+	if p99 < 960000 || p99 > 1040000 {
+		t.Fatalf("delta p99 = %d, want ~1000000", p99)
+	}
+	// The cumulative histogram's p99 is also ~1ms here, but its p50
+	// still sees the old 1µs mass — the delta's p50 must not.
+	if p50 := d.Percentile(50); p50 < 960000 {
+		t.Fatalf("delta p50 = %d, want ~1000000 (window excludes old samples)", p50)
+	}
+	if !d.Exact || d.Sum != 50*1000000 {
+		t.Fatalf("delta sum %d exact=%v, want exact 50000000", d.Sum, d.Exact)
+	}
+
+	// Empty window.
+	e := s1.Delta(&s1)
+	if e.Count != 0 || e.Percentile(99) != 0 {
+		t.Fatalf("self-delta not empty: count=%d", e.Count)
+	}
+
+	// Swapped arguments clamp to empty rather than underflow.
+	sw := s0.Delta(&s1)
+	if sw.Count != 0 {
+		t.Fatalf("reversed delta count %d, want 0 (clamped)", sw.Count)
+	}
+
+	// Coherence under concurrent recording.
+	var h2 Histogram
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h2.Record(500)
+			}
+		}
+	}()
+	prev := h2.Snapshot()
+	for i := 0; i < 500; i++ {
+		cur := h2.Snapshot()
+		d := cur.Delta(&prev)
+		var mass uint64
+		for _, n := range d.Buckets {
+			mass += n
+		}
+		if mass != d.Count {
+			t.Fatalf("delta incoherent: count %d mass %d", d.Count, mass)
+		}
+		if d.Count > 0 {
+			if p := d.Percentile(99); p < 480 || p > 520 {
+				t.Fatalf("delta p99 %d outside recorded range", p)
+			}
+		}
+		prev = cur
+	}
+	close(stop)
+	wg.Wait()
+}

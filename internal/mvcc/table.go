@@ -98,8 +98,30 @@ func (t *Table) indexInto(c *Chain, tup []byte) {
 	}
 }
 
+// getOrCreateChains resolves the chain for every key into out (input
+// order) with one primary-index lock acquisition per touched shard —
+// the batch counterpart of getOrCreateChain for bulk insert. Newly
+// created chains join the scan list before the call returns; as in the
+// single-key path, a chain may briefly be indexed but not yet listed,
+// which is invisible because its versions only publish at Commit.
+func (t *Table) getOrCreateChains(keys []uint64, out []*Chain) {
+	inserted := make([]bool, len(keys))
+	t.pk.GetOrPutBatch(keys, func(key uint64) *Chain { return &Chain{Key: key} }, out, inserted)
+	for i, created := range inserted {
+		if created {
+			t.chains.append(out[i])
+		}
+	}
+}
+
 // AllocRowID returns a fresh RowID for a newly inserted logical row.
 func (t *Table) AllocRowID() uint64 { return t.nextRowID.Add(1) }
+
+// AllocRowIDs reserves n consecutive RowIDs and returns the first — one
+// atomic op for a whole bulk-insert chunk.
+func (t *Table) AllocRowIDs(n int) uint64 {
+	return t.nextRowID.Add(uint64(n)) - uint64(n) + 1
+}
 
 // LoadRow installs a tuple at VID 0, the "initial load" state visible to
 // every snapshot. It bypasses transactional machinery and must only be

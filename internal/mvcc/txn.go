@@ -154,25 +154,38 @@ func (tx *Txn) Insert(t *Table, tup []byte) (uint64, error) {
 	if tx.ReadOnly() {
 		return 0, errors.New("mvcc: insert in read-only transaction")
 	}
-	key := t.KeyFn(tup)
+	c, err := tx.insertIntoChain(t, t.getOrCreateChain(t.KeyFn(tup)), t.AllocRowID(), tup)
+	if err != nil {
+		return 0, err
+	}
+	t.indexInto(c, tup)
+	return tx.ops[len(tx.ops)-1].New.RowID, nil
+}
+
+// insertIntoChain runs the insert protocol against a resolved chain,
+// installing tup under rowID and recording the write-set entry. It
+// returns the chain actually written (re-resolved if GC retired the
+// original mid-flight). Secondary indexing is the caller's job — the
+// single-key path indexes immediately, the batch path amortizes it into
+// one PutBatch per index.
+func (tx *Txn) insertIntoChain(t *Table, c *Chain, rowID uint64, tup []byte) (*Chain, error) {
 	for {
-		c := t.getOrCreateChain(key)
 		head := c.head.Load()
 		if head == retiredRecord {
 			// GC is unlinking this chain; it clears the primary-index
 			// entry right after poisoning, so re-resolving yields a
 			// fresh chain almost immediately.
 			runtime.Gosched()
+			c = t.getOrCreateChain(c.Key)
 			continue
 		}
 		if head == nil {
-			rec := newRecord(t.AllocRowID(), tx.id, tup, nil)
+			rec := newRecord(rowID, tx.id, tup, nil)
 			if !c.head.CompareAndSwap(nil, rec) {
 				continue // racing inserter; re-evaluate
 			}
-			t.indexInto(c, tup)
 			tx.ops = append(tx.ops, WriteOp{Table: t, Kind: OpInsert, Chain: c, New: rec})
-			return rec.RowID, nil
+			return c, nil
 		}
 		from := head.vidFrom.Load()
 		if from == abortedMarker {
@@ -181,33 +194,85 @@ func (tx *Txn) Insert(t *Table, tup []byte) (uint64, error) {
 			continue
 		}
 		if from == tx.id {
-			return 0, ErrDuplicateKey // we already wrote this key
+			return nil, ErrDuplicateKey // we already wrote this key
 		}
 		if isMarker(from) {
-			return 0, ErrConflict
+			return nil, ErrConflict
 		}
 		to := head.vidTo.Load()
 		if isMarker(to) {
-			return 0, ErrConflict
+			return nil, ErrConflict
 		}
 		if to == vid.Infinity {
 			if from <= tx.snap {
-				return 0, ErrDuplicateKey
+				return nil, ErrDuplicateKey
 			}
-			return 0, ErrConflict // row created after our snapshot
+			return nil, ErrConflict // row created after our snapshot
 		}
 		// Head is a committed delete.
 		if to > tx.snap {
-			return 0, ErrConflict // deleted after our snapshot
+			return nil, ErrConflict // deleted after our snapshot
 		}
-		rec := newRecord(t.AllocRowID(), tx.id, tup, head)
+		rec := newRecord(rowID, tx.id, tup, head)
 		if !c.head.CompareAndSwap(head, rec) {
-			return 0, ErrConflict // lost the re-insert race
+			return nil, ErrConflict // lost the re-insert race
 		}
-		t.indexInto(c, tup)
 		tx.ops = append(tx.ops, WriteOp{Table: t, Kind: OpInsert, Chain: c, New: rec})
-		return rec.RowID, nil
+		return c, nil
 	}
+}
+
+// InsertBatch adds many new rows in one transaction with batch-grouped
+// index access (the ALEX pattern: group keys by target structure before
+// touching it). Chains for the whole batch resolve with one primary-
+// index lock per touched shard, RowIDs come from one block reservation,
+// and each secondary index is populated by a single sorted PutBatch.
+// Tuples are adopted; the rows commit or abort atomically with the rest
+// of the transaction. Returns the first RowID of the contiguous block
+// assigned to the batch (in input order). On error the already-
+// installed prefix stays in the write set for Abort to unwind.
+func (tx *Txn) InsertBatch(t *Table, tups [][]byte) (uint64, error) {
+	if tx.ReadOnly() {
+		return 0, errors.New("mvcc: insert in read-only transaction")
+	}
+	if len(tups) == 0 {
+		return 0, nil
+	}
+	keys := make([]uint64, len(tups))
+	for i, tup := range tups {
+		keys[i] = t.KeyFn(tup)
+	}
+	// Duplicate keys inside one batch can never both commit — reject
+	// before touching shared structures.
+	seen := make(map[uint64]struct{}, len(keys))
+	for _, k := range keys {
+		if _, dup := seen[k]; dup {
+			return 0, ErrDuplicateKey
+		}
+		seen[k] = struct{}{}
+	}
+	chains := make([]*Chain, len(keys))
+	t.getOrCreateChains(keys, chains)
+	base := t.AllocRowIDs(len(tups))
+	for i, tup := range tups {
+		c, err := tx.insertIntoChain(t, chains[i], base+uint64(i), tup)
+		if err != nil {
+			return 0, err
+		}
+		chains[i] = c
+	}
+	// Batched secondary indexing: one writer-lock acquisition per index
+	// for the whole chunk instead of one per row.
+	if len(t.sec) > 0 {
+		skeys := make([]uint64, len(tups))
+		for _, s := range t.sec {
+			for i, tup := range tups {
+				skeys[i] = s.KeyFn(tup)
+			}
+			s.sl.PutBatch(skeys, chains)
+		}
+	}
+	return base, nil
 }
 
 func newRecord(rowID, from uint64, tup []byte, older *Record) *Record {

@@ -25,9 +25,11 @@ import (
 	"testing"
 	"time"
 
+	"batchdb/internal/ingest"
 	"batchdb/internal/mvcc"
 	"batchdb/internal/olap"
 	"batchdb/internal/oltp"
+	"batchdb/internal/resmodel"
 	"batchdb/internal/storage"
 )
 
@@ -487,4 +489,241 @@ func replaySerial(history []op, snap uint64) map[int64]int64 {
 
 func sortOps(ops []op) {
 	sort.Slice(ops, func(i, j int) bool { return ops[i].vid < ops[j].vid })
+}
+
+// TestSnapshotIsolationOracleWithIngest extends the oracle with bulk
+// ingest: governed chunks of brand-new accounts commit through the
+// bulk-load stored procedure while transfers churn the seeded accounts
+// and audits run concurrently. Every pinned-snapshot batch must still
+// equal the serial replay of the committed prefix at its snapshot —
+// which forces each chunk to be atomic (all of its accounts visible or
+// none) — and the audited total must equal the seeded money plus
+// exactly the chunks committed at or below the snapshot.
+func TestSnapshotIsolationOracleWithIngest(t *testing.T) {
+	const (
+		chunkRows   = 64
+		chunkCount  = 20
+		chunkBal    = int64(100)
+		ingestBase  = int64(10_000) // first bulk account id, far above the seeded range
+		transferers = 3
+	)
+	schema := accountSchema()
+	store := mvcc.NewStore()
+	tbl := store.CreateTable(schema, func(tup []byte) uint64 {
+		return uint64(schema.GetInt64(tup, 0))
+	}, 4096)
+
+	engine, err := oltp.New(store, oltp.Config{Workers: 4, PushPeriod: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Register("seed", func(tx *mvcc.Txn, args []byte) ([]byte, error) {
+		id := int64(binary.LittleEndian.Uint64(args))
+		bal := int64(binary.LittleEndian.Uint64(args[8:]))
+		tup := schema.NewTuple()
+		schema.PutInt64(tup, 0, id)
+		schema.PutInt64(tup, 1, bal)
+		_, err := tx.Insert(tbl, tup)
+		return nil, err
+	})
+	engine.Register("transfer", func(tx *mvcc.Txn, args []byte) ([]byte, error) {
+		from := int64(binary.LittleEndian.Uint64(args))
+		to := int64(binary.LittleEndian.Uint64(args[8:]))
+		amt := int64(binary.LittleEndian.Uint64(args[16:]))
+		if err := tx.Update(tbl, uint64(from), []int{1}, func(tup []byte) {
+			schema.PutInt64(tup, 1, schema.GetInt64(tup, 1)-amt)
+		}); err != nil {
+			return nil, err
+		}
+		return nil, tx.Update(tbl, uint64(to), []int{1}, func(tup []byte) {
+			schema.PutInt64(tup, 1, schema.GetInt64(tup, 1)+amt)
+		})
+	})
+	ingest.RegisterProc(engine)
+
+	rep := olap.NewReplica(4)
+	rep.CreateTable(schema, 256)
+	engine.SetSink(rep)
+	runBatch := func(queries []int, snap uint64) []audit {
+		sv := rep.PinSnapshot()
+		defer sv.Unpin()
+		vid := sv.VID()
+		if vid < snap {
+			vid = snap
+		}
+		bals := scanBalances(schema, sv)
+		out := make([]audit, len(queries))
+		for i := range out {
+			out[i] = audit{snap: vid, bals: bals}
+		}
+		return out
+	}
+	sched := olap.NewScheduler(rep, engine, runBatch)
+
+	engine.Start()
+	defer engine.Close()
+	sched.Start()
+	defer sched.Close()
+
+	var logMu sync.Mutex
+	var committed []op
+
+	for id := int64(1); id <= oracleAccounts; id++ {
+		r := engine.Exec("seed", transferArgs(id, oracleInitBal, 0))
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		committed = append(committed, op{vid: r.CommitVID, insert: true, from: id, amt: oracleInitBal})
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, transferers+1)
+	for w := 0; w < transferers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 100; i++ {
+				from := 1 + rng.Int63n(oracleAccounts)
+				to := 1 + rng.Int63n(oracleAccounts-1)
+				if to >= from {
+					to++
+				}
+				amt := 1 + rng.Int63n(50)
+				var r oltp.Response
+				for try := 0; ; try++ {
+					r = engine.Exec("transfer", transferArgs(from, to, amt))
+					if !errors.Is(r.Err, mvcc.ErrConflict) {
+						break
+					}
+					if try > 100 {
+						errCh <- r.Err
+						return
+					}
+				}
+				if r.Err != nil {
+					errCh <- r.Err
+					return
+				}
+				logMu.Lock()
+				committed = append(committed, op{vid: r.CommitVID, from: from, to: to, amt: amt})
+				logMu.Unlock()
+			}
+		}(int64(w + 101))
+	}
+
+	// The bulk load: chunkCount chunks of chunkRows brand-new accounts,
+	// paced so chunks interleave with the transfer history. Each ack
+	// records one insert op per account at the chunk's commit VID.
+	chunkVIDs := make([]uint64, 0, chunkCount)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rows := make([][]byte, 0, chunkRows*chunkCount)
+		for i := 0; i < chunkRows*chunkCount; i++ {
+			tup := schema.NewTuple()
+			schema.PutInt64(tup, 0, ingestBase+int64(i))
+			schema.PutInt64(tup, 1, chunkBal)
+			rows = append(rows, tup)
+		}
+		l := ingest.NewLoader(engine, schema.ID, ingest.Config{
+			ChunkRows:       chunkRows,
+			DisableGovernor: true,
+			Governor:        resmodel.GovernorConfig{MaxRate: 300}, // paced, ungoverned
+			OnChunk: func(a ingest.ChunkAck) {
+				logMu.Lock()
+				for r := 0; r < a.Rows; r++ {
+					id := ingestBase + int64(a.Index*chunkRows+r)
+					committed = append(committed, op{vid: a.VID, insert: true, from: id, amt: chunkBal})
+				}
+				chunkVIDs = append(chunkVIDs, a.VID)
+				logMu.Unlock()
+			},
+		})
+		if _, err := l.Load(ingest.SliceSource(rows)); err != nil {
+			errCh <- err
+		}
+	}()
+
+	var audits []audit
+	stopAudits := make(chan struct{})
+	auditDone := make(chan struct{})
+	go func() {
+		defer close(auditDone)
+		for {
+			select {
+			case <-stopAudits:
+				return
+			default:
+			}
+			a, err := sched.Query(0)
+			if err != nil {
+				return
+			}
+			audits = append(audits, a)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	close(stopAudits)
+	<-auditDone
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	final, err := sched.Query(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	audits = append(audits, final)
+
+	logMu.Lock()
+	history := append([]op(nil), committed...)
+	vids := append([]uint64(nil), chunkVIDs...)
+	logMu.Unlock()
+	sortOps(history)
+
+	for _, a := range audits {
+		want := replaySerial(history, a.snap)
+		if len(a.bals) != len(want) {
+			t.Fatalf("snapshot %d: audit saw %d accounts, serial replay has %d", a.snap, len(a.bals), len(want))
+		}
+		var total int64
+		for id, bal := range a.bals {
+			if wb, ok := want[id]; !ok || wb != bal {
+				t.Fatalf("snapshot %d: account %d = %d, serial replay says %d", a.snap, id, bal, want[id])
+			}
+			total += bal
+		}
+		// Chunk atomicity, stated directly: each chunk's accounts are
+		// all present or all absent, and the audited total is the seeded
+		// money plus exactly the chunks at or below the snapshot.
+		chunksIn := int64(0)
+		for ci, cv := range vids {
+			present := 0
+			for r := 0; r < chunkRows; r++ {
+				if _, ok := a.bals[ingestBase+int64(ci*chunkRows+r)]; ok {
+					present++
+				}
+			}
+			switch {
+			case present == 0 && cv > a.snap:
+			case present == chunkRows && cv <= a.snap:
+				chunksIn++
+			default:
+				t.Fatalf("snapshot %d: chunk %d (vid %d) torn: %d/%d accounts visible", a.snap, ci, cv, present, chunkRows)
+			}
+		}
+		if wantTotal := int64(oracleAccounts)*oracleInitBal + chunksIn*chunkRows*chunkBal; total != wantTotal {
+			t.Fatalf("snapshot %d: total %d, want %d (%d chunks in)", a.snap, total, wantTotal, chunksIn)
+		}
+	}
+	if len(vids) != chunkCount {
+		t.Fatalf("only %d/%d chunks acked", len(vids), chunkCount)
+	}
+	if final.snap < vids[len(vids)-1] {
+		t.Fatalf("final audit snapshot %d below last chunk VID %d", final.snap, vids[len(vids)-1])
+	}
 }

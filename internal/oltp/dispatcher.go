@@ -146,7 +146,11 @@ func (e *Engine) runBatch(batch []request) {
 			a.reply <- Response{Err: fmt.Errorf("%w: %v", ErrNotDurable, logErr)}
 			continue
 		}
-		e.stats.Latency.RecordSince(a.arrived)
+		if a.bulk {
+			e.stats.BulkLatency.RecordSince(a.arrived)
+		} else {
+			e.stats.Latency.RecordSince(a.arrived)
+		}
 		a.reply <- a.resp
 	}
 }

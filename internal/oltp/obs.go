@@ -15,7 +15,11 @@ func (s *Stats) Register(reg *obs.Registry, labels ...obs.Label) {
 	reg.ObserveCounter("batchdb_oltp_txn_total",
 		"Stored-procedure calls by outcome.", &s.Conflicts, with(obs.L("status", "conflict"))...)
 	reg.ObserveHistogram("batchdb_oltp_txn_latency_ns",
-		"Queue + execution time per transaction (nanoseconds).", &s.Latency, labels...)
+		"Queue + execution time per interactive transaction (nanoseconds).", &s.Latency, labels...)
+	reg.ObserveCounter("batchdb_oltp_bulk_txn_total",
+		"Committed bulk-class (ingest) stored-procedure calls.", &s.BulkCommitted, labels...)
+	reg.ObserveHistogram("batchdb_oltp_bulk_txn_latency_ns",
+		"Queue + execution time per bulk-class call (nanoseconds).", &s.BulkLatency, labels...)
 	reg.ObserveCounter("batchdb_oltp_group_commit_total",
 		"Dispatcher batches (one group commit each).", &s.Batches, labels...)
 	reg.ObserveCounter("batchdb_oltp_pushes_total",

@@ -93,7 +93,11 @@ func (c *Config) fill() {
 	}
 }
 
-// Stats exposes the engine's performance counters.
+// Stats exposes the engine's performance counters. Latency holds only
+// interactive (non-bulk) transactions: it is the histogram SLO
+// governors sample for the "unperturbed OLTP p99" signal, so bulk
+// ingest chunks — huge transactions by design — are accounted
+// separately in BulkLatency and must never pollute it.
 type Stats struct {
 	Committed    metrics.Counter
 	Aborted      metrics.Counter
@@ -103,6 +107,10 @@ type Stats struct {
 	PushedTuples metrics.Counter
 	Latency      metrics.Histogram
 	Busy         metrics.BusyTracker
+	// Bulk-class procedures (RegisterBulk): commit count and per-call
+	// latency, kept out of the interactive histogram above.
+	BulkCommitted metrics.Counter
+	BulkLatency   metrics.Histogram
 }
 
 // Response is the outcome of one stored-procedure call.
@@ -121,6 +129,8 @@ type request struct {
 	args    []byte
 	reply   chan Response
 	arrived time.Time
+	// bulk routes latency accounting to Stats.BulkLatency.
+	bulk bool
 }
 
 // Engine is the OLTP replica.
@@ -128,6 +138,7 @@ type Engine struct {
 	cfg   Config
 	store *mvcc.Store
 	procs map[string]Procedure
+	bulk  map[string]bool
 	sink  atomic.Pointer[sinkHolder]
 
 	queue   chan request
@@ -186,6 +197,21 @@ func (e *Engine) Stats() *Stats { return &e.stats }
 // before Start.
 func (e *Engine) Register(name string, p Procedure) {
 	e.procs[name] = p
+}
+
+// RegisterBulk installs a stored procedure whose calls are accounted as
+// bulk work: commits count into Stats.BulkCommitted and latency into
+// Stats.BulkLatency instead of the interactive Stats.Latency histogram,
+// so a governor sampling OLTP p99 sees only the traffic it protects.
+// Bulk calls still ride the normal batch/group-commit/replication path
+// — the classification is purely observational. Must be called before
+// Start.
+func (e *Engine) RegisterBulk(name string, p Procedure) {
+	e.procs[name] = p
+	if e.bulk == nil {
+		e.bulk = make(map[string]bool)
+	}
+	e.bulk[name] = true
 }
 
 // Proc returns the registered procedure with the given name, or nil.
@@ -314,7 +340,7 @@ func (e *Engine) Exec(proc string, args []byte) Response {
 	}
 	reply := make(chan Response, 1)
 	select {
-	case e.queue <- request{proc: proc, args: args, reply: reply, arrived: time.Now()}:
+	case e.queue <- request{proc: proc, args: args, reply: reply, arrived: time.Now(), bulk: e.bulk[proc]}:
 	case <-e.closing:
 		return Response{Err: ErrClosed}
 	}

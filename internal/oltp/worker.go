@@ -48,6 +48,7 @@ type pendingAck struct {
 	reply   chan Response
 	resp    Response
 	arrived time.Time
+	bulk    bool
 }
 
 func newWorker(id int, e *Engine) *worker {
@@ -111,16 +112,25 @@ func (w *worker) execOne(req request, res *workerResult) {
 			// commit makes the record durable; latency is recorded at
 			// ack time so it covers durability.
 			e.stats.Committed.Inc()
+			if req.bulk {
+				e.stats.BulkCommitted.Inc()
+			}
 			res.acks = append(res.acks, pendingAck{
 				reply:   req.reply,
 				resp:    Response{Payload: payload, CommitVID: cv},
 				arrived: req.arrived,
+				bulk:    req.bulk,
 			})
 			return
 		}
 	}
 	e.stats.Committed.Inc()
-	e.stats.Latency.RecordSince(req.arrived)
+	if req.bulk {
+		e.stats.BulkCommitted.Inc()
+		e.stats.BulkLatency.RecordSince(req.arrived)
+	} else {
+		e.stats.Latency.RecordSince(req.arrived)
+	}
 	req.reply <- Response{Payload: payload, CommitVID: cv}
 }
 
